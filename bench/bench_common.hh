@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure benchmark binaries: flag
+ * handling, the policies-by-mixes weighted-speedup grid, and geomean
+ * summary rows.  Every bench prints the rows/series of exactly one
+ * table or figure of the paper (see DESIGN.md, Experiment index).
+ */
+
+#ifndef NUCACHE_BENCH_BENCH_COMMON_HH
+#define NUCACHE_BENCH_BENCH_COMMON_HH
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/chart.hh"
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/experiment.hh"
+#include "sim/metrics.hh"
+#include "sim/policies.hh"
+
+namespace nucache::bench
+{
+
+/** Measurement window per core, honoring --records and --quick. */
+inline std::uint64_t
+recordsFor(const CliArgs &args, std::uint64_t dflt)
+{
+    std::uint64_t records = args.getInt("records", dflt);
+    if (args.has("quick"))
+        records /= 4;
+    return records;
+}
+
+/** One cell of the weighted-speedup grid. */
+struct GridResult
+{
+    /** Normalized weighted speedup (vs LRU on the same mix). */
+    double normWs = 0.0;
+    MixResult raw;
+};
+
+/**
+ * Run `policies` x `mixes` and print normalized weighted speedup with
+ * a geomean summary row (the canonical Figure 4/5/6 shape).
+ * @return the full grid for callers that print extra views.
+ */
+inline std::map<std::string, std::map<std::string, GridResult>>
+runPolicyGrid(ExperimentHarness &harness, const HierarchyConfig &hier,
+              const std::vector<WorkloadMix> &mixes,
+              const std::vector<std::string> &policies,
+              std::ostream &os)
+{
+    std::map<std::string, std::map<std::string, GridResult>> grid;
+    TextTable table;
+    std::vector<std::string> head = {"mix"};
+    head.insert(head.end(), policies.begin(), policies.end());
+    table.header(head);
+
+    std::map<std::string, std::vector<double>> norms;
+    for (const auto &mix : mixes) {
+        const MixResult lru = harness.runMix(mix, "lru", hier);
+        table.row().cell(mix.name);
+        for (const auto &policy : policies) {
+            const MixResult res =
+                policy == "lru" ? lru : harness.runMix(mix, policy, hier);
+            GridResult cell;
+            cell.normWs = res.weightedSpeedup / lru.weightedSpeedup;
+            cell.raw = res;
+            norms[policy].push_back(cell.normWs);
+            table.cell(cell.normWs);
+            grid[mix.name][policy] = std::move(cell);
+        }
+    }
+    table.row().cell("geomean");
+    BarChart chart(48, 1.0);
+    for (const auto &policy : policies) {
+        const double g = geomean(norms[policy]);
+        table.cell(g);
+        chart.add(policy, g);
+    }
+    table.print(os);
+    os << "\n";
+    chart.print(os);
+    return grid;
+}
+
+/** Print a one-line figure banner. */
+inline void
+banner(std::ostream &os, const std::string &figure,
+       const std::string &what, std::uint64_t records)
+{
+    os << "# " << figure << ": " << what << "\n"
+       << "# measurement window: " << records
+       << " references per core\n";
+}
+
+} // namespace nucache::bench
+
+#endif // NUCACHE_BENCH_BENCH_COMMON_HH

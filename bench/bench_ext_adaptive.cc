@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Extension E4 (future-work direction): letting the cost-benefit
+ * model also choose the Main/Deli split each epoch, against the
+ * static default (5/8) and the empirically best static split from
+ * Figure 7 — on the quad-core mixes.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace nucache;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const std::uint64_t records = bench::recordsFor(args, 500'000);
+    bench::banner(std::cout, "Extension E4",
+                  "adaptive Main/Deli split (quad-core, normalized "
+                  "weighted speedup)",
+                  records);
+
+    const std::vector<std::string> policies = {
+        "nucache",            // static default (d = 20 of 32)
+        "nucache:d=24",       // empirically best static split (Fig. 7)
+        "nucache-adaptive",   // model-chosen split per epoch
+    };
+
+    ExperimentHarness harness(records);
+    bench::runPolicyGrid(harness, defaultHierarchy(4), quadCoreMixes(),
+                         policies, std::cout);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Extension E5 (substrate sensitivity): does NUcache's advantage
+ * survive hierarchy variations the paper holds fixed?  Quad-core
+ * mixes under LRU and NUcache with (a) private 256 KiB L2s inserted
+ * between the L1s and the shared LLC, and (b) an inclusive LLC with
+ * back-invalidation.  Private L2s filter the short-distance reuse out
+ * of the LLC stream; inclusion makes LLC evictions more expensive for
+ * everyone.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace nucache;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const std::uint64_t records = bench::recordsFor(args, 400'000);
+    bench::banner(std::cout, "Extension E5",
+                  "hierarchy sensitivity (quad-core weighted speedup, "
+                  "normalized to LRU within each configuration)",
+                  records);
+
+    struct Variant
+    {
+        const char *name;
+        bool l2;
+        bool inclusive;
+    };
+    const std::vector<Variant> variants = {
+        {"baseline", false, false},
+        {"private-L2", true, false},
+        {"inclusive", false, true},
+        {"L2+inclusive", true, true},
+    };
+
+    TextTable table;
+    table.header({"variant", "nucache vs lru (geomean)"});
+    for (const auto &v : variants) {
+        HierarchyConfig hier = defaultHierarchy(4);
+        hier.enableL2 = v.l2;
+        hier.inclusive = v.inclusive;
+        ExperimentHarness harness(records);
+        std::vector<double> norms;
+        for (const auto &mix : quadCoreMixes()) {
+            const double lru =
+                harness.runMix(mix, "lru", hier).weightedSpeedup;
+            const double nuc =
+                harness.runMix(mix, "nucache", hier).weightedSpeedup;
+            norms.push_back(nuc / lru);
+        }
+        table.row().cell(v.name).cell(geomean(norms));
+    }
+    table.print(std::cout);
+    return 0;
+}

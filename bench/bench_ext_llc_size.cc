@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Extension E6 (sensitivity): LLC capacity scaling — NUcache vs the
+ * strongest baselines across shared LLC sizes on the quad-core mixes,
+ * each size normalized to its own LRU.  Selective retention matters
+ * most when capacity is scarce; the curves should converge towards
+ * 1.0 as everything fits.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace nucache;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const std::uint64_t records = bench::recordsFor(args, 400'000);
+    bench::banner(std::cout, "Extension E6",
+                  "LLC size scaling (quad-core, normalized weighted "
+                  "speedup per size)",
+                  records);
+
+    const std::vector<std::string> policies = {"tadip", "ucp",
+                                               "nucache"};
+    TextTable table;
+    std::vector<std::string> head = {"LLC size"};
+    head.insert(head.end(), policies.begin(), policies.end());
+    table.header(head);
+
+    for (const std::uint64_t mib : {1ull, 2ull, 4ull, 8ull}) {
+        HierarchyConfig hier = defaultHierarchy(4);
+        hier.llc = CacheConfig{"llc", mib << 20, 32, 64};
+        ExperimentHarness harness(records);
+        table.row().cell(std::to_string(mib) + " MiB");
+        for (const auto &policy : policies) {
+            std::vector<double> norms;
+            for (const auto &mix : quadCoreMixes()) {
+                const double lru =
+                    harness.runMix(mix, "lru", hier).weightedSpeedup;
+                const double p =
+                    harness.runMix(mix, policy, hier).weightedSpeedup;
+                norms.push_back(p / lru);
+            }
+            table.cell(geomean(norms));
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Extension E3 (beyond the paper): does NUcache's advantage survive a
+ * stride prefetcher?  Quad-core mixes under LRU and NUcache, with the
+ * per-core LLC stride prefetcher off and on.
+ *
+ * Prefetching converts many streaming misses into prefetch fills,
+ * which *reduces* LRU's pollution pain but also frees NUcache's
+ * retention to focus on the irregular reuse the prefetcher cannot
+ * cover.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace nucache;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const std::uint64_t records = bench::recordsFor(args, 500'000);
+    bench::banner(std::cout, "Extension E3",
+                  "stride prefetching x {LRU, NUcache} (quad-core "
+                  "weighted speedup, normalized to LRU w/o prefetch)",
+                  records);
+
+    ExperimentHarness harness(records);
+    HierarchyConfig base = defaultHierarchy(4);
+    HierarchyConfig with_pf = base;
+    with_pf.prefetch.enabled = true;
+
+    TextTable table;
+    table.header({"mix", "lru+pf", "nucache", "nucache+pf"});
+    std::vector<double> n_lru_pf, n_nuc, n_nuc_pf;
+    for (const auto &mix : quadCoreMixes()) {
+        const double lru =
+            harness.runMix(mix, "lru", base).weightedSpeedup;
+        const double lru_pf =
+            harness.runMix(mix, "lru", with_pf).weightedSpeedup;
+        const double nuc =
+            harness.runMix(mix, "nucache", base).weightedSpeedup;
+        const double nuc_pf =
+            harness.runMix(mix, "nucache", with_pf).weightedSpeedup;
+        n_lru_pf.push_back(lru_pf / lru);
+        n_nuc.push_back(nuc / lru);
+        n_nuc_pf.push_back(nuc_pf / lru);
+        table.row()
+            .cell(mix.name)
+            .cell(lru_pf / lru)
+            .cell(nuc / lru)
+            .cell(nuc_pf / lru);
+    }
+    table.row()
+        .cell("geomean")
+        .cell(geomean(n_lru_pf))
+        .cell(geomean(n_nuc))
+        .cell(geomean(n_nuc_pf));
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Extension E1 (beyond the paper): NUcache against the later
+ * PC-centric LLC policies — SHiP-PC (MICRO'11) and Hawkeye-lite
+ * (ISCA'16) — plus DRRIP as the insertion-policy reference, on the
+ * dual- and quad-core mixes.
+ *
+ * The interesting contrast: SHiP predicts *at insertion* (dead blocks
+ * are evicted quickly), NUcache *retains after eviction pressure*
+ * (live-but-distant blocks are parked).  Delayed-single-reuse
+ * workloads separate them: SHiP's dead/live bit cannot express "alive
+ * exactly once, far from now".
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace nucache;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const std::uint64_t records = bench::recordsFor(args, 700'000);
+    bench::banner(std::cout, "Extension E1",
+                  "NUcache vs SHiP-PC vs DRRIP (normalized weighted "
+                  "speedup)",
+                  records);
+
+    const std::vector<std::string> policies = {"lru", "drrip", "ship",
+                                               "hawkeye", "nucache"};
+
+    std::cout << "\n## dual-core mixes\n";
+    ExperimentHarness dual(records);
+    bench::runPolicyGrid(dual, defaultHierarchy(2), dualCoreMixes(),
+                         policies, std::cout);
+
+    std::cout << "\n## quad-core mixes\n";
+    ExperimentHarness quad(records * 7 / 10);
+    bench::runPolicyGrid(quad, defaultHierarchy(4), quadCoreMixes(),
+                         policies, std::cout);
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 10 (ablation): the PC-selection mechanism itself — the
+ * cost-benefit algorithm against (a) naive top-k-by-misses admission,
+ * (b) admitting every PC, and (c) no admission at all.
+ *
+ * A structural identity makes (b) and (c) exact LRU: when admission
+ * does not discriminate, blocks demote out of the MainWays in recency
+ * order, so the FIFO annex is precisely the LRU stack's tail (and
+ * every DeliWay hit re-promotes to MRU).  The organization is
+ * therefore inert without selection; naive delinquency-ranked
+ * admission is actively harmful (it protects the top *missers* —
+ * streams); only the cost-benefit selection converts the annex into
+ * hits.  This isolates the paper's "intelligent cost-benefit
+ * analysis" claim from the organization itself.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace nucache;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const std::uint64_t records = bench::recordsFor(args, 500'000);
+    bench::banner(std::cout, "Figure 10",
+                  "selection ablation (quad-core): normalized "
+                  "weighted speedup",
+                  records);
+
+    const std::vector<std::string> policies = {
+        "nucache",                // cost-benefit (the paper's scheme)
+        "nucache-topk:topk=8",    // delinquency-only admission
+        "nucache-topk:topk=32",
+        "nucache-all",            // admit everything
+        "nucache-none",           // admit nothing
+    };
+
+    ExperimentHarness harness(records);
+    bench::runPolicyGrid(harness, defaultHierarchy(4), quadCoreMixes(),
+                         policies, std::cout);
+    return 0;
+}

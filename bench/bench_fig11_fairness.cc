@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 11: fairness and throughput views of the quad-core results —
+ * harmonic-mean speedup, ANTT (lower is better) and min/max fairness
+ * per policy, geomean'd over the quad-core mixes.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace nucache;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const std::uint64_t records = bench::recordsFor(args, 500'000);
+    bench::banner(std::cout, "Figure 11",
+                  "quad-core fairness and throughput metrics", records);
+
+    ExperimentHarness harness(records);
+    const HierarchyConfig hier = defaultHierarchy(4);
+    const auto &policies = evaluationPolicySet();
+
+    std::map<std::string, std::vector<double>> hmeans, antts, fairs;
+    for (const auto &mix : quadCoreMixes()) {
+        for (const auto &policy : policies) {
+            const MixResult res = harness.runMix(mix, policy, hier);
+            hmeans[policy].push_back(res.hmeanSpeedup);
+            antts[policy].push_back(res.antt);
+            fairs[policy].push_back(res.fairness);
+        }
+    }
+
+    TextTable table;
+    table.header({"policy", "hmean speedup", "ANTT", "fairness"});
+    for (const auto &policy : policies) {
+        table.row()
+            .cell(policy)
+            .cell(geomean(hmeans[policy]))
+            .cell(geomean(antts[policy]))
+            .cell(geomean(fairs[policy]));
+    }
+    table.print(std::cout);
+    return 0;
+}

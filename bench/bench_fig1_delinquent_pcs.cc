@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 1 (motivation): delinquent-PC concentration — the cumulative
+ * fraction of LLC misses covered by the top-k missing PCs, per
+ * workload, on the single-core baseline (1 MiB LLC, LRU).
+ *
+ * The paper's observation: a handful of static instructions account
+ * for the bulk of the misses, which is what makes a PC-centric
+ * organization viable.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <unordered_map>
+
+#include "bench_common.hh"
+#include "mem/hierarchy.hh"
+#include "mem/lru.hh"
+#include "sim/cpu.hh"
+#include "trace/workloads.hh"
+
+using namespace nucache;
+
+namespace
+{
+
+/** LRU that additionally counts LLC misses per allocating PC. */
+class PcMissCountingLru : public LruPolicy
+{
+  public:
+    void
+    onMiss(const SetView &set, const AccessInfo &info) override
+    {
+        LruPolicy::onMiss(set, info);
+        ++missesByPc[info.pc];
+    }
+
+    std::unordered_map<PC, std::uint64_t> missesByPc;
+};
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const std::uint64_t records = bench::recordsFor(args, 1'000'000);
+    bench::banner(std::cout, "Figure 1",
+                  "cumulative % of LLC misses vs top-k delinquent PCs",
+                  records);
+
+    const std::vector<std::uint32_t> ks = {1, 2, 4, 8, 16, 32};
+    TextTable table(1);
+    std::vector<std::string> head = {"workload", "misses", "PCs"};
+    for (const auto k : ks)
+        head.push_back("top-" + std::to_string(k));
+    table.header(head);
+
+    for (const auto &name : workloadNames()) {
+        auto policy = std::make_unique<PcMissCountingLru>();
+        PcMissCountingLru *counter = policy.get();
+        MemoryHierarchy mh(defaultHierarchy(1), std::move(policy));
+        TraceCpu cpu(0, makeWorkload(name), &mh, records);
+        while (!cpu.done())
+            cpu.step();
+
+        std::vector<std::uint64_t> counts;
+        std::uint64_t total = 0;
+        for (const auto &kv : counter->missesByPc) {
+            counts.push_back(kv.second);
+            total += kv.second;
+        }
+        std::sort(counts.rbegin(), counts.rend());
+
+        table.row().cell(name).cell(total).cell(
+            std::uint64_t{counts.size()});
+        for (const auto k : ks) {
+            std::uint64_t covered = 0;
+            for (std::uint32_t i = 0; i < k && i < counts.size(); ++i)
+                covered += counts[i];
+            table.cell(total == 0
+                           ? 0.0
+                           : 100.0 * static_cast<double>(covered) /
+                                 static_cast<double>(total));
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

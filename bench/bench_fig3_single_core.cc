@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 3: single-core results — LLC miss rate and IPC (normalized
+ * to LRU) per workload for LRU, DIP, DRRIP and NUcache on the 1 MiB
+ * baseline.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "trace/workloads.hh"
+
+using namespace nucache;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const std::uint64_t records = bench::recordsFor(args, 1'000'000);
+    bench::banner(std::cout, "Figure 3",
+                  "single-core LLC miss rate and normalized IPC",
+                  records);
+
+    const std::vector<std::string> policies = {"lru", "dip", "drrip",
+                                               "nucache"};
+    ExperimentHarness harness(records);
+    const HierarchyConfig hier = defaultHierarchy(1);
+
+    TextTable table;
+    std::vector<std::string> head = {"workload"};
+    for (const auto &p : policies)
+        head.push_back("miss." + p);
+    for (const auto &p : policies)
+        head.push_back("ipc_norm." + p);
+    table.header(head);
+
+    std::map<std::string, std::vector<double>> ipc_norms;
+    for (const auto &name : workloadNames()) {
+        table.row().cell(name);
+        std::map<std::string, SystemResult> results;
+        for (const auto &p : policies) {
+            results[p] = harness.runSingle(name, p, hier);
+            table.cell(results[p].cores[0].llc.missRate());
+        }
+        const double lru_ipc = results["lru"].cores[0].ipc;
+        for (const auto &p : policies) {
+            const double norm = results[p].cores[0].ipc / lru_ipc;
+            ipc_norms[p].push_back(norm);
+            table.cell(norm);
+        }
+    }
+    table.row().cell("geomean");
+    for (std::size_t i = 0; i < policies.size(); ++i)
+        table.cell("");
+    for (const auto &p : policies)
+        table.cell(geomean(ipc_norms[p]));
+    table.print(std::cout);
+    return 0;
+}

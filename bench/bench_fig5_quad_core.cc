@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Figure 5 (headline): quad-core mixes — weighted speedup normalized
+ * to the shared-LRU baseline.  The paper reports NUcache at +30% on
+ * average for quad-core SPEC mixes.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace nucache;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const std::uint64_t records = bench::recordsFor(args, 700'000);
+    bench::banner(std::cout, "Figure 5",
+                  "quad-core weighted speedup normalized to LRU",
+                  records);
+
+    ExperimentHarness harness(records);
+    bench::runPolicyGrid(harness, defaultHierarchy(4), quadCoreMixes(),
+                         evaluationPolicySet(), std::cout);
+    return 0;
+}

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Figure 6 (headline): eight-core mixes — weighted speedup normalized
+ * to the shared-LRU baseline.  The paper reports NUcache at +33% on
+ * average for eight-core SPEC mixes.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace nucache;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const std::uint64_t records = bench::recordsFor(args, 500'000);
+    bench::banner(std::cout, "Figure 6",
+                  "eight-core weighted speedup normalized to LRU",
+                  records);
+
+    ExperimentHarness harness(records);
+    bench::runPolicyGrid(harness, defaultHierarchy(8), eightCoreMixes(),
+                         evaluationPolicySet(), std::cout);
+    return 0;
+}

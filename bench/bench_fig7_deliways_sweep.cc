@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figure 7 (sensitivity): weighted speedup of NUcache as the number
+ * of DeliWays varies, on the quad-core mixes (32-way LLC).  The
+ * paper's shape: gains rise with the protected fraction, with a broad
+ * optimum well past half the ways, then fall as the MainWays become
+ * too small to absorb short-distance reuse.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace nucache;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const std::uint64_t records = bench::recordsFor(args, 500'000);
+    bench::banner(std::cout, "Figure 7",
+                  "DeliWays sweep (quad-core, 32-way LLC): normalized "
+                  "weighted speedup",
+                  records);
+
+    std::vector<std::string> policies;
+    for (const unsigned d : {4u, 8u, 12u, 16u, 20u, 24u, 28u})
+        policies.push_back("nucache:d=" + std::to_string(d));
+
+    ExperimentHarness harness(records);
+    bench::runPolicyGrid(harness, defaultHierarchy(4), quadCoreMixes(),
+                         policies, std::cout);
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Figure 8 (sensitivity): weighted speedup of NUcache as the
+ * selection epoch length varies, on the quad-core mixes.  Short
+ * epochs adapt fast but select on noisy profiles; long epochs lag
+ * phase changes (phase_shift and scan_loop punish them).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace nucache;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const std::uint64_t records = bench::recordsFor(args, 500'000);
+    bench::banner(std::cout, "Figure 8",
+                  "selection-epoch sweep (quad-core): normalized "
+                  "weighted speedup",
+                  records);
+
+    std::vector<std::string> policies;
+    for (const unsigned e : {25u, 50u, 100u, 200u, 400u, 800u})
+        policies.push_back("nucache:epoch=" + std::to_string(e * 1000));
+
+    ExperimentHarness harness(records);
+    bench::runPolicyGrid(harness, defaultHierarchy(4), quadCoreMixes(),
+                         policies, std::cout);
+    return 0;
+}

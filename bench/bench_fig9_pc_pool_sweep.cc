@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 9 (sensitivity): weighted speedup of NUcache as the
+ * candidate-PC pool size varies (per core; the policy scales it by
+ * the core count), on the quad-core mixes.  Too small a pool cannot
+ * cover every co-runner's delinquent PCs; beyond ~32 the returns
+ * flatten — the paper's justification for a modest PC-table budget.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace nucache;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const std::uint64_t records = bench::recordsFor(args, 500'000);
+    bench::banner(std::cout, "Figure 9",
+                  "candidate-PC pool sweep (quad-core): normalized "
+                  "weighted speedup",
+                  records);
+
+    std::vector<std::string> policies;
+    for (const unsigned p : {2u, 4u, 8u, 16u, 32u, 64u}) {
+        policies.push_back("nucache:pool=" + std::to_string(p) +
+                           ",maxsel=" + std::to_string(p));
+    }
+
+    ExperimentHarness harness(records);
+    bench::runPolicyGrid(harness, defaultHierarchy(4), quadCoreMixes(),
+                         policies, std::cout);
+    return 0;
+}

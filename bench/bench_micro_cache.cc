@@ -1,0 +1,101 @@
+/**
+ * @file
+ * M1: google-benchmark microbenchmarks of the simulator itself —
+ * accesses per second through the cache model under each policy, and
+ * the cost of the selection algorithm.  These size the experiment
+ * harness, not the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "core/nucache.hh"
+#include "core/pc_selection.hh"
+#include "mem/cache.hh"
+#include "sim/policies.hh"
+
+using namespace nucache;
+
+namespace
+{
+
+void
+runAccessLoop(benchmark::State &state, const std::string &policy)
+{
+    CacheConfig cfg{"m", 1 << 20, 16, 64};
+    Cache cache(cfg, makePolicy(policy), 2);
+    Rng rng(99);
+    for (auto _ : state) {
+        AccessInfo info;
+        info.addr = rng.below(1 << 15) * 64;
+        info.pc = 0x400000 + rng.below(32) * 4;
+        info.coreId = static_cast<CoreId>(rng.below(2));
+        info.isWrite = rng.chance(0.2);
+        benchmark::DoNotOptimize(cache.access(info));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void BM_CacheAccessLru(benchmark::State &state)
+{
+    runAccessLoop(state, "lru");
+}
+
+void BM_CacheAccessDip(benchmark::State &state)
+{
+    runAccessLoop(state, "dip");
+}
+
+void BM_CacheAccessUcp(benchmark::State &state)
+{
+    runAccessLoop(state, "ucp");
+}
+
+void BM_CacheAccessPipp(benchmark::State &state)
+{
+    runAccessLoop(state, "pipp");
+}
+
+void BM_CacheAccessNUcache(benchmark::State &state)
+{
+    runAccessLoop(state, "nucache");
+}
+
+void
+BM_PcSelection(benchmark::State &state)
+{
+    // A realistic selection problem: 64 candidates with populated
+    // histograms.
+    const int n = static_cast<int>(state.range(0));
+    std::vector<LogHistogram> hists;
+    std::vector<PcProfile> profiles;
+    Rng rng(5);
+    hists.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        hists.emplace_back(32u, 2u);
+        hists.back().add(1000 + rng.below(50000), 100);
+    }
+    for (int i = 0; i < n; ++i) {
+        PcProfile p;
+        p.pc = 0x400000 + i * 4;
+        p.misses = 100 + rng.below(400);
+        p.retires = p.misses + rng.below(100);
+        p.nextUse = &hists[static_cast<std::size_t>(i)];
+        profiles.push_back(p);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            selectDelinquentPcs(profiles, 10240, 100000));
+    }
+}
+
+BENCHMARK(BM_CacheAccessLru);
+BENCHMARK(BM_CacheAccessDip);
+BENCHMARK(BM_CacheAccessUcp);
+BENCHMARK(BM_CacheAccessPipp);
+BENCHMARK(BM_CacheAccessNUcache);
+BENCHMARK(BM_PcSelection)->Arg(16)->Arg(32)->Arg(64);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table 1: simulated system configuration for every evaluated core
+ * count, plus the NUcache structure parameters.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/nucache.hh"
+
+using namespace nucache;
+
+int
+main(int argc, char **argv)
+{
+    (void)argc;
+    (void)argv;
+    std::cout << "# Table 1: system configuration\n";
+
+    TextTable sys;
+    sys.header({"cores", "L1 (private)", "shared LLC", "LLC lat",
+                "DRAM lat", "DRAM chan"});
+    for (unsigned cores : {1u, 2u, 4u, 8u}) {
+        const HierarchyConfig cfg = defaultHierarchy(cores);
+        sys.row()
+            .cell(cores)
+            .cell(std::to_string(cfg.l1.sizeBytes >> 10) + " KiB, " +
+                  std::to_string(cfg.l1.ways) + "-way")
+            .cell(std::to_string(cfg.llc.sizeBytes >> 10) + " KiB, " +
+                  std::to_string(cfg.llc.ways) + "-way, " +
+                  std::to_string(cfg.llc.numSets()) + " sets")
+            .cell(std::to_string(cfg.llcLatency) + " cyc")
+            .cell(std::to_string(cfg.dram.latency) + " cyc")
+            .cell(cfg.dram.channels);
+    }
+    sys.print(std::cout);
+
+    std::cout << "\n# NUcache structure defaults\n";
+    const NUcacheConfig nu;
+    const HierarchyConfig two = defaultHierarchy(2);
+    TextTable nut;
+    nut.header({"parameter", "value"});
+    nut.row().cell("DeliWays fraction").cell("5/8 of associativity");
+    nut.row().cell("MainWays (16-way LLC)").cell(std::uint64_t{6});
+    nut.row().cell("DeliWays (16-way LLC)").cell(std::uint64_t{10});
+    nut.row().cell("selection epoch").cell(
+        std::to_string(nu.epochMisses) + " LLC misses");
+    nut.row().cell("candidate PCs / core").cell(
+        std::uint64_t{nu.selector.candidatePcs});
+    nut.row().cell("monitor set sampling").cell(
+        "1 in " + std::to_string(1u << nu.monitor.sampleShift));
+    nut.row().cell("victim board / core").cell(
+        std::uint64_t{nu.monitor.boardEntries});
+    nut.row().cell("histogram buckets").cell(
+        std::to_string((nu.monitor.histMaxLog2 -
+                        nu.monitor.histSubBits + 1) *
+                           (1u << nu.monitor.histSubBits) +
+                       (1u << nu.monitor.histSubBits)));
+    nut.row().cell("dual-core LLC example").cell(
+        std::to_string(two.llc.sizeBytes >> 20) + " MiB shared");
+    nut.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Example: explore one workload across the policy zoo and across LLC
+ * sizes — a quick way to see where each policy's regime starts.
+ *
+ * Usage: policy_explorer [--workload=loop_medium] [--records=500000]
+ */
+
+#include <iostream>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "sim/experiment.hh"
+#include "sim/policies.hh"
+#include "trace/workloads.hh"
+
+using namespace nucache;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const std::string workload = args.get("workload", "loop_medium");
+    const std::uint64_t records = args.getInt("records", 500'000);
+
+    if (!isWorkloadName(workload)) {
+        std::cerr << "unknown workload '" << workload << "'\n";
+        return 1;
+    }
+
+    const std::vector<std::string> policies = {
+        "lru", "nru", "srrip", "drrip", "dip", "nucache"};
+    const std::vector<std::uint64_t> sizes_kib = {256, 512, 1024, 2048};
+
+    ExperimentHarness harness(records);
+    std::cout << "workload " << workload
+              << ": LLC miss rate by policy and cache size\n\n";
+
+    TextTable table;
+    std::vector<std::string> head = {"LLC size"};
+    head.insert(head.end(), policies.begin(), policies.end());
+    table.header(head);
+
+    for (const auto kib : sizes_kib) {
+        HierarchyConfig hier = defaultHierarchy(1);
+        hier.llc = CacheConfig{"llc", kib << 10, 16, 64};
+        table.row().cell(std::to_string(kib) + " KiB");
+        for (const auto &policy : policies) {
+            const SystemResult res =
+                harness.runSingle(workload, policy, hier);
+            table.cell(res.cores[0].llc.missRate());
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nThe interesting rows are where the working set "
+                 "stops fitting: recency-friendly policies collapse "
+                 "while selective retention degrades gradually.\n";
+    return 0;
+}

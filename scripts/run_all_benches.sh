@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure of the evaluation into results/.
+# Usage: scripts/run_all_benches.sh [--quick] [results_dir]
+set -euo pipefail
+
+quick=""
+if [ "${1-}" = "--quick" ]; then
+    quick="--quick"
+    shift
+fi
+out="${1-results}"
+mkdir -p "$out"
+
+for b in build/bench/bench_*; do
+    name="$(basename "$b")"
+    echo "== $name"
+    if [ "$name" = "bench_micro_cache" ]; then
+        "$b" --benchmark_min_time=0.2 > "$out/$name.txt" 2>&1
+    else
+        "$b" $quick > "$out/$name.txt" 2>&1
+    fi
+done
+echo "wrote $(ls "$out" | wc -l) result files to $out/"

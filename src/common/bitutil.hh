@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the cache models.
+ */
+
+#ifndef NUCACHE_COMMON_BITUTIL_HH
+#define NUCACHE_COMMON_BITUTIL_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace nucache
+{
+
+/** @return true iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** @return floor(log2(v)); @p v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** @return ceil(log2(v)); @p v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOf2(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** @return a mask with the low @p bits bits set. */
+constexpr std::uint64_t
+mask(unsigned bits)
+{
+    return bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+
+/** Extract bits [first, first+count) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned first, unsigned count)
+{
+    return (v >> first) & mask(count);
+}
+
+/**
+ * SplitMix64 finalizer: a fast, high-quality 64-bit mixing function.
+ * Used to decorrelate structured indices (set sampling, block-to-PC
+ * assignment) from power-of-two strides.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t v)
+{
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+    return v ^ (v >> 31);
+}
+
+} // namespace nucache
+
+#endif // NUCACHE_COMMON_BITUTIL_HH

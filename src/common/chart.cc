@@ -1,0 +1,67 @@
+#include "common/chart.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace nucache
+{
+
+BarChart::BarChart(unsigned width, double baseline)
+    : width(width), baseline(baseline)
+{
+    if (width < 8)
+        fatal("BarChart: width must be at least 8 characters");
+}
+
+void
+BarChart::add(const std::string &label, double value)
+{
+    if (value < 0.0 || !std::isfinite(value))
+        fatal("BarChart: values must be finite and non-negative");
+    rows.push_back({label, value});
+}
+
+void
+BarChart::print(std::ostream &os) const
+{
+    if (rows.empty())
+        return;
+
+    std::size_t label_w = 0;
+    double max_v = baseline > 0.0 ? baseline : 0.0;
+    for (const auto &r : rows) {
+        label_w = std::max(label_w, r.label.size());
+        max_v = std::max(max_v, r.value);
+    }
+    if (max_v <= 0.0)
+        max_v = 1.0;
+
+    const auto cols = [&](double v) {
+        return static_cast<unsigned>(
+            std::lround(v / max_v * (width - 1)));
+    };
+    const unsigned base_col =
+        baseline > 0.0 ? cols(baseline) : width;  // off-field if unset
+
+    for (const auto &r : rows) {
+        os << std::left << std::setw(static_cast<int>(label_w))
+           << r.label << "  ";
+        const unsigned filled = cols(r.value);
+        for (unsigned i = 0; i < width; ++i) {
+            if (i == base_col && baseline > 0.0)
+                os << (i <= filled ? '|' : '|');
+            else if (i <= filled)
+                os << '#';
+            else
+                os << ' ';
+        }
+        os << "  " << std::fixed << std::setprecision(3) << r.value
+           << "\n";
+    }
+}
+
+} // namespace nucache

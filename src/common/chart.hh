@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Minimal ASCII bar charts for the benchmark harness: the geomean
+ * rows of each figure rendered as horizontal bars, so a terminal run
+ * reads like the paper's figure.
+ */
+
+#ifndef NUCACHE_COMMON_CHART_HH
+#define NUCACHE_COMMON_CHART_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nucache
+{
+
+/** One labeled horizontal bar chart. */
+class BarChart
+{
+  public:
+    /**
+     * @param width bar field width in characters.
+     * @param baseline value rendered as a reference tick (e.g.\ 1.0
+     *        for normalized speedups); pass 0 to disable.
+     */
+    explicit BarChart(unsigned width = 50, double baseline = 1.0);
+
+    /** Append one bar. */
+    void add(const std::string &label, double value);
+
+    /** @return number of bars. */
+    std::size_t size() const { return rows.size(); }
+
+    /**
+     * Render: labels padded, bars scaled to the maximum value, the
+     * baseline marked with '|', each row suffixed with the value.
+     */
+    void print(std::ostream &os) const;
+
+  private:
+    struct Row
+    {
+        std::string label;
+        double value;
+    };
+
+    unsigned width;
+    double baseline;
+    std::vector<Row> rows;
+};
+
+} // namespace nucache
+
+#endif // NUCACHE_COMMON_CHART_HH

@@ -1,0 +1,70 @@
+#include "common/cli.hh"
+
+#include "common/logging.hh"
+
+#include <cstdlib>
+
+namespace nucache
+{
+
+CliArgs::CliArgs(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            pos.push_back(arg);
+            continue;
+        }
+        arg = arg.substr(2);
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            values[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0)
+                   != 0) {
+            values[arg] = argv[++i];
+        } else {
+            values[arg] = "";
+        }
+    }
+}
+
+bool
+CliArgs::has(const std::string &key) const
+{
+    return values.count(key) != 0;
+}
+
+std::string
+CliArgs::get(const std::string &key, const std::string &def) const
+{
+    const auto it = values.find(key);
+    return it == values.end() ? def : it->second;
+}
+
+std::uint64_t
+CliArgs::getInt(const std::string &key, std::uint64_t def) const
+{
+    const auto it = values.find(key);
+    if (it == values.end() || it->second.empty())
+        return def;
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
+    if (end == nullptr || *end != '\0')
+        fatal("flag --", key, " expects an integer, got '", it->second, "'");
+    return v;
+}
+
+double
+CliArgs::getDouble(const std::string &key, double def) const
+{
+    const auto it = values.find(key);
+    if (it == values.end() || it->second.empty())
+        return def;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == nullptr || *end != '\0')
+        fatal("flag --", key, " expects a number, got '", it->second, "'");
+    return v;
+}
+
+} // namespace nucache

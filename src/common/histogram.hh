@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Bucketed histograms.
+ *
+ * Two flavours are provided:
+ *  - LogHistogram: log-linear ("HDR") buckets — each power-of-two
+ *    octave is split into 2^subBits linear sub-buckets.  This is the
+ *    hardware-plausible shape used by the Next-Use monitor: a modest
+ *    array of saturating counters indexed by the distance's exponent
+ *    and a couple of mantissa bits, giving ~12-25% relative resolution
+ *    at any magnitude (plain power-of-two buckets are too coarse for
+ *    the selection algorithm's window test near the knee).
+ *  - LinearHistogram: fixed-width buckets, used by analysis tooling.
+ *
+ * Both support the epoch-decay operation (halving all counters) that
+ * the paper family uses to age profile information.
+ */
+
+#ifndef NUCACHE_COMMON_HISTOGRAM_HH
+#define NUCACHE_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace nucache
+{
+
+/**
+ * Histogram with log-linear bucket boundaries.
+ *
+ * With S = subBits and B = 2^S: values below B get exact unit buckets;
+ * a value v >= B with exponent e = floor(log2 v) falls in bucket
+ * (e - S + 1) * B + ((v >> (e - S)) - B).  Values beyond the covered
+ * range saturate into the last bucket.
+ */
+class LogHistogram
+{
+  public:
+    /**
+     * @param max_log2 largest exponent covered without saturation.
+     * @param sub_bits linear sub-buckets per octave = 2^sub_bits.
+     */
+    explicit LogHistogram(unsigned max_log2 = 32, unsigned sub_bits = 2);
+
+    /** Add @p count observations of @p value. */
+    void add(std::uint64_t value, std::uint64_t count = 1);
+
+    /** @return the bucket index that @p value falls into. */
+    unsigned bucketOf(std::uint64_t value) const;
+
+    /** @return the inclusive lower bound of bucket @p b. */
+    std::uint64_t bucketLow(unsigned b) const;
+
+    /** @return the exclusive upper bound of bucket @p b. */
+    std::uint64_t bucketHigh(unsigned b) const;
+
+    /** @return the raw count in bucket @p b. */
+    std::uint64_t count(unsigned b) const { return counts[b]; }
+
+    /** @return the number of buckets. */
+    unsigned
+    numBuckets() const
+    {
+        return static_cast<unsigned>(counts.size());
+    }
+
+    /** @return the total number of observations. */
+    std::uint64_t total() const { return totalCount; }
+
+    /**
+     * @return the number of observations with value <= @p limit,
+     * attributing a bucket fractionally when @p limit splits it
+     * (linear interpolation within the bucket).
+     */
+    double countAtOrBelow(std::uint64_t limit) const;
+
+    /** Halve every counter (epoch aging). */
+    void decay();
+
+    /** Zero every counter. */
+    void clear();
+
+    /** Accumulate another histogram (bucket layout must match). */
+    void merge(const LogHistogram &other);
+
+  private:
+    unsigned subBits;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t totalCount;
+};
+
+/**
+ * Histogram with fixed-width buckets over [0, width * num_buckets).
+ * Values beyond the range saturate into the last bucket.
+ */
+class LinearHistogram
+{
+  public:
+    LinearHistogram(std::uint64_t bucket_width, unsigned num_buckets);
+
+    /** Add @p count observations of @p value. */
+    void add(std::uint64_t value, std::uint64_t count = 1);
+
+    /** @return the raw count in bucket @p b. */
+    std::uint64_t count(unsigned b) const { return counts[b]; }
+
+    /** @return the number of buckets. */
+    unsigned
+    numBuckets() const
+    {
+        return static_cast<unsigned>(counts.size());
+    }
+
+    /** @return the bucket width. */
+    std::uint64_t bucketWidth() const { return width; }
+
+    /** @return the total number of observations. */
+    std::uint64_t total() const { return totalCount; }
+
+    /** @return mean of observed values (bucket midpoints). */
+    double mean() const;
+
+    /**
+     * @return the smallest bucket upper bound below which at least
+     * fraction @p q of the observations fall (an approximate quantile).
+     */
+    std::uint64_t quantile(double q) const;
+
+    /** Halve every counter (epoch aging). */
+    void decay();
+
+    /** Zero every counter. */
+    void clear();
+
+  private:
+    std::uint64_t width;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t totalCount;
+};
+
+} // namespace nucache
+
+#endif // NUCACHE_COMMON_HISTOGRAM_HH

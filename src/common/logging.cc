@@ -1,0 +1,61 @@
+#include "common/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace nucache
+{
+
+namespace
+{
+
+bool quietFlag = false;
+
+} // anonymous namespace
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+quiet()
+{
+    return quietFlag;
+}
+
+namespace detail
+{
+
+void
+fatalImpl(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << std::endl;
+    std::exit(1);
+}
+
+void
+panicImpl(const std::string &msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quietFlag)
+        std::cout << "info: " << msg << std::endl;
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quietFlag)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+} // namespace detail
+
+} // namespace nucache

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * Two classes of termination:
+ *  - fatal():  the *user's* fault (bad configuration, impossible
+ *    parameters).  Exits with code 1.
+ *  - panic():  the *simulator's* fault (broken invariant).  Aborts so a
+ *    core dump / debugger can capture the state.
+ *
+ * Non-terminating messages:
+ *  - inform(): routine status.
+ *  - warn():   something works, but suspiciously.
+ */
+
+#ifndef NUCACHE_COMMON_LOGGING_HH
+#define NUCACHE_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace nucache
+{
+
+namespace detail
+{
+
+/** Concatenate a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void fatalImpl(const std::string &msg);
+[[noreturn]] void panicImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort the run because of a user error (configuration, arguments). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Abort the run because an internal invariant broke (simulator bug). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a routine status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning about suspicious but non-fatal behaviour. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Globally silence inform()/warn() output (used by tests). */
+void setQuiet(bool quiet);
+
+/** @return whether inform()/warn() output is currently silenced. */
+bool quiet();
+
+} // namespace nucache
+
+#endif // NUCACHE_COMMON_LOGGING_HH

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * We avoid std::mt19937 because its state is large and its distributions
+ * are not guaranteed to produce identical streams across standard-library
+ * implementations.  Reproducibility of traces matters more than
+ * statistical sophistication, so the generator is xoshiro256** seeded via
+ * SplitMix64, with hand-written distribution helpers.
+ */
+
+#ifndef NUCACHE_COMMON_RNG_HH
+#define NUCACHE_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace nucache
+{
+
+/**
+ * xoshiro256** pseudo-random generator with SplitMix64 seeding.
+ *
+ * Every workload generator owns one Rng seeded from the workload seed so
+ * that traces are bit-for-bit reproducible across platforms.
+ */
+class Rng
+{
+  public:
+    /** Construct a generator from a 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 expansion of the seed into the 256-bit state.
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** @return the next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** @return a uniform integer in [0, bound); bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless bounded generation (biased by at
+        // most 2^-64 per draw, fine for trace synthesis).
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return true with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * @return a geometric draw: the number of failures before the first
+     * success with success probability @p p (mean (1-p)/p).
+     */
+    std::uint64_t
+    geometric(double p)
+    {
+        if (p >= 1.0)
+            return 0;
+        const double u = uniform();
+        return static_cast<std::uint64_t>(
+            std::floor(std::log1p(-u) / std::log1p(-p)));
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t v, int k)
+    {
+        return (v << k) | (v >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+/**
+ * Sampler for a Zipf(s) distribution over {0, ..., n-1}.
+ *
+ * Precomputes the CDF once; each draw is a binary search.  Used by the
+ * synthetic workloads to produce skewed block popularity, the property
+ * that makes a few PCs "delinquent".
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n number of distinct items.
+     * @param s skew exponent (s = 0 degenerates to uniform).
+     */
+    ZipfSampler(std::size_t n, double s);
+
+    /** Draw one item index in [0, n). */
+    std::size_t sample(Rng &rng) const;
+
+    /** @return the number of distinct items. */
+    std::size_t size() const { return cdf.size(); }
+
+  private:
+    std::vector<double> cdf;
+};
+
+inline
+ZipfSampler::ZipfSampler(std::size_t n, double s)
+{
+    cdf.resize(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        cdf[i] = sum;
+    }
+    for (auto &c : cdf)
+        c /= sum;
+}
+
+inline std::size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.uniform();
+    std::size_t lo = 0, hi = cdf.size() - 1;
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (cdf[mid] < u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+} // namespace nucache
+
+#endif // NUCACHE_COMMON_RNG_HH

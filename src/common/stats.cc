@@ -1,0 +1,70 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace nucache
+{
+
+StatGroup::StatGroup(std::string name)
+    : groupName(std::move(name))
+{
+}
+
+std::uint64_t &
+StatGroup::counter(const std::string &key)
+{
+    return counters[key];
+}
+
+std::uint64_t
+StatGroup::value(const std::string &key) const
+{
+    const auto it = counters.find(key);
+    return it == counters.end() ? 0 : it->second;
+}
+
+void
+StatGroup::setScalar(const std::string &key, double value)
+{
+    scalars[key] = value;
+}
+
+double
+StatGroup::scalar(const std::string &key) const
+{
+    const auto it = scalars.find(key);
+    return it == scalars.end() ? 0.0 : it->second;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : counters)
+        kv.second = 0;
+    for (auto &kv : scalars)
+        kv.second = 0.0;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    const std::string prefix = groupName.empty() ? "" : groupName + ".";
+    for (const auto &kv : counters)
+        os << prefix << kv.first << " " << kv.second << "\n";
+    for (const auto &kv : scalars) {
+        os << prefix << kv.first << " " << std::setprecision(6)
+           << kv.second << "\n";
+    }
+}
+
+std::vector<std::string>
+StatGroup::counterKeys() const
+{
+    std::vector<std::string> keys;
+    keys.reserve(counters.size());
+    for (const auto &kv : counters)
+        keys.push_back(kv.first);
+    return keys;
+}
+
+} // namespace nucache

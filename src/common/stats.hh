@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A miniature statistics registry in the spirit of gem5's Stats package.
+ *
+ * Components declare named counters inside a StatGroup; the group can be
+ * dumped as a formatted block or queried programmatically by tests and
+ * the benchmark harness.
+ */
+
+#ifndef NUCACHE_COMMON_STATS_HH
+#define NUCACHE_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nucache
+{
+
+/**
+ * A named group of scalar statistics.
+ *
+ * Counters are created lazily on first use; iteration order for dumping
+ * is sorted by name so output is stable.
+ */
+class StatGroup
+{
+  public:
+    /** @param name prefix printed in front of every entry on dump. */
+    explicit StatGroup(std::string name = "");
+
+    /** @return a mutable reference to counter @p key (created at 0). */
+    std::uint64_t &counter(const std::string &key);
+
+    /** @return the value of counter @p key, 0 if never touched. */
+    std::uint64_t value(const std::string &key) const;
+
+    /** Set a floating-point derived statistic. */
+    void setScalar(const std::string &key, double value);
+
+    /** @return a floating-point statistic, 0.0 if never set. */
+    double scalar(const std::string &key) const;
+
+    /** @return the group name. */
+    const std::string &name() const { return groupName; }
+
+    /** Reset every counter and scalar to zero. */
+    void reset();
+
+    /** Print "name.key value" lines, sorted by key. */
+    void dump(std::ostream &os) const;
+
+    /** @return all counter keys, sorted. */
+    std::vector<std::string> counterKeys() const;
+
+  private:
+    std::string groupName;
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> scalars;
+};
+
+} // namespace nucache
+
+#endif // NUCACHE_COMMON_STATS_HH

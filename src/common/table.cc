@@ -1,0 +1,86 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace nucache
+{
+
+TextTable::TextTable(int precision)
+    : precision(precision)
+{
+}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    head = std::move(cells);
+}
+
+TextTable &
+TextTable::row()
+{
+    rows.emplace_back();
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const std::string &text)
+{
+    if (rows.empty())
+        rows.emplace_back();
+    rows.back().push_back(text);
+    return *this;
+}
+
+TextTable &
+TextTable::cell(double value)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return cell(os.str());
+}
+
+TextTable &
+TextTable::cell(std::uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    // Compute column widths over header + all rows.
+    std::vector<std::size_t> widths;
+    const auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(head);
+    for (const auto &r : rows)
+        grow(r);
+
+    const auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i]))
+               << cells[i];
+            if (i + 1 < cells.size())
+                os << "  ";
+        }
+        os << "\n";
+    };
+
+    if (!head.empty()) {
+        emit(head);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows)
+        emit(r);
+}
+
+} // namespace nucache

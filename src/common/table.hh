@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Aligned ASCII table printer used by the benchmark harness to emit the
+ * rows of each reproduced paper table/figure.
+ */
+
+#ifndef NUCACHE_COMMON_TABLE_HH
+#define NUCACHE_COMMON_TABLE_HH
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace nucache
+{
+
+/**
+ * Collects rows of string cells and prints them with columns padded to
+ * the widest entry.  Numeric convenience overloads format doubles with a
+ * fixed precision.
+ */
+class TextTable
+{
+  public:
+    /** @param precision digits after the decimal point for doubles. */
+    explicit TextTable(int precision = 3);
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Begin a new data row. */
+    TextTable &row();
+
+    /** Append a string cell to the current row. */
+    TextTable &cell(const std::string &text);
+
+    /** Append a C-string cell to the current row. */
+    TextTable &cell(const char *text) { return cell(std::string(text)); }
+
+    /** Append a formatted double cell to the current row. */
+    TextTable &cell(double value);
+
+    /** Append an integer cell to the current row. */
+    TextTable &cell(std::uint64_t value);
+
+    /** Append an integer cell to the current row. */
+    TextTable &cell(int value) { return cell(std::uint64_t(value)); }
+
+    /** Append an unsigned cell to the current row. */
+    TextTable &cell(unsigned value) { return cell(std::uint64_t(value)); }
+
+    /** @return the number of data rows so far. */
+    std::size_t numRows() const { return rows.size(); }
+
+    /** Render the table, padded and separated by two spaces. */
+    void print(std::ostream &os) const;
+
+  private:
+    int precision;
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace nucache
+
+#endif // NUCACHE_COMMON_TABLE_HH

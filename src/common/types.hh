@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the NUcache
+ * simulator.
+ *
+ * The conventions follow gem5: physical addresses, program counters and
+ * cycle counts are plain 64-bit unsigned integers with dedicated aliases
+ * so that interfaces document which quantity they expect.
+ */
+
+#ifndef NUCACHE_COMMON_TYPES_HH
+#define NUCACHE_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace nucache
+{
+
+/** A physical (or, for traces, flat virtual) byte address. */
+using Addr = std::uint64_t;
+
+/** The program counter of a static memory instruction. */
+using PC = std::uint64_t;
+
+/** Identifier of a core in a multicore system. */
+using CoreId = std::uint32_t;
+
+/** A count of simulated clock cycles. */
+using Cycles = std::uint64_t;
+
+/** A monotonically increasing event stamp (accesses, misses, ...). */
+using Tick = std::uint64_t;
+
+/** Sentinel used where a PC is not meaningful (e.g.\ writebacks). */
+constexpr PC invalidPC = ~PC{0};
+
+/** Sentinel used where a core id is not meaningful. */
+constexpr CoreId invalidCore = ~CoreId{0};
+
+} // namespace nucache
+
+#endif // NUCACHE_COMMON_TYPES_HH

@@ -1,0 +1,372 @@
+#include "core/nucache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nucache
+{
+
+NUcachePolicy::NUcachePolicy(const NUcacheConfig &config)
+    : cfg(config), numon(config.monitor)
+{
+    if (cfg.epochMisses == 0)
+        fatal("NUcache: epoch length must be non-zero");
+}
+
+void
+NUcachePolicy::init(const PolicyContext &ctx)
+{
+    ReplacementPolicy::init(ctx);
+    // Default split: 5/8 of the ways are DeliWays.  The MainWays only
+    // need to absorb short-distance reuse and filter demand churn; the
+    // protected region is where NUcache earns its hits (the DeliWays
+    // sweep, Figure 7, shows a broad optimum here).
+    deliWays = cfg.deliWays != 0 ? cfg.deliWays : ctx.numWays * 5 / 8;
+
+    // Monitoring structures are provisioned per core (the paper's
+    // monitors are replicated per core): the candidate pool and the
+    // admission list must cover every co-running program's delinquent
+    // PCs, and the victim board must ride out the multiplied miss
+    // traffic or next-use matches get displaced before they land.
+    effSelector = cfg.selector;
+    effMonitor = cfg.monitor;
+    effEpochMisses = cfg.epochMisses;
+    if (ctx.numCores > 1) {
+        effSelector.candidatePcs *= ctx.numCores;
+        effSelector.maxSelected *= ctx.numCores;
+        effMonitor.boardEntries *= ctx.numCores;
+        effMonitor.maxPcs *= ctx.numCores;
+    }
+    if (deliWays >= ctx.numWays)
+        fatal("NUcache: ", deliWays, " DeliWays leaves no MainWays in a ",
+              ctx.numWays, "-way cache");
+    meta.assign(static_cast<std::size_t>(ctx.numSets) * ctx.numWays,
+                LineMeta{});
+    mainHitPos.assign(ctx.numWays, 0);
+    numon = NextUseMonitor(effMonitor);
+    selected.clear();
+    fifoCounter = 0;
+    missCount = 0;
+    deliHitCount = 0;
+    epochCount = 0;
+}
+
+std::string
+NUcachePolicy::name() const
+{
+    switch (cfg.selection) {
+      case NUcacheConfig::Selection::CostBenefit:
+        return cfg.adaptiveDeli ? "nucache-adaptive" : "nucache";
+      case NUcacheConfig::Selection::TopK:
+        return "nucache-topk";
+      case NUcacheConfig::Selection::All:
+        return "nucache-all";
+      case NUcacheConfig::Selection::None:
+        return "nucache-none";
+    }
+    return "nucache";
+}
+
+bool
+NUcachePolicy::isSelected(PC pc) const
+{
+    switch (cfg.selection) {
+      case NUcacheConfig::Selection::All:
+        return true;
+      case NUcacheConfig::Selection::None:
+        return false;
+      default:
+        return selected.count(pc) != 0;
+    }
+}
+
+std::uint32_t
+NUcachePolicy::mainLruWay(const SetView &set) const
+{
+    std::uint32_t victim = set.ways();
+    Tick oldest = ~Tick{0};
+    for (std::uint32_t w = 0; w < set.ways(); ++w) {
+        const LineMeta &m = meta[slot(set.setIndex(), w)];
+        if (set.line(w).valid && m.region == Region::Main &&
+            m.lastTouch < oldest) {
+            oldest = m.lastTouch;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+std::uint32_t
+NUcachePolicy::staleDeliWay(const SetView &set) const
+{
+    std::uint32_t victim = set.ways();
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (std::uint32_t w = 0; w < set.ways(); ++w) {
+        const LineMeta &m = meta[slot(set.setIndex(), w)];
+        if (set.line(w).valid && m.region == Region::Deli &&
+            !isSelected(set.line(w).pc) && m.fifoSeq < oldest) {
+            oldest = m.fifoSeq;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+std::uint32_t
+NUcachePolicy::deliOldestWay(const SetView &set) const
+{
+    std::uint32_t victim = set.ways();
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (std::uint32_t w = 0; w < set.ways(); ++w) {
+        const LineMeta &m = meta[slot(set.setIndex(), w)];
+        if (set.line(w).valid && m.region == Region::Deli &&
+            m.fifoSeq < oldest) {
+            oldest = m.fifoSeq;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+std::uint32_t
+NUcachePolicy::mainCount(const SetView &set) const
+{
+    std::uint32_t n = 0;
+    for (std::uint32_t w = 0; w < set.ways(); ++w) {
+        if (set.line(w).valid &&
+            meta[slot(set.setIndex(), w)].region == Region::Main) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+void
+NUcachePolicy::enforceMainBound(const SetView &set)
+{
+    while (mainCount(set) > mainWays()) {
+        const std::uint32_t lru = mainLruWay(set);
+        if (lru == set.ways())
+            panic("NUcache: main bound violated with no Main lines");
+        LineMeta &m = meta[slot(set.setIndex(), lru)];
+        m.region = Region::Deli;
+        m.fifoSeq = ++fifoCounter;
+        // The block retires from the MainWays here: this is the moment
+        // the Next-Use clock starts for it.
+        numon.onRetire(set.setIndex(), set.line(lru).tag,
+                       set.line(lru).pc);
+    }
+}
+
+std::uint32_t
+NUcachePolicy::victimWay(const SetView &set, const AccessInfo &info)
+{
+    (void)info;
+    const std::uint32_t main_lru = mainLruWay(set);
+    if (main_lru == set.ways())
+        panic("NUcache: full set with no MainWays lines");
+
+    if (deliWays == 0)
+        return main_lru;
+
+    // Stale DeliWays lines — those whose allocating PC is no longer
+    // selected (selection changed, or they arrived via demotion churn)
+    // — are reclaimed first.  This keeps the DeliWays from rotting
+    // into dead capacity and makes NUcache degenerate gracefully to
+    // (W-D)-way LRU plus a FIFO annex when nothing is selected.
+    const std::uint32_t stale = staleDeliWay(set);
+    if (stale != set.ways())
+        return stale;
+
+    // If the Main-LRU block deserves retention, sacrifice the oldest
+    // DeliWays block instead; the displaced Main-LRU will be demoted
+    // into the freed slot by the fill-path invariant enforcement.
+    if (isSelected(set.line(main_lru).pc)) {
+        const std::uint32_t deli_oldest = deliOldestWay(set);
+        if (deli_oldest != set.ways())
+            return deli_oldest;
+    }
+    return main_lru;
+}
+
+void
+NUcachePolicy::onHit(const SetView &set, std::uint32_t way,
+                     const AccessInfo &info)
+{
+    LineMeta &m = meta[slot(set.setIndex(), way)];
+    if (m.region == Region::Deli) {
+        ++deliHitCount;
+        // A DeliWays hit is a successful next-use: record its distance
+        // so the selection keeps seeing the PCs it is saving.
+        numon.onUse(set.setIndex(), set.line(way).tag);
+
+        // Promote to the MainWays MRU unless doing so would push a
+        // non-selected Main-LRU into the FIFO *and* the hit block is
+        // itself selected — in that one case renewing the hit block's
+        // FIFO lease in place protects the selected blocks' retention
+        // window from demotion churn.  (Stale demoted blocks are
+        // reclaimed first by the victim path, so promotion is
+        // otherwise safe.)
+        const std::uint32_t main_lru = mainLruWay(set);
+        const bool can_promote =
+            mainCount(set) < mainWays() ||
+            (main_lru != set.ways() &&
+             isSelected(set.line(main_lru).pc)) ||
+            !isSelected(set.line(way).pc);
+        if (can_promote) {
+            m.region = Region::Main;
+            m.lastTouch = info.tick;
+            enforceMainBound(set);
+        } else {
+            // A lease refresh re-enters the FIFO tail: it consumes
+            // DeliWays lifetime exactly like an insertion, so it must
+            // be accounted in the insertion-rate estimate or the
+            // selection drifts low at high hit rates and overshoots.
+            m.fifoSeq = ++fifoCounter;
+            numon.onLease(set.setIndex(), set.line(way).pc);
+        }
+        return;
+    }
+    // MainWays hit: in adaptive mode, record its recency rank on
+    // sampled sets (the hits a smaller MainWays would forfeit).
+    if (cfg.adaptiveDeli && numon.sampled(set.setIndex())) {
+        std::uint32_t rank = 0;
+        for (std::uint32_t w = 0; w < set.ways(); ++w) {
+            const LineMeta &o = meta[slot(set.setIndex(), w)];
+            if (w != way && set.line(w).valid &&
+                o.region == Region::Main &&
+                o.lastTouch > m.lastTouch) {
+                ++rank;
+            }
+        }
+        ++mainHitPos[rank];
+    }
+    m.lastTouch = info.tick;
+}
+
+void
+NUcachePolicy::onMiss(const SetView &set, const AccessInfo &info)
+{
+    numon.onMiss(set.setIndex(), info.addr / context.blockSize, info.pc);
+    if (++missCount % effEpochMisses == 0)
+        runSelection();
+}
+
+void
+NUcachePolicy::onEvict(const SetView &set, std::uint32_t way,
+                       const CacheLine &victim, const AccessInfo &info)
+{
+    (void)info;
+    // A MainWays line evicted outright retires here.  A DeliWays line
+    // already retired when it was demoted; re-boarding it would reset
+    // its Next-Use clock and understate the distance.
+    if (meta[slot(set.setIndex(), way)].region == Region::Main)
+        numon.onRetire(set.setIndex(), victim.tag, victim.pc);
+}
+
+void
+NUcachePolicy::onFill(const SetView &set, std::uint32_t way,
+                      const AccessInfo &info)
+{
+    LineMeta &m = meta[slot(set.setIndex(), way)];
+    m.region = Region::Main;
+    m.lastTouch = info.tick;
+    enforceMainBound(set);
+}
+
+void
+NUcachePolicy::runSelection()
+{
+    ++epochCount;
+    if (cfg.selection == NUcacheConfig::Selection::CostBenefit) {
+        const auto candidates =
+            numon.topDelinquent(effSelector.candidatePcs);
+        const std::vector<PC> previous(selected.begin(), selected.end());
+
+        if (cfg.adaptiveDeli) {
+            // Re-balance the split: for each candidate D, expected
+            // DeliWay hits (selection model) + retained MainWays hits
+            // (measured position histogram; positions beyond the
+            // current MainWays are unobservable, so growth beyond the
+            // measured range is justified by the deli side only).
+            double best_score = -1.0;
+            std::uint32_t best_d = deliWays;
+            SelectionResult best_sel;
+            const std::uint32_t step =
+                std::max(1u, context.numWays / 8);
+            for (std::uint32_t d = step; d + 1 < context.numWays;
+                 d += step) {
+                const auto sel = selectDelinquentPcs(
+                    candidates,
+                    static_cast<std::uint64_t>(d) * context.numSets,
+                    numon.totalMisses(), effSelector, previous);
+                double main_hits = 0.0;
+                for (std::uint32_t p = 0;
+                     p + d < context.numWays && p < mainHitPos.size();
+                     ++p) {
+                    main_hits += static_cast<double>(mainHitPos[p]);
+                }
+                const double score = sel.expectedHits + main_hits;
+                if (score > best_score) {
+                    best_score = score;
+                    best_d = d;
+                    best_sel = sel;
+                }
+            }
+            deliWays = best_d;
+            selected.clear();
+            selected.insert(best_sel.selected.begin(),
+                            best_sel.selected.end());
+        } else {
+            const std::uint64_t capacity =
+                static_cast<std::uint64_t>(deliWays) * context.numSets;
+            const auto result = selectDelinquentPcs(
+                candidates, capacity, numon.totalMisses(), effSelector,
+                previous);
+            selected.clear();
+            selected.insert(result.selected.begin(),
+                            result.selected.end());
+        }
+        for (auto &h : mainHitPos)
+            h >>= 1;
+    } else if (cfg.selection == NUcacheConfig::Selection::TopK) {
+        const auto candidates =
+            numon.topDelinquent(effSelector.candidatePcs);
+        const auto result = selectTopKByMisses(candidates, cfg.topK);
+        selected.clear();
+        selected.insert(result.selected.begin(), result.selected.end());
+    }
+    numon.epochDecay();
+}
+
+bool
+NUcachePolicy::inDeliWays(std::uint32_t set, std::uint32_t way) const
+{
+    return meta[slot(set, way)].region == Region::Deli;
+}
+
+bool
+NUcachePolicy::checkSetInvariants(const SetView &set) const
+{
+    std::uint32_t main_n = 0, deli_n = 0, valid_n = 0;
+    for (std::uint32_t w = 0; w < set.ways(); ++w) {
+        if (!set.line(w).valid)
+            continue;
+        ++valid_n;
+        if (meta[slot(set.setIndex(), w)].region == Region::Main)
+            ++main_n;
+        else
+            ++deli_n;
+    }
+    if (main_n > mainWays())
+        return false;
+    if (deli_n > deliWays)
+        return false;
+    // A full set must use all MainWays (fills always land there).
+    if (valid_n == set.ways() && main_n != mainWays())
+        return false;
+    return true;
+}
+
+} // namespace nucache

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * NUcache: the PC-centric shared-LLC organization of the paper.
+ *
+ * Each set's ways are logically split into MainWays (true LRU, every
+ * block enters here) and DeliWays (a FIFO-ordered annex).  When the
+ * MainWays' LRU block is displaced, it is *retained* in the DeliWays —
+ * instead of being evicted — iff its allocating PC is in the currently
+ * selected set of delinquent PCs.  A DeliWay hit promotes the block
+ * back to the MainWays' MRU position.  Selection is refreshed every
+ * epoch by the cost-benefit algorithm over the Next-Use monitor's
+ * profiles (see pc_selection.hh).
+ *
+ * Implementation notes (metadata-only moves):
+ *  - Lines never change ways; "MainWays"/"DeliWays" are per-line
+ *    region labels.  The invariant |Main| <= W - D is restored after
+ *    every fill/promotion by demoting the Main-LRU line to the
+ *    DeliWays with a fresh FIFO stamp.
+ *  - A demotion caused by a DeliWay-hit promotion is unconditional
+ *    (it is a swap; evicting mid-hit would leave a hole).  Demotions
+ *    of non-selected blocks on the miss path never occur when the set
+ *    is full: the Main-LRU itself is evicted instead, exactly as the
+ *    paper describes.
+ *  - While a set still has invalid ways, demotions fill the DeliWays
+ *    regardless of selection (free space costs nothing).
+ */
+
+#ifndef NUCACHE_CORE_NUCACHE_HH
+#define NUCACHE_CORE_NUCACHE_HH
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/next_use_monitor.hh"
+#include "core/pc_selection.hh"
+#include "mem/replacement.hh"
+
+namespace nucache
+{
+
+/** Tunables of the NUcache organization. */
+struct NUcacheConfig
+{
+    /**
+     * DeliWays per set; 0 selects the default of 3/8 of the
+     * associativity (6 of 16), the paper's sweet spot region.
+     */
+    std::uint32_t deliWays = 0;
+    /** LLC misses between selection epochs. */
+    std::uint64_t epochMisses = 100'000;
+    /** How admission is decided (CostBenefit is the paper's scheme). */
+    enum class Selection { CostBenefit, TopK, All, None };
+    Selection selection = Selection::CostBenefit;
+    /**
+     * Extension (future-work direction of the paper): re-balance the
+     * Main/Deli split each epoch by comparing the selection model's
+     * expected DeliWay hits against the measured MainWays hit-position
+     * histogram (the main hits that a smaller MainWays would lose).
+     */
+    bool adaptiveDeli = false;
+    /** K for Selection::TopK. */
+    std::uint32_t topK = 8;
+    NextUseMonitorConfig monitor;
+    PcSelectionConfig selector;
+};
+
+/** The NUcache LLC management policy. */
+class NUcachePolicy : public ReplacementPolicy
+{
+  public:
+    explicit NUcachePolicy(const NUcacheConfig &config = NUcacheConfig{});
+
+    void init(const PolicyContext &ctx) override;
+
+    std::uint32_t victimWay(const SetView &set,
+                            const AccessInfo &info) override;
+    void onHit(const SetView &set, std::uint32_t way,
+               const AccessInfo &info) override;
+    void onMiss(const SetView &set, const AccessInfo &info) override;
+    void onEvict(const SetView &set, std::uint32_t way,
+                 const CacheLine &victim, const AccessInfo &info) override;
+    void onFill(const SetView &set, std::uint32_t way,
+                const AccessInfo &info) override;
+
+    std::string name() const override;
+
+    /** @return the number of MainWays per set. */
+    std::uint32_t mainWays() const { return context.numWays - deliWays; }
+
+    /** @return the number of DeliWays per set. */
+    std::uint32_t numDeliWays() const { return deliWays; }
+
+    /** @return the currently selected delinquent PCs. */
+    const std::unordered_set<PC> &selectedPcs() const { return selected; }
+
+    /** @return hits served from DeliWays-resident lines. */
+    std::uint64_t deliHits() const { return deliHitCount; }
+
+    /** @return selection epochs completed. */
+    std::uint64_t epochsRun() const { return epochCount; }
+
+    /** @return the Next-Use monitor (reports / tests). */
+    const NextUseMonitor &monitor() const { return numon; }
+
+    /** @return region label of (set, way): true if DeliWays (tests). */
+    bool inDeliWays(std::uint32_t set, std::uint32_t way) const;
+
+    /** Verify the Main/Deli occupancy invariants of @p set (tests). */
+    bool checkSetInvariants(const SetView &set) const;
+
+    /** Force a selection epoch now (tests). */
+    void runSelection();
+
+  private:
+    enum class Region : std::uint8_t { Main, Deli };
+
+    struct LineMeta
+    {
+        Region region = Region::Main;
+        /** Recency stamp for the MainWays LRU stack. */
+        Tick lastTouch = 0;
+        /** Global FIFO stamp for DeliWays ordering. */
+        std::uint64_t fifoSeq = 0;
+    };
+
+    std::size_t
+    slot(std::uint32_t set, std::uint32_t way) const
+    {
+        return static_cast<std::size_t>(set) * context.numWays + way;
+    }
+
+    /** @return way of the LRU valid MainWays line; ways() if none. */
+    std::uint32_t mainLruWay(const SetView &set) const;
+
+    /** @return way of the FIFO-oldest valid DeliWays line. */
+    std::uint32_t deliOldestWay(const SetView &set) const;
+
+    /**
+     * @return way of the FIFO-oldest DeliWays line whose allocating PC
+     * is not currently selected; ways() if none.
+     */
+    std::uint32_t staleDeliWay(const SetView &set) const;
+
+    /** @return count of valid lines labeled Main in @p set. */
+    std::uint32_t mainCount(const SetView &set) const;
+
+    /** Demote Main-LRU lines until |Main| <= mainWays(). */
+    void enforceMainBound(const SetView &set);
+
+    /** @return whether @p pc is admitted to the DeliWays. */
+    bool isSelected(PC pc) const;
+
+    NUcacheConfig cfg;
+    /** Per-core-scaled copies of the monitoring/selection tunables. */
+    PcSelectionConfig effSelector;
+    NextUseMonitorConfig effMonitor;
+    std::uint64_t effEpochMisses = 100'000;
+    std::uint32_t deliWays = 0;
+    std::vector<LineMeta> meta;
+    NextUseMonitor numon;
+    std::unordered_set<PC> selected;
+    /**
+     * Sampled MainWays hits by recency rank (0 = MRU): the opportunity
+     * cost of shrinking the MainWays (adaptive mode).
+     */
+    std::vector<std::uint64_t> mainHitPos;
+    std::uint64_t fifoCounter = 0;
+    std::uint64_t missCount = 0;
+    std::uint64_t deliHitCount = 0;
+    std::uint64_t epochCount = 0;
+};
+
+} // namespace nucache
+
+#endif // NUCACHE_CORE_NUCACHE_HH

@@ -1,0 +1,177 @@
+#include "core/pc_selection.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace nucache
+{
+
+namespace
+{
+
+/**
+ * Expected DeliWay hits if exactly the candidate indices in @p member
+ * are selected.  Also reports the retention window via @p window_out.
+ */
+double
+benefitOf(const std::vector<PcProfile> &candidates,
+          const std::vector<bool> &member, std::uint64_t capacity,
+          std::uint64_t total_misses, double &window_out)
+{
+    // `member` covers only the candidate pool, which may be a prefix
+    // of `candidates`.
+    const std::size_t pool = member.size();
+
+    // The DeliWays drain one block per *insertion*, and a selected
+    // PC's insertion rate is its MainWays retirement rate (misses plus
+    // re-demotions after promotions).  Fall back to the miss count for
+    // PCs with no retirement history yet.
+    std::uint64_t selected_inserts = 0;
+    for (std::size_t i = 0; i < pool; ++i) {
+        if (member[i]) {
+            selected_inserts +=
+                std::max(candidates[i].retires, candidates[i].misses);
+        }
+    }
+    if (selected_inserts == 0) {
+        window_out = 0.0;
+        return 0.0;
+    }
+
+    // Retention window in whole-cache miss units: the FIFO holds
+    // `capacity` blocks and sees selected_inserts insertions per
+    // total_misses misses.
+    const double frac = static_cast<double>(selected_inserts) /
+                        static_cast<double>(total_misses);
+    const double window = static_cast<double>(capacity) / frac;
+    window_out = window;
+
+    const std::uint64_t limit =
+        window >= static_cast<double>(
+                      std::numeric_limits<std::uint64_t>::max() / 2)
+            ? std::numeric_limits<std::uint64_t>::max() / 2
+            : static_cast<std::uint64_t>(window);
+
+    double hits = 0.0;
+    for (std::size_t i = 0; i < pool; ++i) {
+        if (member[i] && candidates[i].nextUse)
+            hits += candidates[i].nextUse->countAtOrBelow(limit);
+    }
+    return hits;
+}
+
+} // anonymous namespace
+
+SelectionResult
+selectDelinquentPcs(const std::vector<PcProfile> &candidates,
+                    std::uint64_t deli_capacity_blocks,
+                    std::uint64_t total_misses,
+                    const PcSelectionConfig &cfg,
+                    const std::vector<PC> &previous)
+{
+    SelectionResult result;
+    if (total_misses == 0 || deli_capacity_blocks == 0 ||
+        candidates.empty()) {
+        return result;
+    }
+
+    // Restrict to the candidate pool (callers pass profiles sorted by
+    // delinquency; enforce the cap defensively).
+    const std::size_t pool =
+        std::min<std::size_t>(candidates.size(), cfg.candidatePcs);
+
+    // Warm-start from last epoch's selection: the DeliWays already
+    // hold those PCs' blocks, so keeping a still-profitable selection
+    // stable is worth more than an equal-benefit reshuffle (a dropped
+    // PC's resident blocks turn stale and are reclaimed).
+    std::vector<bool> member(pool, false);
+    std::uint32_t chosen = 0;
+    for (std::size_t i = 0; i < pool; ++i) {
+        for (const PC pc : previous) {
+            if (candidates[i].pc == pc && chosen < cfg.maxSelected) {
+                member[i] = true;
+                ++chosen;
+                break;
+            }
+        }
+    }
+
+    double best_window = 0.0;
+    double best_benefit = benefitOf(candidates, member,
+                                    deli_capacity_blocks, total_misses,
+                                    best_window);
+
+    // Local search: alternate improving removals (prunes stale or
+    // window-crowding members) and improving additions, to a bounded
+    // fixpoint.  Plain greedy addition cannot escape an inherited set
+    // whose members jointly shrink the window below everyone's
+    // distances.
+    for (unsigned round = 0; round < 2 * cfg.maxSelected + 4; ++round) {
+        double round_best = best_benefit;
+        double round_window = best_window;
+        std::size_t round_flip = pool;
+
+        for (std::size_t i = 0; i < pool; ++i) {
+            if (!member[i] && chosen >= cfg.maxSelected)
+                continue;
+            member[i] = !member[i];
+            double window = 0.0;
+            const double b = benefitOf(candidates, member,
+                                       deli_capacity_blocks,
+                                       total_misses, window);
+            member[i] = !member[i];
+            if (b > round_best) {
+                round_best = b;
+                round_window = window;
+                round_flip = i;
+            }
+        }
+
+        if (round_flip == pool)
+            break;  // no strictly improving move
+        member[round_flip] = !member[round_flip];
+        chosen += member[round_flip] ? 1 : -1;
+        best_benefit = round_best;
+        best_window = round_window;
+    }
+
+    // The local search can strand on a zero-gradient plateau when it
+    // inherits a flooding selection (every single removal still leaves
+    // the window too small, so no move improves).  A fresh greedy run
+    // from the empty set escapes it; keep whichever scores higher.
+    if (!previous.empty()) {
+        const SelectionResult fresh = selectDelinquentPcs(
+            candidates, deli_capacity_blocks, total_misses, cfg, {});
+        if (fresh.expectedHits > best_benefit)
+            return fresh;
+    }
+
+    for (std::size_t i = 0; i < pool; ++i) {
+        if (member[i])
+            result.selected.push_back(candidates[i].pc);
+    }
+    result.expectedHits = best_benefit;
+    result.window = best_window;
+    return result;
+}
+
+SelectionResult
+selectTopKByMisses(const std::vector<PcProfile> &candidates,
+                   std::uint32_t k)
+{
+    // Candidates arrive sorted by misses (NextUseMonitor contract);
+    // sort defensively anyway.
+    std::vector<PcProfile> sorted = candidates;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.misses != b.misses)
+                      return a.misses > b.misses;
+                  return a.pc < b.pc;
+              });
+    SelectionResult result;
+    for (std::uint32_t i = 0; i < k && i < sorted.size(); ++i)
+        result.selected.push_back(sorted[i].pc);
+    return result;
+}
+
+} // namespace nucache

@@ -1,0 +1,210 @@
+#include "mem/cache.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace nucache
+{
+
+std::uint32_t
+CacheConfig::numSets() const
+{
+    const std::uint64_t line_bytes =
+        static_cast<std::uint64_t>(ways) * blockSize;
+    return static_cast<std::uint32_t>(sizeBytes / line_bytes);
+}
+
+Cache::Cache(const CacheConfig &config,
+             std::unique_ptr<ReplacementPolicy> policy,
+             std::uint32_t num_cores)
+    : cfg(config), repl(std::move(policy))
+{
+    if (!repl)
+        fatal("cache '", cfg.name, "': no replacement policy given");
+    if (!isPowerOf2(cfg.blockSize))
+        fatal("cache '", cfg.name, "': block size must be a power of two");
+    if (cfg.ways == 0)
+        fatal("cache '", cfg.name, "': zero associativity");
+    const std::uint64_t line_bytes =
+        static_cast<std::uint64_t>(cfg.ways) * cfg.blockSize;
+    if (cfg.sizeBytes == 0 || cfg.sizeBytes % line_bytes != 0)
+        fatal("cache '", cfg.name, "': size ", cfg.sizeBytes,
+              " is not a multiple of ways*blockSize");
+    sets = cfg.numSets();
+    if (!isPowerOf2(sets))
+        fatal("cache '", cfg.name, "': number of sets (", sets,
+              ") must be a power of two");
+    blockBits = floorLog2(cfg.blockSize);
+
+    lines.assign(static_cast<std::size_t>(sets) * cfg.ways, CacheLine{});
+    stats.assign(num_cores, CacheCoreStats{});
+
+    PolicyContext ctx;
+    ctx.numSets = sets;
+    ctx.numWays = cfg.ways;
+    ctx.numCores = num_cores;
+    ctx.blockSize = cfg.blockSize;
+    repl->init(ctx);
+}
+
+std::uint32_t
+Cache::setIndexOf(Addr addr) const
+{
+    return static_cast<std::uint32_t>((addr >> blockBits) & (sets - 1));
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> blockBits;
+}
+
+SetView
+Cache::viewSet(std::uint32_t set) const
+{
+    return SetView(&lines[static_cast<std::size_t>(set) * cfg.ways],
+                   cfg.ways, set);
+}
+
+std::uint32_t
+Cache::findWay(std::uint32_t set, Addr tag) const
+{
+    const CacheLine *base = &lines[static_cast<std::size_t>(set) * cfg.ways];
+    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return w;
+    }
+    return cfg.ways;
+}
+
+Cache::Result
+Cache::access(AccessInfo info)
+{
+    if (info.coreId >= stats.size())
+        panic("cache '", cfg.name, "': access from core ", info.coreId,
+              " but only ", stats.size(), " cores registered");
+
+    info.tick = ++tickCounter;
+    const std::uint32_t set = setIndexOf(info.addr);
+    const Addr tag = tagOf(info.addr);
+    CacheLine *base = &lines[static_cast<std::size_t>(set) * cfg.ways];
+    const SetView view(base, cfg.ways, set);
+
+    auto &cs = stats[info.coreId];
+    if (info.isPrefetch)
+        ++cs.prefetches;
+    else
+        ++cs.accesses;
+
+    Result res;
+    const std::uint32_t hit_way = findWay(set, tag);
+    if (hit_way != cfg.ways) {
+        if (!info.isPrefetch) {
+            ++cs.hits;
+            // A prefetch hitting an already-resident line must not
+            // refresh its replacement state (it carries no reuse
+            // information), so the policy hook fires only for demand.
+            repl->onHit(view, hit_way, info);
+        }
+        res.hit = true;
+        if (info.isWrite)
+            base[hit_way].dirty = true;
+        return res;
+    }
+
+    if (info.isPrefetch)
+        ++cs.prefetchFills;
+    else
+        ++cs.misses;
+    repl->onMiss(view, info);
+
+    // Prefer an invalid way; consult the policy only when the set is
+    // full.
+    std::uint32_t victim = view.invalidWay();
+    if (victim == cfg.ways) {
+        victim = repl->victimWay(view, info);
+        if (victim >= cfg.ways)
+            panic("cache '", cfg.name, "': policy '", repl->name(),
+                  "' returned way ", victim, " of ", cfg.ways);
+    }
+
+    CacheLine &line = base[victim];
+    if (line.valid) {
+        res.evicted = true;
+        res.evictedAddr = line.tag << blockBits;
+        if (line.dirty) {
+            res.writeback = true;
+            res.writebackAddr = line.tag << blockBits;
+            ++writebackCount;
+        }
+        repl->onEvict(view, victim, line, info);
+    }
+
+    line.tag = tag;
+    line.pc = info.pc;
+    line.coreId = info.coreId;
+    line.valid = true;
+    line.dirty = info.isWrite;
+    repl->onFill(view, victim, info);
+    return res;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return findWay(setIndexOf(addr), tagOf(addr)) != cfg.ways;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    const std::uint32_t set = setIndexOf(addr);
+    const std::uint32_t way = findWay(set, tagOf(addr));
+    if (way == cfg.ways)
+        return false;
+    lines[static_cast<std::size_t>(set) * cfg.ways + way] = CacheLine{};
+    return true;
+}
+
+bool
+Cache::writebackUpdate(Addr addr)
+{
+    const std::uint32_t set = setIndexOf(addr);
+    const std::uint32_t way = findWay(set, tagOf(addr));
+    if (way == cfg.ways)
+        return false;
+    lines[static_cast<std::size_t>(set) * cfg.ways + way].dirty = true;
+    return true;
+}
+
+const CacheCoreStats &
+Cache::coreStats(CoreId core) const
+{
+    if (core >= stats.size())
+        panic("cache '", cfg.name, "': coreStats(", core, ") out of range");
+    return stats[core];
+}
+
+CacheCoreStats
+Cache::totalStats() const
+{
+    CacheCoreStats total;
+    for (const auto &s : stats) {
+        total.accesses += s.accesses;
+        total.hits += s.hits;
+        total.misses += s.misses;
+        total.prefetches += s.prefetches;
+        total.prefetchFills += s.prefetchFills;
+    }
+    return total;
+}
+
+void
+Cache::resetStats()
+{
+    for (auto &s : stats)
+        s = CacheCoreStats{};
+    writebackCount = 0;
+}
+
+} // namespace nucache

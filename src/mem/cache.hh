@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Set-associative cache model with pluggable replacement policy.
+ *
+ * Write-back, write-allocate, physically indexed.  Data contents are
+ * not modeled; the tag array plus policy metadata fully determine
+ * hit/miss behaviour, which is all a trace-driven study needs.
+ */
+
+#ifndef NUCACHE_MEM_CACHE_HH
+#define NUCACHE_MEM_CACHE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/cache_line.hh"
+#include "mem/replacement.hh"
+
+namespace nucache
+{
+
+/** Static description of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    /** Total capacity in bytes; must be sets*ways*blockSize. */
+    std::uint64_t sizeBytes = 1 << 20;
+    /** Associativity. */
+    std::uint32_t ways = 16;
+    /** Line size in bytes (power of two). */
+    std::uint32_t blockSize = 64;
+
+    /** @return number of sets implied by the geometry. */
+    std::uint32_t numSets() const;
+};
+
+/** Per-core hit/miss accounting of one cache. */
+struct CacheCoreStats
+{
+    /** Demand accesses (prefetches are counted separately). */
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    /** Prefetch lookups and the subset that filled a new line. */
+    std::uint64_t prefetches = 0;
+    std::uint64_t prefetchFills = 0;
+
+    /** @return miss ratio, 0 when no accesses. */
+    double
+    missRate() const
+    {
+        return accesses == 0
+            ? 0.0
+            : static_cast<double>(misses) / static_cast<double>(accesses);
+    }
+};
+
+/**
+ * The cache model.  One instance per level (and per core for private
+ * levels).  The replacement policy is injected and owned.
+ */
+class Cache
+{
+  public:
+    /** Outcome of one access, surfaced to the hierarchy. */
+    struct Result
+    {
+        /** The block was present. */
+        bool hit = false;
+        /** A dirty line was evicted and must be written back. */
+        bool writeback = false;
+        /** Block-aligned address of the evicted dirty line. */
+        Addr writebackAddr = 0;
+        /** A valid (clean or dirty) line was evicted. */
+        bool evicted = false;
+        /** Block-aligned address of the evicted line. */
+        Addr evictedAddr = 0;
+    };
+
+    /**
+     * @param config geometry; fatal() if inconsistent.
+     * @param policy replacement policy instance (ownership taken).
+     * @param num_cores number of cores that will access this cache.
+     */
+    Cache(const CacheConfig &config,
+          std::unique_ptr<ReplacementPolicy> policy,
+          std::uint32_t num_cores = 1);
+
+    /**
+     * Perform one access: lookup, and on a miss evict + fill.
+     * The cache assigns info.tick internally.
+     */
+    Result access(AccessInfo info);
+
+    /** @return true iff @p addr is present (no state change). */
+    bool probe(Addr addr) const;
+
+    /** Invalidate @p addr if present; @return whether it was present. */
+    bool invalidate(Addr addr);
+
+    /**
+     * Apply a write-back from an upper level: if @p addr is present,
+     * mark it dirty.  Deliberately bypasses policy hooks and statistics
+     * (a write-back is not a demand reuse).
+     * @return true iff the block was present and absorbed.
+     */
+    bool writebackUpdate(Addr addr);
+
+    /** @return per-core statistics. */
+    const CacheCoreStats &coreStats(CoreId core) const;
+
+    /** @return statistics summed over all cores. */
+    CacheCoreStats totalStats() const;
+
+    /** @return number of write-backs issued. */
+    std::uint64_t writebacks() const { return writebackCount; }
+
+    /** @return the configured geometry. */
+    const CacheConfig &config() const { return cfg; }
+
+    /** @return number of sets. */
+    std::uint32_t numSets() const { return sets; }
+
+    /** @return associativity. */
+    std::uint32_t numWays() const { return cfg.ways; }
+
+    /** @return the replacement policy (for tests / introspection). */
+    ReplacementPolicy &policy() { return *repl; }
+    const ReplacementPolicy &policy() const { return *repl; }
+
+    /** @return the set index of @p addr. */
+    std::uint32_t setIndexOf(Addr addr) const;
+
+    /** @return the block tag of @p addr (addr >> blockBits). */
+    Addr tagOf(Addr addr) const;
+
+    /** @return read-only view of set @p set (tests / monitors). */
+    SetView viewSet(std::uint32_t set) const;
+
+    /** Zero all statistics (leaves cache contents intact). */
+    void resetStats();
+
+  private:
+    /** @return way holding @p tag in @p set, or ways if absent. */
+    std::uint32_t findWay(std::uint32_t set, Addr tag) const;
+
+    CacheConfig cfg;
+    std::uint32_t sets;
+    unsigned blockBits;
+    std::unique_ptr<ReplacementPolicy> repl;
+    std::vector<CacheLine> lines;
+    std::vector<CacheCoreStats> stats;
+    std::uint64_t writebackCount = 0;
+    Tick tickCounter = 0;
+};
+
+} // namespace nucache
+
+#endif // NUCACHE_MEM_CACHE_HH

@@ -1,0 +1,43 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nucache
+{
+
+DramModel::DramModel(const DramConfig &config)
+    : cfg(config)
+{
+    if (cfg.channels == 0)
+        fatal("DRAM model needs at least one channel");
+    freeAt.assign(cfg.channels, 0);
+}
+
+Cycles
+DramModel::reserveChannel(Cycles now)
+{
+    auto it = std::min_element(freeAt.begin(), freeAt.end());
+    const Cycles start = std::max(now, *it);
+    *it = start + cfg.occupancy;
+    return start;
+}
+
+Cycles
+DramModel::read(Cycles now)
+{
+    ++readCount;
+    const Cycles start = reserveChannel(now);
+    queueCycles += start - now;
+    return (start - now) + cfg.latency;
+}
+
+void
+DramModel::write(Cycles now)
+{
+    ++writeCount;
+    reserveChannel(now);
+}
+
+} // namespace nucache

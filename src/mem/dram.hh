@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Main-memory model: fixed access latency plus per-channel occupancy,
+ * giving first-order bandwidth contention.  Queueing grows with miss
+ * traffic, so policies that remove misses also remove queueing delay —
+ * the same compounding the paper's full-system simulator exhibits.
+ */
+
+#ifndef NUCACHE_MEM_DRAM_HH
+#define NUCACHE_MEM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nucache
+{
+
+/** Configuration of the memory model. */
+struct DramConfig
+{
+    /** Device access latency in cycles. */
+    Cycles latency = 200;
+    /** Cycles a channel is busy per 64-byte transfer. */
+    Cycles occupancy = 16;
+    /** Number of independent channels. */
+    std::uint32_t channels = 2;
+};
+
+/** The memory model. */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig &config = DramConfig{});
+
+    /**
+     * Issue a read (demand fill) at absolute time @p now.
+     * @return total cycles until data returns (queueing + latency).
+     */
+    Cycles read(Cycles now);
+
+    /**
+     * Issue a write-back at absolute time @p now.  Consumes channel
+     * bandwidth but completes asynchronously (write buffer), so it
+     * contributes no direct latency.
+     */
+    void write(Cycles now);
+
+    /** @return number of reads served. */
+    std::uint64_t reads() const { return readCount; }
+
+    /** @return number of writes served. */
+    std::uint64_t writes() const { return writeCount; }
+
+    /** @return cumulative queueing cycles across all reads. */
+    std::uint64_t queueingCycles() const { return queueCycles; }
+
+    /** @return the configuration. */
+    const DramConfig &config() const { return cfg; }
+
+  private:
+    /** Reserve the earliest-free channel; @return transfer start time. */
+    Cycles reserveChannel(Cycles now);
+
+    DramConfig cfg;
+    std::vector<Cycles> freeAt;
+    std::uint64_t readCount = 0;
+    std::uint64_t writeCount = 0;
+    std::uint64_t queueCycles = 0;
+};
+
+} // namespace nucache
+
+#endif // NUCACHE_MEM_DRAM_HH

@@ -1,0 +1,132 @@
+#include "mem/hierarchy.hh"
+
+#include "common/logging.hh"
+#include "mem/lru.hh"
+
+namespace nucache
+{
+
+MemoryHierarchy::MemoryHierarchy(
+    const HierarchyConfig &config,
+    std::unique_ptr<ReplacementPolicy> llc_policy)
+    : cfg(config), dramModel(config.dram)
+{
+    if (cfg.numCores == 0)
+        fatal("hierarchy needs at least one core");
+
+    for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+        CacheConfig l1cfg = cfg.l1;
+        l1cfg.name = "l1." + std::to_string(c);
+        // The L1 is private: it sees exactly one core.
+        l1Caches.push_back(std::make_unique<Cache>(
+            l1cfg, std::make_unique<LruPolicy>(), cfg.numCores));
+        if (cfg.enableL2) {
+            CacheConfig l2cfg = cfg.l2;
+            l2cfg.name = "l2." + std::to_string(c);
+            l2Caches.push_back(std::make_unique<Cache>(
+                l2cfg, std::make_unique<LruPolicy>(), cfg.numCores));
+        }
+    }
+    llcCache = std::make_unique<Cache>(cfg.llc, std::move(llc_policy),
+                                       cfg.numCores);
+    if (cfg.prefetch.enabled) {
+        for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+            prefetchers.push_back(
+                std::make_unique<StridePrefetcher>(cfg.prefetch));
+        }
+    }
+}
+
+Cycles
+MemoryHierarchy::access(CoreId core, Addr addr, PC pc, bool is_write,
+                        Cycles now)
+{
+    if (core >= cfg.numCores)
+        panic("hierarchy access from core ", core, " of ", cfg.numCores);
+
+    AccessInfo info;
+    info.addr = addr;
+    info.pc = pc;
+    info.coreId = core;
+    info.isWrite = is_write;
+
+    Cycles latency = cfg.l1Latency;
+    const Cache::Result l1res = l1Caches[core]->access(info);
+    Cache *l2 = l2Caches.empty() ? nullptr : l2Caches[core].get();
+    if (l1res.writeback) {
+        // Dirty L1 victim drains to the next level down.
+        if (l2 != nullptr && l2->writebackUpdate(l1res.writebackAddr)) {
+            // absorbed by the private L2
+        } else if (!llcCache->writebackUpdate(l1res.writebackAddr)) {
+            dramModel.write(now + latency);
+        }
+    }
+    if (l1res.hit)
+        return latency;
+
+    if (l2 != nullptr) {
+        latency += cfg.l2Latency;
+        const Cache::Result l2res = l2->access(info);
+        if (l2res.writeback &&
+            !llcCache->writebackUpdate(l2res.writebackAddr)) {
+            dramModel.write(now + latency);
+        }
+        if (l2res.hit)
+            return latency;
+    }
+
+    latency += cfg.llcLatency;
+    const Cache::Result llcres = llcCache->access(info);
+    if (llcres.writeback)
+        dramModel.write(now + latency);
+    if (cfg.inclusive && llcres.evicted) {
+        // Inclusion enforcement: purge the evicted block from every
+        // private level (any dirty private copy is conservatively
+        // treated as written back by the LLC's own writeback).
+        for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+            if (l1Caches[c]->invalidate(llcres.evictedAddr))
+                ++backInvalidated;
+            if (!l2Caches.empty() &&
+                l2Caches[c]->invalidate(llcres.evictedAddr)) {
+                ++backInvalidated;
+            }
+        }
+    }
+
+    // Train the stride prefetcher on demand L1 misses and install its
+    // candidates into the LLC (latency-free: modeled as fully
+    // overlapped, the standard trace-simulator simplification).
+    if (!prefetchers.empty()) {
+        prefetchQueue.clear();
+        prefetchers[core]->train(pc, addr, prefetchQueue);
+        for (const Addr pf_addr : prefetchQueue) {
+            AccessInfo pf = info;
+            pf.addr = pf_addr;
+            pf.isWrite = false;
+            pf.isPrefetch = true;
+            const Cache::Result pf_res = llcCache->access(pf);
+            if (pf_res.writeback)
+                dramModel.write(now + latency);
+            if (cfg.inclusive && pf_res.evicted) {
+                for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+                    if (l1Caches[c]->invalidate(pf_res.evictedAddr))
+                        ++backInvalidated;
+                    if (!l2Caches.empty() &&
+                        l2Caches[c]->invalidate(pf_res.evictedAddr)) {
+                        ++backInvalidated;
+                    }
+                }
+            }
+            if (!pf_res.hit)
+                dramModel.read(now + latency);  // consumes bandwidth
+        }
+    }
+
+    if (llcres.hit)
+        return latency;
+
+    latency += dramModel.read(now + latency);
+    return latency;
+}
+
+} // namespace nucache

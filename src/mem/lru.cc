@@ -1,0 +1,50 @@
+#include "mem/lru.hh"
+
+namespace nucache
+{
+
+void
+LruPolicy::init(const PolicyContext &ctx)
+{
+    ReplacementPolicy::init(ctx);
+    lastTouch.assign(
+        static_cast<std::size_t>(ctx.numSets) * ctx.numWays, 0);
+}
+
+std::uint32_t
+LruPolicy::victimWay(const SetView &set, const AccessInfo &info)
+{
+    (void)info;
+    std::uint32_t victim = 0;
+    Tick oldest = ~Tick{0};
+    for (std::uint32_t w = 0; w < set.ways(); ++w) {
+        const Tick t = lastTouch[slot(set.setIndex(), w)];
+        if (t < oldest) {
+            oldest = t;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+void
+LruPolicy::onHit(const SetView &set, std::uint32_t way,
+                 const AccessInfo &info)
+{
+    lastTouch[slot(set.setIndex(), way)] = info.tick;
+}
+
+void
+LruPolicy::onFill(const SetView &set, std::uint32_t way,
+                  const AccessInfo &info)
+{
+    lastTouch[slot(set.setIndex(), way)] = info.tick;
+}
+
+Tick
+LruPolicy::stamp(std::uint32_t set, std::uint32_t way) const
+{
+    return lastTouch[slot(set, way)];
+}
+
+} // namespace nucache

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * True-LRU replacement.
+ *
+ * Lives in mem/ (not policy/) because it is the cache model's built-in
+ * default, used by the private L1s of every configuration and as the
+ * baseline LLC policy of the paper's evaluation.
+ */
+
+#ifndef NUCACHE_MEM_LRU_HH
+#define NUCACHE_MEM_LRU_HH
+
+#include <vector>
+
+#include "mem/replacement.hh"
+
+namespace nucache
+{
+
+/**
+ * True-LRU via per-line recency stamps (the cache's access tick).
+ * O(ways) victim search; exact stack behaviour.
+ */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    void init(const PolicyContext &ctx) override;
+
+    std::uint32_t victimWay(const SetView &set,
+                            const AccessInfo &info) override;
+    void onHit(const SetView &set, std::uint32_t way,
+               const AccessInfo &info) override;
+    void onFill(const SetView &set, std::uint32_t way,
+                const AccessInfo &info) override;
+
+    std::string name() const override { return "lru"; }
+
+    /** @return recency stamp of (set, way); 0 = never touched. */
+    Tick stamp(std::uint32_t set, std::uint32_t way) const;
+
+  private:
+    std::size_t
+    slot(std::uint32_t set, std::uint32_t way) const
+    {
+        return static_cast<std::size_t>(set) * context.numWays + way;
+    }
+
+    std::vector<Tick> lastTouch;
+};
+
+} // namespace nucache
+
+#endif // NUCACHE_MEM_LRU_HH

@@ -1,0 +1,57 @@
+#include "mem/prefetcher.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace nucache
+{
+
+StridePrefetcher::StridePrefetcher(const PrefetcherConfig &config)
+    : cfg(config)
+{
+    if (cfg.tableEntries == 0)
+        fatal("prefetcher: table needs at least one entry");
+    table.assign(cfg.tableEntries, Entry{});
+}
+
+void
+StridePrefetcher::train(PC pc, Addr addr, std::vector<Addr> &out)
+{
+    Entry &e = table[mix64(pc) % cfg.tableEntries];
+    if (e.pc != pc) {
+        // Cold or aliased entry: claim it.
+        e.pc = pc;
+        e.lastAddr = addr;
+        e.stride = 0;
+        e.confidence = 0;
+        return;
+    }
+
+    const std::int64_t stride =
+        static_cast<std::int64_t>(addr) -
+        static_cast<std::int64_t>(e.lastAddr);
+    e.lastAddr = addr;
+    if (stride == 0)
+        return;
+
+    if (stride == e.stride) {
+        if (e.confidence < 2)
+            ++e.confidence;
+    } else {
+        e.stride = stride;
+        e.confidence = 1;
+        return;
+    }
+
+    if (e.confidence >= 2) {
+        Addr next = addr;
+        for (unsigned d = 0; d < cfg.degree; ++d) {
+            next = static_cast<Addr>(
+                static_cast<std::int64_t>(next) + e.stride);
+            out.push_back(next);
+            ++issuedCount;
+        }
+    }
+}
+
+} // namespace nucache

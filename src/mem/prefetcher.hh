@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reference-prediction-table stride prefetcher (Chen & Baer style),
+ * an optional substrate: the paper family's evaluations are routinely
+ * questioned with "does it survive prefetching?", so the harness can
+ * turn this on next to any LLC policy.
+ *
+ * Per PC, the table tracks the last address and stride with a
+ * two-state confidence; once a stride repeats, the next `degree`
+ * blocks are prefetched into the LLC.
+ */
+
+#ifndef NUCACHE_MEM_PREFETCHER_HH
+#define NUCACHE_MEM_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nucache
+{
+
+/** Tunables of the stride prefetcher. */
+struct PrefetcherConfig
+{
+    bool enabled = false;
+    /** Reference prediction table entries (direct-mapped by PC). */
+    std::uint32_t tableEntries = 256;
+    /** Blocks prefetched ahead once a stride is confirmed. */
+    unsigned degree = 2;
+};
+
+/** One core's stride prefetcher. */
+class StridePrefetcher
+{
+  public:
+    explicit StridePrefetcher(const PrefetcherConfig &config =
+                                  PrefetcherConfig{});
+
+    /**
+     * Observe a demand access and emit prefetch candidates.
+     * @param pc issuing instruction.
+     * @param addr accessed byte address.
+     * @param out candidate prefetch addresses (appended; up to
+     *            `degree` entries).
+     */
+    void train(PC pc, Addr addr, std::vector<Addr> &out);
+
+    /** @return prefetch candidates emitted so far. */
+    std::uint64_t issued() const { return issuedCount; }
+
+  private:
+    struct Entry
+    {
+        PC pc = invalidPC;
+        Addr lastAddr = 0;
+        std::int64_t stride = 0;
+        /** 0 = untrained, 1 = stride seen once, 2 = confirmed. */
+        std::uint8_t confidence = 0;
+    };
+
+    PrefetcherConfig cfg;
+    std::vector<Entry> table;
+    std::uint64_t issuedCount = 0;
+};
+
+} // namespace nucache
+
+#endif // NUCACHE_MEM_PREFETCHER_HH

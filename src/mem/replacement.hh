@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The replacement-policy interface of the set-associative cache model.
+ *
+ * The Cache owns the tag array; a ReplacementPolicy owns whatever
+ * per-line or global metadata its algorithm needs (recency stamps,
+ * RRPVs, utility monitors, Next-Use histograms, ...) and is consulted
+ * through the hooks below.  Policies see the lines of the accessed set
+ * through a read-only SetView, which is enough for thread-aware and
+ * PC-centric algorithms.
+ *
+ * Hook order on a miss that fills:
+ *   onMiss -> [victimWay if the set is full] -> [onEvict if a valid
+ *   line is replaced] -> onFill
+ * Hook order on a hit: onHit.
+ */
+
+#ifndef NUCACHE_MEM_REPLACEMENT_HH
+#define NUCACHE_MEM_REPLACEMENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/cache_line.hh"
+
+namespace nucache
+{
+
+/** Geometry and environment handed to a policy once, before use. */
+struct PolicyContext
+{
+    std::uint32_t numSets = 0;
+    std::uint32_t numWays = 0;
+    std::uint32_t numCores = 1;
+    std::uint32_t blockSize = 64;
+};
+
+/** Read-only view of one cache set, passed to policy hooks. */
+class SetView
+{
+  public:
+    SetView(const CacheLine *lines, std::uint32_t ways,
+            std::uint32_t set_index)
+        : linesPtr(lines), wayCount(ways), setIdx(set_index)
+    {
+    }
+
+    /** @return line metadata of way @p w. */
+    const CacheLine &line(std::uint32_t w) const { return linesPtr[w]; }
+
+    /** @return number of ways in the set. */
+    std::uint32_t ways() const { return wayCount; }
+
+    /** @return index of this set within the cache. */
+    std::uint32_t setIndex() const { return setIdx; }
+
+    /** @return a way holding an invalid line, or ways() if none. */
+    std::uint32_t
+    invalidWay() const
+    {
+        for (std::uint32_t w = 0; w < wayCount; ++w) {
+            if (!linesPtr[w].valid)
+                return w;
+        }
+        return wayCount;
+    }
+
+  private:
+    const CacheLine *linesPtr;
+    std::uint32_t wayCount;
+    std::uint32_t setIdx;
+};
+
+/**
+ * Abstract replacement / cache-management policy.
+ *
+ * Implementations must be deterministic given the access stream (any
+ * randomness must come from an internally seeded generator) so that
+ * experiments are reproducible.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Bind the policy to a cache geometry; called exactly once. */
+    virtual void init(const PolicyContext &ctx) { context = ctx; }
+
+    /**
+     * Choose the way to evict.  Called only when the set is full.
+     * @return a way index in [0, ways).
+     */
+    virtual std::uint32_t victimWay(const SetView &set,
+                                    const AccessInfo &info) = 0;
+
+    /** A lookup hit way @p way. */
+    virtual void onHit(const SetView &set, std::uint32_t way,
+                       const AccessInfo &info) = 0;
+
+    /** A lookup missed (called before victim selection / fill). */
+    virtual void
+    onMiss(const SetView &set, const AccessInfo &info)
+    {
+        (void)set;
+        (void)info;
+    }
+
+    /**
+     * A valid line at way @p way is about to be replaced.
+     * @param victim copy of the evicted line's metadata.
+     * @param info   the access causing the eviction.
+     */
+    virtual void
+    onEvict(const SetView &set, std::uint32_t way, const CacheLine &victim,
+            const AccessInfo &info)
+    {
+        (void)set;
+        (void)way;
+        (void)victim;
+        (void)info;
+    }
+
+    /** The missing block was installed at way @p way. */
+    virtual void onFill(const SetView &set, std::uint32_t way,
+                        const AccessInfo &info) = 0;
+
+    /** @return a short policy name for reports. */
+    virtual std::string name() const = 0;
+
+  protected:
+    /** Geometry captured by init(). */
+    PolicyContext context;
+};
+
+} // namespace nucache
+
+#endif // NUCACHE_MEM_REPLACEMENT_HH

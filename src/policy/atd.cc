@@ -1,0 +1,120 @@
+#include "policy/atd.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace nucache
+{
+
+UtilityMonitor::UtilityMonitor(std::uint32_t num_sets,
+                               std::uint32_t num_ways,
+                               unsigned sample_shift)
+    : ways(num_ways), shift(sample_shift)
+{
+    if (num_sets == 0 || num_ways == 0)
+        fatal("UtilityMonitor: degenerate geometry");
+    if ((num_sets >> shift) == 0)
+        shift = 0;  // tiny caches (unit tests): monitor every set
+
+    // Pick sampled sets by hashing the index so sampling cannot alias
+    // with strided access patterns, then assign dense shadow slots.
+    setToShadow.assign(num_sets, -1);
+    numSampled = 0;
+    for (std::uint32_t s = 0; s < num_sets; ++s) {
+        if ((mix64(s) & ((std::uint64_t{1} << shift) - 1)) == 0)
+            setToShadow[s] = static_cast<std::int32_t>(numSampled++);
+    }
+    entries.assign(static_cast<std::size_t>(numSampled) * ways,
+                   ShadowEntry{});
+    positionHits.assign(ways, 0);
+}
+
+bool
+UtilityMonitor::sampled(std::uint32_t set) const
+{
+    return setToShadow[set] >= 0;
+}
+
+std::int64_t
+UtilityMonitor::shadowIndex(std::uint32_t set) const
+{
+    return setToShadow[set];
+}
+
+void
+UtilityMonitor::observe(std::uint32_t set, Addr tag)
+{
+    const std::int64_t idx = shadowIndex(set);
+    if (idx < 0)
+        return;
+    ++tick;
+
+    ShadowEntry *base = &entries[static_cast<std::size_t>(idx) * ways];
+
+    // Find the tag and compute its stack (recency) position in one
+    // pass: position = number of valid entries more recent than it.
+    std::uint32_t hit_way = ways;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            hit_way = w;
+            break;
+        }
+    }
+
+    if (hit_way != ways) {
+        std::uint32_t pos = 0;
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            if (w != hit_way && base[w].valid &&
+                base[w].touch > base[hit_way].touch) {
+                ++pos;
+            }
+        }
+        ++positionHits[pos];
+        base[hit_way].touch = tick;
+        return;
+    }
+
+    ++missCount;
+    // Install with LRU replacement.
+    std::uint32_t victim = 0;
+    Tick oldest = ~Tick{0};
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        if (!base[w].valid) {
+            victim = w;
+            oldest = 0;
+            break;
+        }
+        if (base[w].touch < oldest) {
+            oldest = base[w].touch;
+            victim = w;
+        }
+    }
+    base[victim].tag = tag;
+    base[victim].touch = tick;
+    base[victim].valid = true;
+}
+
+std::uint64_t
+UtilityMonitor::hitsWithWays(std::uint32_t w) const
+{
+    std::uint64_t total = 0;
+    for (std::uint32_t p = 0; p < w && p < ways; ++p)
+        total += positionHits[p];
+    return total;
+}
+
+std::uint64_t
+UtilityMonitor::hitsAtPosition(std::uint32_t pos) const
+{
+    return pos < ways ? positionHits[pos] : 0;
+}
+
+void
+UtilityMonitor::decay()
+{
+    for (auto &h : positionHits)
+        h >>= 1;
+    missCount >>= 1;
+}
+
+} // namespace nucache

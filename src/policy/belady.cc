@@ -1,0 +1,109 @@
+#include "policy/belady.hh"
+
+#include <unordered_map>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "mem/lru.hh"
+
+namespace nucache
+{
+
+BeladyResult
+simulateBelady(const std::vector<std::uint64_t> &block_stream,
+               std::uint32_t num_sets, std::uint32_t ways)
+{
+    if (!isPowerOf2(num_sets))
+        fatal("simulateBelady: num_sets must be a power of two");
+    if (ways == 0)
+        fatal("simulateBelady: zero associativity");
+
+    const std::uint64_t infinity = ~std::uint64_t{0};
+
+    // next_use[i] = index of the next access to the same block, or
+    // infinity.  Built backwards in one pass.
+    std::vector<std::uint64_t> next_use(block_stream.size(), infinity);
+    {
+        std::unordered_map<std::uint64_t, std::uint64_t> last_seen;
+        last_seen.reserve(block_stream.size() / 4 + 16);
+        for (std::size_t i = block_stream.size(); i-- > 0;) {
+            const auto it = last_seen.find(block_stream[i]);
+            if (it != last_seen.end())
+                next_use[i] = it->second;
+            last_seen[block_stream[i]] = i;
+        }
+    }
+
+    // Per set: resident block -> its next-use index (kept current).
+    struct Resident
+    {
+        std::unordered_map<std::uint64_t, std::uint64_t> nextUseOf;
+    };
+    std::vector<Resident> sets(num_sets);
+
+    BeladyResult result;
+    result.accesses = block_stream.size();
+    for (std::size_t i = 0; i < block_stream.size(); ++i) {
+        const std::uint64_t block = block_stream[i];
+        Resident &set = sets[block & (num_sets - 1)];
+
+        const auto it = set.nextUseOf.find(block);
+        if (it != set.nextUseOf.end()) {
+            ++result.hits;
+            it->second = next_use[i];
+            continue;
+        }
+
+        ++result.misses;
+        // MIN never caches a block with no future use in preference to
+        // one that has one; skipping the fill entirely for dead blocks
+        // is the standard bypass-enabled MIN, which is the true upper
+        // bound for a cache with bypassing (NUcache does not bypass,
+        // but the bound should not be artificially low).
+        if (next_use[i] == infinity)
+            continue;
+
+        if (set.nextUseOf.size() >= ways) {
+            // Evict the farthest-future block; a resident block that
+            // is never used again is always the first choice.
+            auto victim = set.nextUseOf.begin();
+            for (auto jt = set.nextUseOf.begin();
+                 jt != set.nextUseOf.end(); ++jt) {
+                if (jt->second > victim->second)
+                    victim = jt;
+            }
+            if (victim->second <= next_use[i])
+                continue;  // the new block is the worst: bypass it
+            set.nextUseOf.erase(victim);
+        }
+        set.nextUseOf.emplace(block, next_use[i]);
+    }
+    return result;
+}
+
+std::vector<std::uint64_t>
+collectLlcBlockStream(TraceSource &trace, const CacheConfig &l1,
+                      std::uint32_t block_size, std::uint64_t records)
+{
+    Cache l1cache(l1, std::make_unique<LruPolicy>(), 1);
+    std::vector<std::uint64_t> stream;
+    stream.reserve(records / 4);
+
+    TraceRecord rec;
+    for (std::uint64_t i = 0; i < records; ++i) {
+        if (!trace.next(rec)) {
+            trace.reset();
+            if (!trace.next(rec))
+                fatal("collectLlcBlockStream: empty trace");
+        }
+        AccessInfo info;
+        info.addr = rec.addr;
+        info.pc = rec.pc;
+        info.isWrite = rec.isWrite;
+        if (!l1cache.access(info).hit)
+            stream.push_back(rec.addr / block_size);
+    }
+    return stream;
+}
+
+} // namespace nucache

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Offline Belady/MIN replacement — the optimal-replacement upper
+ * bound for headroom analysis (beyond-paper extension).
+ *
+ * MIN needs the future, so it cannot be a ReplacementPolicy plugged
+ * into the online cache model; instead this module replays a recorded
+ * LLC block stream with perfect next-use knowledge: on a miss in a
+ * full set, it evicts the resident block whose next use is farthest
+ * in the future.
+ */
+
+#ifndef NUCACHE_POLICY_BELADY_HH
+#define NUCACHE_POLICY_BELADY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/cache.hh"
+#include "trace/trace.hh"
+
+namespace nucache
+{
+
+/** Hit/miss outcome of a MIN replay. */
+struct BeladyResult
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    /** @return miss ratio, 0 when no accesses. */
+    double
+    missRate() const
+    {
+        return accesses == 0
+            ? 0.0
+            : static_cast<double>(misses) / static_cast<double>(accesses);
+    }
+};
+
+/**
+ * Replay @p block_stream (block-aligned addresses divided by the
+ * block size, i.e.\ block numbers) through a set-associative cache
+ * under MIN.
+ *
+ * @param block_stream LLC accesses as block numbers, in order.
+ * @param num_sets sets of the cache (power of two).
+ * @param ways associativity.
+ */
+BeladyResult simulateBelady(const std::vector<std::uint64_t> &block_stream,
+                            std::uint32_t num_sets, std::uint32_t ways);
+
+/**
+ * Record the LLC-level access stream of @p trace behind a private L1
+ * (the stream MIN and the online policies both see).
+ *
+ * @param trace the workload (consumed up to @p records records).
+ * @param l1 geometry of the filtering L1.
+ * @param block_size LLC block size.
+ * @param records trace records to replay.
+ */
+std::vector<std::uint64_t> collectLlcBlockStream(TraceSource &trace,
+                                                 const CacheConfig &l1,
+                                                 std::uint32_t block_size,
+                                                 std::uint64_t records);
+
+} // namespace nucache
+
+#endif // NUCACHE_POLICY_BELADY_HH

@@ -1,0 +1,154 @@
+#include "policy/pipp.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "policy/ucp.hh"
+
+namespace nucache
+{
+
+PippPolicy::PippPolicy(const PippConfig &config)
+    : cfg(config)
+{
+    if (cfg.epochAccesses == 0)
+        fatal("PIPP: epoch length must be non-zero");
+}
+
+void
+PippPolicy::init(const PolicyContext &ctx)
+{
+    ReplacementPolicy::init(ctx);
+    if (ctx.numWays >= noRank)
+        fatal("PIPP: associativity ", ctx.numWays, " exceeds rank range");
+    monitors.clear();
+    for (std::uint32_t c = 0; c < ctx.numCores; ++c)
+        monitors.emplace_back(ctx.numSets, ctx.numWays, cfg.sampleShift);
+    alloc.assign(ctx.numCores, ctx.numWays / ctx.numCores);
+    for (std::uint32_t c = 0; c < ctx.numWays % ctx.numCores; ++c)
+        ++alloc[c];
+    if (ctx.numWays < ctx.numCores)
+        fatal("PIPP needs at least one way per core");
+    rank.assign(static_cast<std::size_t>(ctx.numSets) * ctx.numWays,
+                noRank);
+    accessCount = 0;
+}
+
+std::uint32_t
+PippPolicy::rankOf(std::uint32_t set, std::uint32_t way) const
+{
+    return rank[slot(set, way)];
+}
+
+void
+PippPolicy::observe(const SetView &set, const AccessInfo &info)
+{
+    monitors[info.coreId].observe(set.setIndex(),
+                                  info.addr / context.blockSize);
+    if (++accessCount % cfg.epochAccesses == 0)
+        reallocate();
+}
+
+void
+PippPolicy::reallocate()
+{
+    std::vector<std::vector<std::uint64_t>> curves;
+    curves.reserve(monitors.size());
+    for (auto &m : monitors) {
+        std::vector<std::uint64_t> curve(context.numWays, 0);
+        for (std::uint32_t w = 1; w <= context.numWays; ++w)
+            curve[w - 1] = m.hitsWithWays(w);
+        curves.push_back(std::move(curve));
+        m.decay();
+    }
+    alloc = lookaheadPartition(curves, context.numWays, 1);
+}
+
+std::uint32_t
+PippPolicy::victimWay(const SetView &set, const AccessInfo &info)
+{
+    (void)info;
+    // The victim is the lowest-ranked valid line.
+    std::uint32_t victim = 0;
+    std::uint32_t best = noRank;
+    for (std::uint32_t w = 0; w < set.ways(); ++w) {
+        const std::uint8_t r = rank[slot(set.setIndex(), w)];
+        if (set.line(w).valid && r < best) {
+            best = r;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+void
+PippPolicy::onHit(const SetView &set, std::uint32_t way,
+                  const AccessInfo &info)
+{
+    observe(set, info);
+    if (!rng.chance(cfg.promoteProb))
+        return;
+    // Promote by one: swap ranks with the line directly above.
+    const std::uint8_t mine = rank[slot(set.setIndex(), way)];
+    for (std::uint32_t w = 0; w < set.ways(); ++w) {
+        if (w != way && rank[slot(set.setIndex(), w)] == mine + 1) {
+            rank[slot(set.setIndex(), w)] = mine;
+            rank[slot(set.setIndex(), way)] =
+                static_cast<std::uint8_t>(mine + 1);
+            return;
+        }
+    }
+}
+
+void
+PippPolicy::onMiss(const SetView &set, const AccessInfo &info)
+{
+    observe(set, info);
+}
+
+void
+PippPolicy::onEvict(const SetView &set, std::uint32_t way,
+                    const CacheLine &victim, const AccessInfo &info)
+{
+    (void)victim;
+    (void)info;
+    // Close the rank gap left by the departing line.
+    const std::uint8_t gone = rank[slot(set.setIndex(), way)];
+    rank[slot(set.setIndex(), way)] = noRank;
+    if (gone == noRank)
+        return;
+    for (std::uint32_t w = 0; w < set.ways(); ++w) {
+        std::uint8_t &r = rank[slot(set.setIndex(), w)];
+        if (r != noRank && r > gone)
+            --r;
+    }
+}
+
+void
+PippPolicy::onFill(const SetView &set, std::uint32_t way,
+                   const AccessInfo &info)
+{
+    // Count currently ranked lines (excluding the way being filled,
+    // whose stale rank was cleared by onEvict or never set).
+    std::uint32_t ranked = 0;
+    for (std::uint32_t w = 0; w < set.ways(); ++w) {
+        if (w != way && rank[slot(set.setIndex(), w)] != noRank)
+            ++ranked;
+    }
+
+    // Insert at this core's priority: pi - 1 positions above LRU,
+    // clamped to the currently occupied range.
+    const std::uint32_t pi = alloc[info.coreId];
+    const std::uint8_t pos = static_cast<std::uint8_t>(
+        std::min<std::uint32_t>(pi == 0 ? 0 : pi - 1, ranked));
+
+    // Shift up everyone at or above the insertion position.
+    for (std::uint32_t w = 0; w < set.ways(); ++w) {
+        std::uint8_t &r = rank[slot(set.setIndex(), w)];
+        if (w != way && r != noRank && r >= pos)
+            ++r;
+    }
+    rank[slot(set.setIndex(), way)] = pos;
+}
+
+} // namespace nucache

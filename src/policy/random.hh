@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Random replacement — a lower-bound sanity baseline.
+ */
+
+#ifndef NUCACHE_POLICY_RANDOM_HH
+#define NUCACHE_POLICY_RANDOM_HH
+
+#include "common/rng.hh"
+#include "mem/replacement.hh"
+
+namespace nucache
+{
+
+/** Uniformly random victim choice from an internally seeded stream. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(std::uint64_t seed = 0xdecafbadull)
+        : rng(seed)
+    {
+    }
+
+    std::uint32_t
+    victimWay(const SetView &set, const AccessInfo &info) override
+    {
+        (void)info;
+        return static_cast<std::uint32_t>(rng.below(set.ways()));
+    }
+
+    void
+    onHit(const SetView &, std::uint32_t, const AccessInfo &) override
+    {
+    }
+
+    void
+    onFill(const SetView &, std::uint32_t, const AccessInfo &) override
+    {
+    }
+
+    std::string name() const override { return "random"; }
+
+  private:
+    Rng rng;
+};
+
+} // namespace nucache
+
+#endif // NUCACHE_POLICY_RANDOM_HH

@@ -1,0 +1,137 @@
+#include "policy/rrip.hh"
+
+#include "common/logging.hh"
+
+namespace nucache
+{
+
+void
+SrripPolicy::init(const PolicyContext &ctx)
+{
+    ReplacementPolicy::init(ctx);
+    if (rrpvBits == 0 || rrpvBits > 7)
+        fatal("SRRIP: rrpv width ", rrpvBits, " out of range");
+    maxRrpv = static_cast<std::uint8_t>((1u << rrpvBits) - 1);
+    rrpv.assign(static_cast<std::size_t>(ctx.numSets) * ctx.numWays,
+                maxRrpv);
+}
+
+std::uint32_t
+SrripPolicy::victimWay(const SetView &set, const AccessInfo &info)
+{
+    (void)info;
+    // Find a line predicted for the distant future, aging as needed.
+    for (;;) {
+        for (std::uint32_t w = 0; w < set.ways(); ++w) {
+            if (rrpv[slot(set.setIndex(), w)] >= maxRrpv)
+                return w;
+        }
+        for (std::uint32_t w = 0; w < set.ways(); ++w)
+            ++rrpv[slot(set.setIndex(), w)];
+    }
+}
+
+void
+SrripPolicy::onHit(const SetView &set, std::uint32_t way,
+                   const AccessInfo &info)
+{
+    (void)info;
+    rrpv[slot(set.setIndex(), way)] = 0;
+}
+
+void
+SrripPolicy::onFill(const SetView &set, std::uint32_t way,
+                    const AccessInfo &info)
+{
+    rrpv[slot(set.setIndex(), way)] = insertionRrpv(set, info);
+}
+
+std::uint8_t
+SrripPolicy::insertionRrpv(const SetView &set, const AccessInfo &info)
+{
+    (void)set;
+    (void)info;
+    return static_cast<std::uint8_t>(maxRrpv - 1);
+}
+
+std::uint8_t
+BrripPolicy::insertionRrpv(const SetView &set, const AccessInfo &info)
+{
+    (void)set;
+    (void)info;
+    return rng.chance(eps) ? static_cast<std::uint8_t>(maxRrpv - 1)
+                           : maxRrpv;
+}
+
+void
+DrripPolicy::init(const PolicyContext &ctx)
+{
+    SrripPolicy::init(ctx);
+    leaders = std::make_unique<LeaderSets>(ctx.numSets, duelSpacing);
+}
+
+void
+DrripPolicy::onMiss(const SetView &set, const AccessInfo &info)
+{
+    (void)info;
+    // Misses in SRRIP leaders push PSEL up (towards BRRIP); misses in
+    // BRRIP leaders pull it down.
+    const int team = leaders->teamOf(set.setIndex());
+    if (team == 0)
+        psel.up();
+    else if (team == 1)
+        psel.down();
+}
+
+std::uint8_t
+DrripPolicy::insertionRrpv(const SetView &set, const AccessInfo &info)
+{
+    const int team = leaders->teamOf(set.setIndex());
+    const bool use_brrip =
+        team == 1 || (team == -1 && psel.high());
+    if (use_brrip) {
+        return rng.chance(1.0 / 32.0)
+            ? static_cast<std::uint8_t>(maxRrpv - 1)
+            : maxRrpv;
+    }
+    (void)info;
+    return static_cast<std::uint8_t>(maxRrpv - 1);
+}
+
+void
+TaDrripPolicy::init(const PolicyContext &ctx)
+{
+    SrripPolicy::init(ctx);
+    psels.assign(ctx.numCores, SaturatingCounter{10});
+    leaders.clear();
+    for (std::uint32_t c = 0; c < ctx.numCores; ++c)
+        leaders.emplace_back(ctx.numSets, duelSpacing, c);
+}
+
+void
+TaDrripPolicy::onMiss(const SetView &set, const AccessInfo &info)
+{
+    // Only the owning core's leaders train its PSEL, on its own
+    // misses.
+    const int team = leaders[info.coreId].teamOf(set.setIndex());
+    if (team == 0)
+        psels[info.coreId].up();
+    else if (team == 1)
+        psels[info.coreId].down();
+}
+
+std::uint8_t
+TaDrripPolicy::insertionRrpv(const SetView &set, const AccessInfo &info)
+{
+    const int team = leaders[info.coreId].teamOf(set.setIndex());
+    const bool use_brrip =
+        team == 1 || (team == -1 && psels[info.coreId].high());
+    if (use_brrip) {
+        return rng.chance(1.0 / 32.0)
+            ? static_cast<std::uint8_t>(maxRrpv - 1)
+            : maxRrpv;
+    }
+    return static_cast<std::uint8_t>(maxRrpv - 1);
+}
+
+} // namespace nucache

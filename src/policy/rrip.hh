@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Re-Reference Interval Prediction (Jaleel et al., ISCA'10): SRRIP,
+ * BRRIP, and set-dueling DRRIP.  A scan-resistant baseline newer than
+ * the paper's comparison points, included to show NUcache against a
+ * stronger insertion-policy family.
+ */
+
+#ifndef NUCACHE_POLICY_RRIP_HH
+#define NUCACHE_POLICY_RRIP_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/replacement.hh"
+#include "policy/set_dueling.hh"
+
+namespace nucache
+{
+
+/**
+ * Static RRIP with 2^bits - 1 maximum RRPV.  Insertion at longRrpv
+ * (maxRrpv - 1); hits promote to 0; victims are lines at maxRrpv, aging
+ * the whole set until one appears.
+ */
+class SrripPolicy : public ReplacementPolicy
+{
+  public:
+    /** @param bits RRPV width (2 in the original paper). */
+    explicit SrripPolicy(unsigned bits = 2)
+        : rrpvBits(bits)
+    {
+    }
+
+    void init(const PolicyContext &ctx) override;
+
+    std::uint32_t victimWay(const SetView &set,
+                            const AccessInfo &info) override;
+    void onHit(const SetView &set, std::uint32_t way,
+               const AccessInfo &info) override;
+    void onFill(const SetView &set, std::uint32_t way,
+                const AccessInfo &info) override;
+
+    std::string name() const override { return "srrip"; }
+
+  protected:
+    /** @return the RRPV a fill in @p set should start with. */
+    virtual std::uint8_t insertionRrpv(const SetView &set,
+                                       const AccessInfo &info);
+
+    std::size_t
+    slot(std::uint32_t set, std::uint32_t way) const
+    {
+        return static_cast<std::size_t>(set) * context.numWays + way;
+    }
+
+    unsigned rrpvBits;
+    std::uint8_t maxRrpv = 3;
+    std::vector<std::uint8_t> rrpv;
+};
+
+/**
+ * Bimodal RRIP: inserts at maxRrpv except with small probability at
+ * longRrpv, making it thrash-resistant (a bimodal "trickle in").
+ */
+class BrripPolicy : public SrripPolicy
+{
+  public:
+    explicit BrripPolicy(unsigned bits = 2, double epsilon = 1.0 / 32.0,
+                         std::uint64_t seed = 0xb121ull)
+        : SrripPolicy(bits), eps(epsilon), rng(seed)
+    {
+    }
+
+    std::string name() const override { return "brrip"; }
+
+  protected:
+    std::uint8_t insertionRrpv(const SetView &set,
+                               const AccessInfo &info) override;
+
+    double eps;
+    Rng rng;
+};
+
+/**
+ * Dynamic RRIP: set-dueling between SRRIP and BRRIP insertion with a
+ * PSEL counter; follower sets adopt the winner.
+ */
+class DrripPolicy : public SrripPolicy
+{
+  public:
+    explicit DrripPolicy(unsigned bits = 2, std::uint32_t spacing = 32,
+                         std::uint64_t seed = 0xd221ull)
+        : SrripPolicy(bits), duelSpacing(spacing), rng(seed)
+    {
+    }
+
+    void init(const PolicyContext &ctx) override;
+    void onMiss(const SetView &set, const AccessInfo &info) override;
+
+    std::string name() const override { return "drrip"; }
+
+  protected:
+    std::uint8_t insertionRrpv(const SetView &set,
+                               const AccessInfo &info) override;
+
+  private:
+    std::uint32_t duelSpacing;
+    Rng rng;
+    SaturatingCounter psel{10};
+    std::unique_ptr<LeaderSets> leaders;
+};
+
+/**
+ * Thread-Aware DRRIP: one PSEL and one leader-set lane per core, so a
+ * scanning co-runner is demoted to bimodal insertion without dragging
+ * the cache-friendly threads with it (Jaleel et al., ISCA'10).
+ */
+class TaDrripPolicy : public SrripPolicy
+{
+  public:
+    explicit TaDrripPolicy(unsigned bits = 2, std::uint32_t spacing = 32,
+                           std::uint64_t seed = 0x7ad221ull)
+        : SrripPolicy(bits), duelSpacing(spacing), rng(seed)
+    {
+    }
+
+    void init(const PolicyContext &ctx) override;
+    void onMiss(const SetView &set, const AccessInfo &info) override;
+
+    std::string name() const override { return "tadrrip"; }
+
+    /** @return core @p c's PSEL value (tests). */
+    std::uint32_t pselValue(CoreId c) const { return psels[c].value(); }
+
+  protected:
+    std::uint8_t insertionRrpv(const SetView &set,
+                               const AccessInfo &info) override;
+
+  private:
+    std::uint32_t duelSpacing;
+    Rng rng;
+    std::vector<SaturatingCounter> psels;
+    std::vector<LeaderSets> leaders;
+};
+
+} // namespace nucache
+
+#endif // NUCACHE_POLICY_RRIP_HH

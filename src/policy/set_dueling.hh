@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Set-dueling infrastructure (Qureshi et al., ISCA'07).
+ *
+ * A DuelingMonitor statically dedicates a few "leader" sets to each of
+ * two competing policies and lets the remaining "follower" sets adopt
+ * whichever leader group currently misses less, tracked by a saturating
+ * PSEL counter.  Used by DIP, TADIP and DRRIP.
+ */
+
+#ifndef NUCACHE_POLICY_SET_DUELING_HH
+#define NUCACHE_POLICY_SET_DUELING_HH
+
+#include <cstdint>
+
+#include "common/bitutil.hh"
+
+namespace nucache
+{
+
+/**
+ * Saturating up/down counter.  "Up" means policy B is missing (so
+ * high values favour policy A... by convention here: PSEL >= midpoint
+ * selects policy B).
+ */
+class SaturatingCounter
+{
+  public:
+    /** @param bits counter width; starts at the midpoint. */
+    explicit SaturatingCounter(unsigned bits = 10)
+        : maxVal((1u << bits) - 1), val(1u << (bits - 1))
+    {
+    }
+
+    /** Increment with saturation. */
+    void
+    up()
+    {
+        if (val < maxVal)
+            ++val;
+    }
+
+    /** Decrement with saturation. */
+    void
+    down()
+    {
+        if (val > 0)
+            --val;
+    }
+
+    /** @return true iff the counter is in its upper half. */
+    bool high() const { return val > maxVal / 2; }
+
+    /** @return the raw value. */
+    std::uint32_t value() const { return val; }
+
+  private:
+    std::uint32_t maxVal;
+    std::uint32_t val;
+};
+
+/**
+ * Maps sets to dueling teams using the constituency scheme: within
+ * every constituency of `spacing` consecutive sets, one set leads team
+ * 0 and another leads team 1 (offset varies per constituency so leaders
+ * spread over the index space).
+ *
+ * For thread-aware dueling (TADIP), one monitor is instantiated per
+ * core with a per-core lane so different cores' leader sets do not
+ * collide.
+ */
+class LeaderSets
+{
+  public:
+    /**
+     * @param num_sets total sets in the cache.
+     * @param spacing  sets per constituency (e.g.\ 32 gives
+     *                 num_sets/32 leaders per team).
+     * @param lane     disambiguator so multiple monitors (per-core)
+     *                 pick disjoint leader sets.
+     */
+    LeaderSets(std::uint32_t num_sets, std::uint32_t spacing,
+               std::uint32_t lane = 0)
+        : sets(num_sets), span(spacing), laneId(lane)
+    {
+    }
+
+    /**
+     * @return 0 or 1 if @p set leads that team, -1 for followers.
+     */
+    int
+    teamOf(std::uint32_t set) const
+    {
+        const std::uint32_t constituency = set / span;
+        const std::uint32_t offset = set % span;
+        // Position of this constituency's two leaders, scrambled by
+        // the constituency index and the lane.
+        const std::uint32_t base =
+            (constituency + laneId * 7u) * 2654435761u;
+        if (offset == (base % span))
+            return 0;
+        if (offset == ((base + span / 2) % span))
+            return 1;
+        return -1;
+    }
+
+    /** @return total number of sets. */
+    std::uint32_t numSets() const { return sets; }
+
+  private:
+    std::uint32_t sets;
+    std::uint32_t span;
+    std::uint32_t laneId;
+};
+
+} // namespace nucache
+
+#endif // NUCACHE_POLICY_SET_DUELING_HH

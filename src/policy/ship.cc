@@ -1,0 +1,108 @@
+#include "policy/ship.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace nucache
+{
+
+ShipPolicy::ShipPolicy(const ShipConfig &config)
+    : cfg(config)
+{
+    if (cfg.shctLogSize == 0 || cfg.shctLogSize > 24)
+        fatal("SHiP: shct log size ", cfg.shctLogSize, " out of range");
+    if (cfg.shctBits == 0 || cfg.shctBits > 8)
+        fatal("SHiP: shct width ", cfg.shctBits, " out of range");
+    if (cfg.rrpvBits == 0 || cfg.rrpvBits > 7)
+        fatal("SHiP: rrpv width ", cfg.rrpvBits, " out of range");
+}
+
+void
+ShipPolicy::init(const PolicyContext &ctx)
+{
+    ReplacementPolicy::init(ctx);
+    maxRrpv = static_cast<std::uint8_t>((1u << cfg.rrpvBits) - 1);
+    shctMax = (1u << cfg.shctBits) - 1;
+    const std::size_t lines =
+        static_cast<std::size_t>(ctx.numSets) * ctx.numWays;
+    rrpv.assign(lines, maxRrpv);
+    lineSig.assign(lines, 0);
+    outcome.assign(lines, false);
+    // Start counters at 1 ("weakly reused") so cold signatures are not
+    // all predicted dead before any evidence exists.
+    shct.assign(std::size_t{1} << cfg.shctLogSize, 1);
+}
+
+std::size_t
+ShipPolicy::signatureOf(PC pc) const
+{
+    return static_cast<std::size_t>(mix64(pc) &
+                                    mask(cfg.shctLogSize));
+}
+
+std::uint32_t
+ShipPolicy::shctValue(PC pc) const
+{
+    return shct[signatureOf(pc)];
+}
+
+std::uint32_t
+ShipPolicy::victimWay(const SetView &set, const AccessInfo &info)
+{
+    (void)info;
+    for (;;) {
+        for (std::uint32_t w = 0; w < set.ways(); ++w) {
+            if (rrpv[slot(set.setIndex(), w)] >= maxRrpv)
+                return w;
+        }
+        for (std::uint32_t w = 0; w < set.ways(); ++w)
+            ++rrpv[slot(set.setIndex(), w)];
+    }
+}
+
+void
+ShipPolicy::onHit(const SetView &set, std::uint32_t way,
+                  const AccessInfo &info)
+{
+    (void)info;
+    const std::size_t s = slot(set.setIndex(), way);
+    rrpv[s] = 0;
+    if (!outcome[s]) {
+        outcome[s] = true;
+        // First re-reference: the signature earned trust.
+        std::uint8_t &ctr = shct[lineSig[s]];
+        if (ctr < shctMax)
+            ++ctr;
+    }
+}
+
+void
+ShipPolicy::onEvict(const SetView &set, std::uint32_t way,
+                    const CacheLine &victim, const AccessInfo &info)
+{
+    (void)victim;
+    (void)info;
+    const std::size_t s = slot(set.setIndex(), way);
+    if (!outcome[s]) {
+        // Dead on eviction: the signature loses trust.
+        std::uint8_t &ctr = shct[lineSig[s]];
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+void
+ShipPolicy::onFill(const SetView &set, std::uint32_t way,
+                   const AccessInfo &info)
+{
+    const std::size_t s = slot(set.setIndex(), way);
+    lineSig[s] = static_cast<std::uint32_t>(signatureOf(info.pc));
+    outcome[s] = false;
+    // Predicted-dead signatures go straight to the distant point;
+    // trusted ones get the standard SRRIP long interval.
+    rrpv[s] = shct[lineSig[s]] == 0
+                  ? maxRrpv
+                  : static_cast<std::uint8_t>(maxRrpv - 1);
+}
+
+} // namespace nucache

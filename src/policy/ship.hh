@@ -1,0 +1,83 @@
+/**
+ * @file
+ * SHiP-PC: Signature-based Hit Prediction (Wu et al., MICRO'11).
+ *
+ * Published months after NUcache, SHiP is the other influential
+ * PC-centric LLC policy of the era and the natural beyond-paper
+ * comparator (the reproduction notes call it out).  Where NUcache
+ * *retains* selected PCs' blocks in a FIFO annex, SHiP *predicts at
+ * insertion*: a signature history counter table (SHCT), indexed by a
+ * hash of the allocating PC, learns whether a signature's blocks tend
+ * to be re-referenced; predicted-dead signatures are inserted at the
+ * distant re-reference point of an underlying SRRIP stack, so they
+ * are evicted quickly.
+ */
+
+#ifndef NUCACHE_POLICY_SHIP_HH
+#define NUCACHE_POLICY_SHIP_HH
+
+#include <vector>
+
+#include "mem/replacement.hh"
+
+namespace nucache
+{
+
+/** Tunables for SHiP-PC. */
+struct ShipConfig
+{
+    /** log2 of SHCT entries (14 => 16k entries). */
+    unsigned shctLogSize = 14;
+    /** SHCT counter width in bits. */
+    unsigned shctBits = 3;
+    /** RRPV width of the underlying RRIP stack. */
+    unsigned rrpvBits = 2;
+};
+
+/** The SHiP-PC policy. */
+class ShipPolicy : public ReplacementPolicy
+{
+  public:
+    explicit ShipPolicy(const ShipConfig &config = ShipConfig{});
+
+    void init(const PolicyContext &ctx) override;
+
+    std::uint32_t victimWay(const SetView &set,
+                            const AccessInfo &info) override;
+    void onHit(const SetView &set, std::uint32_t way,
+               const AccessInfo &info) override;
+    void onEvict(const SetView &set, std::uint32_t way,
+                 const CacheLine &victim, const AccessInfo &info) override;
+    void onFill(const SetView &set, std::uint32_t way,
+                const AccessInfo &info) override;
+
+    std::string name() const override { return "ship"; }
+
+    /** @return the SHCT counter for @p pc (tests). */
+    std::uint32_t shctValue(PC pc) const;
+
+  private:
+    std::size_t
+    slot(std::uint32_t set, std::uint32_t way) const
+    {
+        return static_cast<std::size_t>(set) * context.numWays + way;
+    }
+
+    /** @return the SHCT index of @p pc. */
+    std::size_t signatureOf(PC pc) const;
+
+    ShipConfig cfg;
+    std::uint8_t maxRrpv = 3;
+    std::uint32_t shctMax = 7;
+
+    std::vector<std::uint8_t> rrpv;
+    /** Per-line: SHCT index of the allocating signature. */
+    std::vector<std::uint32_t> lineSig;
+    /** Per-line: block was re-referenced since fill. */
+    std::vector<bool> outcome;
+    std::vector<std::uint8_t> shct;
+};
+
+} // namespace nucache
+
+#endif // NUCACHE_POLICY_SHIP_HH

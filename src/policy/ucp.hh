@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Utility-based Cache Partitioning (Qureshi & Patt, MICRO'06).
+ *
+ * Per-core UMONs (sampled shadow tags, see atd.hh) estimate the hits
+ * each core would obtain with any number of ways; the lookahead
+ * algorithm divides the ways to maximize total estimated hits, and the
+ * replacement path enforces the quotas by evicting from over-quota
+ * cores first.  This is the strongest explicit-partitioning baseline
+ * the paper compares against.
+ */
+
+#ifndef NUCACHE_POLICY_UCP_HH
+#define NUCACHE_POLICY_UCP_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/replacement.hh"
+#include "policy/atd.hh"
+
+namespace nucache
+{
+
+/**
+ * The lookahead way-partitioning algorithm, exposed standalone so
+ * tests can drive it with crafted utility curves.
+ *
+ * @param curves per-core cumulative hit curves: curves[c][w] =
+ *               estimated hits of core c with (w+1) ways.
+ * @param total_ways ways to distribute.
+ * @param min_per_core floor allocation per core (paper uses 1).
+ * @return allocation per core; sums to total_ways.
+ */
+std::vector<std::uint32_t>
+lookaheadPartition(const std::vector<std::vector<std::uint64_t>> &curves,
+                   std::uint32_t total_ways,
+                   std::uint32_t min_per_core = 1);
+
+/** Tunables for UCP. */
+struct UcpConfig
+{
+    /** LLC accesses between repartitioning decisions. */
+    std::uint64_t epochAccesses = 100'000;
+    /** UMON set-sampling shift (5 => 1 in 32 sets). */
+    unsigned sampleShift = 5;
+};
+
+/** The UCP policy. */
+class UcpPolicy : public ReplacementPolicy
+{
+  public:
+    explicit UcpPolicy(const UcpConfig &config = UcpConfig{});
+
+    void init(const PolicyContext &ctx) override;
+
+    std::uint32_t victimWay(const SetView &set,
+                            const AccessInfo &info) override;
+    void onHit(const SetView &set, std::uint32_t way,
+               const AccessInfo &info) override;
+    void onMiss(const SetView &set, const AccessInfo &info) override;
+    void onFill(const SetView &set, std::uint32_t way,
+                const AccessInfo &info) override;
+
+    std::string name() const override { return "ucp"; }
+
+    /** @return the current per-core way quotas (tests / reports). */
+    const std::vector<std::uint32_t> &quotas() const { return quota; }
+
+    /** Force a repartition now (tests). */
+    void repartition();
+
+  private:
+    /** Feed the access to the owning core's UMON. */
+    void observe(const SetView &set, const AccessInfo &info);
+
+    /** LRU way among lines satisfying @p pred; ways() if none. */
+    template <typename Pred>
+    std::uint32_t
+    lruAmong(const SetView &set, Pred pred) const
+    {
+        std::uint32_t victim = set.ways();
+        Tick oldest = ~Tick{0};
+        for (std::uint32_t w = 0; w < set.ways(); ++w) {
+            if (!pred(w))
+                continue;
+            const Tick t =
+                lastTouch[static_cast<std::size_t>(set.setIndex()) *
+                          context.numWays + w];
+            if (t < oldest) {
+                oldest = t;
+                victim = w;
+            }
+        }
+        return victim;
+    }
+
+    UcpConfig cfg;
+    std::vector<UtilityMonitor> monitors;
+    std::vector<std::uint32_t> quota;
+    std::vector<Tick> lastTouch;
+    std::uint64_t accessCount = 0;
+};
+
+} // namespace nucache
+
+#endif // NUCACHE_POLICY_UCP_HH

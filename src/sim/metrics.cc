@@ -1,0 +1,89 @@
+#include "sim/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace nucache
+{
+
+namespace
+{
+
+void
+checkPair(const std::vector<double> &shared,
+          const std::vector<double> &alone)
+{
+    if (shared.size() != alone.size() || shared.empty())
+        fatal("metrics: IPC vectors must be non-empty and equal-sized");
+    for (std::size_t i = 0; i < shared.size(); ++i) {
+        if (shared[i] <= 0.0 || alone[i] <= 0.0)
+            fatal("metrics: non-positive IPC at program ", i);
+    }
+}
+
+} // anonymous namespace
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        fatal("geomean of an empty vector");
+    double log_sum = 0.0;
+    for (const double v : values) {
+        if (v <= 0.0)
+            fatal("geomean: non-positive value");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+weightedSpeedup(const std::vector<double> &ipc_shared,
+                const std::vector<double> &ipc_alone)
+{
+    checkPair(ipc_shared, ipc_alone);
+    double ws = 0.0;
+    for (std::size_t i = 0; i < ipc_shared.size(); ++i)
+        ws += ipc_shared[i] / ipc_alone[i];
+    return ws;
+}
+
+double
+hmeanSpeedup(const std::vector<double> &ipc_shared,
+             const std::vector<double> &ipc_alone)
+{
+    checkPair(ipc_shared, ipc_alone);
+    double denom = 0.0;
+    for (std::size_t i = 0; i < ipc_shared.size(); ++i)
+        denom += ipc_alone[i] / ipc_shared[i];
+    return static_cast<double>(ipc_shared.size()) / denom;
+}
+
+double
+antt(const std::vector<double> &ipc_shared,
+     const std::vector<double> &ipc_alone)
+{
+    checkPair(ipc_shared, ipc_alone);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < ipc_shared.size(); ++i)
+        sum += ipc_alone[i] / ipc_shared[i];
+    return sum / static_cast<double>(ipc_shared.size());
+}
+
+double
+fairness(const std::vector<double> &ipc_shared,
+         const std::vector<double> &ipc_alone)
+{
+    checkPair(ipc_shared, ipc_alone);
+    double lo = 1e300, hi = 0.0;
+    for (std::size_t i = 0; i < ipc_shared.size(); ++i) {
+        const double r = ipc_shared[i] / ipc_alone[i];
+        lo = std::min(lo, r);
+        hi = std::max(hi, r);
+    }
+    return lo / hi;
+}
+
+} // namespace nucache

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Multiprogrammed-workload performance metrics used throughout the
+ * paper family: weighted speedup, harmonic-mean speedup, average
+ * normalized turnaround time, and fairness.
+ */
+
+#ifndef NUCACHE_SIM_METRICS_HH
+#define NUCACHE_SIM_METRICS_HH
+
+#include <vector>
+
+namespace nucache
+{
+
+/** @return the geometric mean of @p values (must be positive). */
+double geomean(const std::vector<double> &values);
+
+/**
+ * Weighted speedup: sum of per-program IPC_shared / IPC_alone.
+ * Equals the core count when sharing costs nothing.
+ */
+double weightedSpeedup(const std::vector<double> &ipc_shared,
+                       const std::vector<double> &ipc_alone);
+
+/**
+ * Harmonic mean of per-program speedups: balances throughput and
+ * fairness.
+ */
+double hmeanSpeedup(const std::vector<double> &ipc_shared,
+                    const std::vector<double> &ipc_alone);
+
+/**
+ * Average Normalized Turnaround Time: mean of IPC_alone / IPC_shared
+ * (lower is better; 1.0 = no slowdown).
+ */
+double antt(const std::vector<double> &ipc_shared,
+            const std::vector<double> &ipc_alone);
+
+/**
+ * Fairness: min over programs of normalized progress divided by the
+ * max (1.0 = perfectly fair).
+ */
+double fairness(const std::vector<double> &ipc_shared,
+                const std::vector<double> &ipc_alone);
+
+} // namespace nucache
+
+#endif // NUCACHE_SIM_METRICS_HH

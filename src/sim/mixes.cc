@@ -1,0 +1,86 @@
+#include "sim/mixes.hh"
+
+#include "common/logging.hh"
+
+namespace nucache
+{
+
+const std::vector<WorkloadMix> &
+dualCoreMixes()
+{
+    static const std::vector<WorkloadMix> mixes = {
+        {"mix2_01", {"loop_medium", "stream_pure"}},
+        {"mix2_02", {"loop_heavy", "small_ws"}},
+        {"mix2_03", {"echo_near", "stream_pure"}},
+        {"mix2_04", {"zipf_hot", "stream_pure"}},
+        {"mix2_05", {"echo_far", "small_ws"}},
+        {"mix2_06", {"echo_bands", "stream_reuse"}},
+        {"mix2_07", {"scan_loop", "stream_pure"}},
+        {"mix2_08", {"phase_shift", "mix_rw"}},
+        {"mix2_09", {"echo_near", "zipf_hot"}},
+        {"mix2_10", {"echo_bands", "chase_small"}},
+    };
+    return mixes;
+}
+
+const std::vector<WorkloadMix> &
+quadCoreMixes()
+{
+    static const std::vector<WorkloadMix> mixes = {
+        {"mix4_01", {"loop_medium", "stream_pure", "zipf_hot",
+                     "small_ws"}},
+        {"mix4_02", {"echo_near", "chase_small", "stream_reuse",
+                     "tiny_hot"}},
+        {"mix4_03", {"zipf_hot", "echo_far", "stream_pure", "mix_rw"}},
+        {"mix4_04", {"scan_loop", "loop_medium", "echo_bands",
+                     "small_ws"}},
+        {"mix4_05", {"phase_shift", "stream_pure", "loop_heavy",
+                     "zipf_hot"}},
+        {"mix4_06", {"echo_near", "mix_rw", "stream_reuse",
+                     "zipf_cold"}},
+        {"mix4_07", {"loop_xl", "small_ws", "echo_bands", "tiny_hot"}},
+        {"mix4_08", {"loop_medium", "echo_far", "zipf_hot",
+                     "stream_reuse"}},
+    };
+    return mixes;
+}
+
+const std::vector<WorkloadMix> &
+eightCoreMixes()
+{
+    static const std::vector<WorkloadMix> mixes = {
+        {"mix8_01", {"echo_near", "loop_medium", "chase_small",
+                     "zipf_hot", "stream_pure", "small_ws", "mix_rw",
+                     "echo_bands"}},
+        {"mix8_02", {"loop_medium", "echo_near", "stream_pure",
+                     "stream_reuse", "zipf_hot", "echo_far", "tiny_hot",
+                     "scan_loop"}},
+        {"mix8_03", {"loop_heavy", "echo_bands", "stream_pure",
+                     "echo_near", "small_ws", "small_ws", "zipf_hot",
+                     "zipf_cold"}},
+        {"mix8_04", {"phase_shift", "scan_loop", "chase_small",
+                     "echo_far", "mix_rw", "stream_reuse",
+                     "loop_medium", "tiny_hot"}},
+        {"mix8_05", {"zipf_hot", "echo_bands", "loop_medium",
+                     "echo_near", "stream_pure", "mix_rw", "small_ws",
+                     "chase_small"}},
+    };
+    return mixes;
+}
+
+const std::vector<WorkloadMix> &
+mixesForCores(unsigned cores)
+{
+    switch (cores) {
+      case 2:
+        return dualCoreMixes();
+      case 4:
+        return quadCoreMixes();
+      case 8:
+        return eightCoreMixes();
+      default:
+        fatal("no mixes defined for ", cores, " cores");
+    }
+}
+
+} // namespace nucache

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The multiprogrammed workload mixes of the evaluation (DESIGN.md,
+ * Experiment index).  Mixes follow the paper family's design rule:
+ * span combinations of cache-friendly, streaming (cache-averse) and
+ * LRU-thrashing programs so a partitioning policy has both something
+ * to protect and something to protect it from.
+ */
+
+#ifndef NUCACHE_SIM_MIXES_HH
+#define NUCACHE_SIM_MIXES_HH
+
+#include <string>
+#include <vector>
+
+namespace nucache
+{
+
+/** A named co-scheduled workload combination. */
+struct WorkloadMix
+{
+    std::string name;
+    std::vector<std::string> workloads;
+};
+
+/** @return the 10 dual-core mixes (Figure 4). */
+const std::vector<WorkloadMix> &dualCoreMixes();
+
+/** @return the 8 quad-core mixes (Figure 5). */
+const std::vector<WorkloadMix> &quadCoreMixes();
+
+/** @return the 5 eight-core mixes (Figure 6). */
+const std::vector<WorkloadMix> &eightCoreMixes();
+
+/** @return the mix list for @p cores in {2, 4, 8}; fatal() otherwise. */
+const std::vector<WorkloadMix> &mixesForCores(unsigned cores);
+
+} // namespace nucache
+
+#endif // NUCACHE_SIM_MIXES_HH

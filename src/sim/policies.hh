@@ -1,0 +1,38 @@
+/**
+ * @file
+ * String-keyed policy factory tying the baseline library and NUcache
+ * together for the experiment harness.
+ *
+ * Spec grammar:  name[:key=value[,key=value...]]
+ *   lru | random | nru | srrip | brrip | drrip | dip | tadip |
+ *   ucp | pipp | nucache | nucache-topk | nucache-all | nucache-none
+ *
+ * Common keys: epoch (UCP/PIPP accesses, NUcache misses).
+ * NUcache keys: d (DeliWays), pool (candidate PCs), maxsel, topk,
+ * board (victim-board entries), shift (monitor set-sampling shift).
+ */
+
+#ifndef NUCACHE_SIM_POLICIES_HH
+#define NUCACHE_SIM_POLICIES_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/replacement.hh"
+
+namespace nucache
+{
+
+/** @return a fresh policy instance for @p spec; fatal() on bad specs. */
+std::unique_ptr<ReplacementPolicy> makePolicy(const std::string &spec);
+
+/** @return the specs the evaluation compares (paper's Figure 4-6 set). */
+const std::vector<std::string> &evaluationPolicySet();
+
+/** @return all recognized base policy names. */
+const std::vector<std::string> &allPolicyNames();
+
+} // namespace nucache
+
+#endif // NUCACHE_SIM_POLICIES_HH

@@ -1,0 +1,110 @@
+#include "sim/system.hh"
+
+#include <ostream>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace nucache
+{
+
+System::System(const HierarchyConfig &hier_config,
+               std::unique_ptr<ReplacementPolicy> llc_policy,
+               std::vector<TraceSourcePtr> traces,
+               std::uint64_t records_per_core)
+{
+    if (traces.size() != hier_config.numCores)
+        fatal("system: ", traces.size(), " traces for ",
+              hier_config.numCores, " cores");
+    hier = std::make_unique<MemoryHierarchy>(hier_config,
+                                             std::move(llc_policy));
+    for (std::uint32_t c = 0; c < hier_config.numCores; ++c) {
+        cpus.push_back(std::make_unique<TraceCpu>(
+            c, std::move(traces[c]), hier.get(), records_per_core));
+    }
+}
+
+SystemResult
+System::run()
+{
+    // Interleave by local time: the core with the smallest clock issues
+    // next, which serializes shared-LLC accesses in causal order.
+    std::size_t pending = cpus.size();
+    std::vector<bool> counted(cpus.size(), false);
+    while (pending > 0) {
+        TraceCpu *next = nullptr;
+        for (auto &cpu : cpus) {
+            // Cores that finished measuring keep running while others
+            // measure, preserving contention.
+            if (!next || cpu->now() < next->now())
+                next = cpu.get();
+        }
+        next->step();
+        if (next->done() && !counted[next->id()]) {
+            counted[next->id()] = true;
+            --pending;
+        }
+    }
+
+    SystemResult result;
+    for (const auto &cpu : cpus) {
+        CoreResult cr;
+        cr.workload = cpu->workloadName();
+        cr.ipc = cpu->ipc();
+        cr.instructions = cpu->instructionsAtTarget();
+        cr.cycles = cpu->cyclesAtTarget();
+        cr.l1 = hier->l1(cpu->id()).coreStats(cpu->id());
+        cr.llc = hier->llc().coreStats(cpu->id());
+        result.cores.push_back(std::move(cr));
+    }
+    result.llcWritebacks = hier->llc().writebacks();
+    result.dramReads = hier->dram().reads();
+    result.dramQueueCycles = hier->dram().queueingCycles();
+    return result;
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    const auto fill_cache = [](StatGroup &g, const CacheCoreStats &s) {
+        g.counter("accesses") = s.accesses;
+        g.counter("hits") = s.hits;
+        g.counter("misses") = s.misses;
+        if (s.prefetches != 0) {
+            g.counter("prefetches") = s.prefetches;
+            g.counter("prefetch_fills") = s.prefetchFills;
+        }
+        g.setScalar("miss_rate", s.missRate());
+    };
+
+    for (const auto &cpu : cpus) {
+        StatGroup core("cpu" + std::to_string(cpu->id()));
+        core.counter("instructions") = cpu->instructionsAtTarget();
+        core.counter("cycles") = cpu->cyclesAtTarget();
+        core.counter("records") = cpu->recordsReplayed();
+        core.counter("trace_wraps") = cpu->wraps();
+        core.setScalar("ipc", cpu->ipc());
+        core.dump(os);
+
+        StatGroup l1("cpu" + std::to_string(cpu->id()) + ".l1");
+        fill_cache(l1, hier->l1(cpu->id()).coreStats(cpu->id()));
+        l1.dump(os);
+
+        StatGroup llc("cpu" + std::to_string(cpu->id()) + ".llc");
+        fill_cache(llc, hier->llc().coreStats(cpu->id()));
+        llc.dump(os);
+    }
+
+    StatGroup llc("llc");
+    fill_cache(llc, hier->llc().totalStats());
+    llc.counter("writebacks") = hier->llc().writebacks();
+    llc.dump(os);
+
+    StatGroup dram("dram");
+    dram.counter("reads") = hier->dram().reads();
+    dram.counter("writes") = hier->dram().writes();
+    dram.counter("queueing_cycles") = hier->dram().queueingCycles();
+    dram.dump(os);
+}
+
+} // namespace nucache

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The multicore system driver: cores over a shared hierarchy,
+ * interleaved by local time, with the first-wrap measurement
+ * methodology (each core's statistics freeze once it completes its
+ * target record count; it keeps executing to preserve cache pressure
+ * until every core has finished measuring).
+ */
+
+#ifndef NUCACHE_SIM_SYSTEM_HH
+#define NUCACHE_SIM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/hierarchy.hh"
+#include "sim/cpu.hh"
+#include "trace/trace.hh"
+
+namespace nucache
+{
+
+/** Per-core results of a finished run. */
+struct CoreResult
+{
+    std::string workload;
+    double ipc = 0.0;
+    std::uint64_t instructions = 0;
+    Cycles cycles = 0;
+    /** Demand accesses / misses at each level, measured at the end. */
+    CacheCoreStats l1;
+    CacheCoreStats llc;
+};
+
+/** Results of a finished run. */
+struct SystemResult
+{
+    std::vector<CoreResult> cores;
+    std::uint64_t llcWritebacks = 0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramQueueCycles = 0;
+};
+
+/** The system. */
+class System
+{
+  public:
+    /**
+     * @param hier_config geometry; numCores must match traces.size().
+     * @param llc_policy  management policy for the shared LLC.
+     * @param traces      one workload per core (ownership taken).
+     * @param records_per_core measurement window per core.
+     */
+    System(const HierarchyConfig &hier_config,
+           std::unique_ptr<ReplacementPolicy> llc_policy,
+           std::vector<TraceSourcePtr> traces,
+           std::uint64_t records_per_core);
+
+    /** Run to completion and @return the results. */
+    SystemResult run();
+
+    /**
+     * Dump the full statistics tree (per-core CPUs, per-level caches,
+     * DRAM) in gem5-style "group.key value" lines.  Call after run().
+     */
+    void dumpStats(std::ostream &os) const;
+
+    /** @return the hierarchy (introspection before/after run()). */
+    MemoryHierarchy &hierarchy() { return *hier; }
+    const MemoryHierarchy &hierarchy() const { return *hier; }
+
+  private:
+    std::unique_ptr<MemoryHierarchy> hier;
+    std::vector<std::unique_ptr<TraceCpu>> cpus;
+};
+
+} // namespace nucache
+
+#endif // NUCACHE_SIM_SYSTEM_HH

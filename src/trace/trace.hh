@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Memory-access trace records and the abstract trace-source interface.
+ *
+ * A trace is the unit of workload in this simulator: a stream of memory
+ * references annotated with the issuing static instruction (PC) and the
+ * number of non-memory instructions executed since the previous
+ * reference (used by the timing model).
+ */
+
+#ifndef NUCACHE_TRACE_TRACE_HH
+#define NUCACHE_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+
+namespace nucache
+{
+
+/** One memory reference in a workload trace. */
+struct TraceRecord
+{
+    /** Program counter of the static load/store. */
+    PC pc = 0;
+    /** Byte address referenced. */
+    Addr addr = 0;
+    /** Non-memory instructions since the previous record (CPI=1 each). */
+    std::uint32_t nonMemGap = 0;
+    /** True for stores, false for loads. */
+    bool isWrite = false;
+};
+
+/**
+ * Abstract producer of trace records.
+ *
+ * Sources must be resettable so multiprogrammed runs can wrap a
+ * finished workload around (the standard first-wrap methodology), and
+ * must be deterministic: two passes after reset() yield identical
+ * streams.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next record.
+     * @param rec output record, valid only when true is returned.
+     * @retval true a record was produced.
+     * @retval false the trace is exhausted (reset() to replay).
+     */
+    virtual bool next(TraceRecord &rec) = 0;
+
+    /** Rewind to the beginning of the stream. */
+    virtual void reset() = 0;
+
+    /** @return a short human-readable workload name. */
+    virtual const std::string &name() const = 0;
+};
+
+/** Owning handle for polymorphic trace sources. */
+using TraceSourcePtr = std::unique_ptr<TraceSource>;
+
+} // namespace nucache
+
+#endif // NUCACHE_TRACE_TRACE_HH

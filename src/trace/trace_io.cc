@@ -1,0 +1,183 @@
+#include "trace/trace_io.hh"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace nucache
+{
+
+namespace
+{
+
+constexpr std::array<char, 8> traceMagic =
+    { 'N', 'U', 'T', 'R', 'A', 'C', 'E', '1' };
+
+void
+putU64(std::ostream &os, std::uint64_t v)
+{
+    // Explicit little-endian byte order for portability.
+    for (int i = 0; i < 8; ++i)
+        os.put(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU32(std::ostream &os, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        os.put(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+bool
+getU64(std::istream &is, std::uint64_t &v)
+{
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+        const int c = is.get();
+        if (c == std::istream::traits_type::eof())
+            return false;
+        v |= static_cast<std::uint64_t>(c & 0xff) << (8 * i);
+    }
+    return true;
+}
+
+bool
+getU32(std::istream &is, std::uint32_t &v)
+{
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+        const int c = is.get();
+        if (c == std::istream::traits_type::eof())
+            return false;
+        v |= static_cast<std::uint32_t>(c & 0xff) << (8 * i);
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+void
+writeBinaryTrace(std::ostream &os, const std::vector<TraceRecord> &records)
+{
+    os.write(traceMagic.data(), traceMagic.size());
+    putU64(os, records.size());
+    for (const auto &rec : records) {
+        putU64(os, rec.pc);
+        putU64(os, rec.addr);
+        putU32(os, rec.nonMemGap);
+        os.put(rec.isWrite ? 1 : 0);
+        os.put(0);
+        os.put(0);
+        os.put(0);
+    }
+}
+
+std::vector<TraceRecord>
+readBinaryTrace(std::istream &is)
+{
+    std::array<char, 8> magic{};
+    is.read(magic.data(), magic.size());
+    if (!is || magic != traceMagic)
+        fatal("trace file: bad magic (not a NUTRACE1 file)");
+
+    std::uint64_t count = 0;
+    if (!getU64(is, count))
+        fatal("trace file: truncated header");
+
+    std::vector<TraceRecord> records;
+    records.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TraceRecord rec;
+        std::uint32_t gap = 0;
+        if (!getU64(is, rec.pc) || !getU64(is, rec.addr) ||
+            !getU32(is, gap)) {
+            fatal("trace file: truncated at record ", i, " of ", count);
+        }
+        rec.nonMemGap = gap;
+        const int w = is.get();
+        if (w == std::istream::traits_type::eof())
+            fatal("trace file: truncated at record ", i, " of ", count);
+        rec.isWrite = (w != 0);
+        is.get();
+        is.get();
+        is.get();
+        records.push_back(rec);
+    }
+    return records;
+}
+
+void
+writeTextTrace(std::ostream &os, const std::vector<TraceRecord> &records)
+{
+    os << "# pc addr gap r|w\n";
+    for (const auto &rec : records) {
+        os << "0x" << std::hex << rec.pc << " 0x" << rec.addr << std::dec
+           << " " << rec.nonMemGap << " " << (rec.isWrite ? 'w' : 'r')
+           << "\n";
+    }
+}
+
+std::vector<TraceRecord>
+readTextTrace(std::istream &is)
+{
+    std::vector<TraceRecord> records;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        TraceRecord rec;
+        std::string rw;
+        std::uint64_t pc = 0, addr = 0;
+        std::uint32_t gap = 0;
+        ls >> std::hex >> pc >> addr >> std::dec >> gap >> rw;
+        if (ls.fail() || (rw != "r" && rw != "w"))
+            fatal("text trace: malformed line ", line_no, ": '", line, "'");
+        rec.pc = pc;
+        rec.addr = addr;
+        rec.nonMemGap = gap;
+        rec.isWrite = (rw == "w");
+        records.push_back(rec);
+    }
+    return records;
+}
+
+VectorTraceSource::VectorTraceSource(std::string name,
+                                     std::vector<TraceRecord> records)
+    : sourceName(std::move(name)), records(std::move(records)), cursor(0)
+{
+}
+
+bool
+VectorTraceSource::next(TraceRecord &rec)
+{
+    if (cursor >= records.size())
+        return false;
+    rec = records[cursor++];
+    return true;
+}
+
+void
+VectorTraceSource::reset()
+{
+    cursor = 0;
+}
+
+TraceSourcePtr
+loadTraceFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open trace file '", path, "'");
+    auto records = readBinaryTrace(is);
+    return std::make_unique<VectorTraceSource>(path, std::move(records));
+}
+
+} // namespace nucache

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the adaptive Main/Deli split extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hh"
+#include "core/nucache.hh"
+#include "mem/cache.hh"
+
+namespace nucache
+{
+namespace
+{
+
+AccessInfo
+read(Addr addr, PC pc)
+{
+    AccessInfo info;
+    info.addr = addr;
+    info.pc = pc;
+    return info;
+}
+
+NUcacheConfig
+adaptiveConfig()
+{
+    NUcacheConfig cfg;
+    cfg.adaptiveDeli = true;
+    cfg.epochMisses = 1000;
+    cfg.monitor.sampleShift = 0;
+    return cfg;
+}
+
+TEST(AdaptiveDeli, NameReflectsMode)
+{
+    EXPECT_EQ(NUcachePolicy(adaptiveConfig()).name(),
+              "nucache-adaptive");
+}
+
+TEST(AdaptiveDeli, GrowsDeliForRetentionHeavyTraffic)
+{
+    // Loop beyond the MainWays' reach under pollution: the deli model
+    // produces large expected hits, main hits are few -> D grows.
+    CacheConfig cfg{"a", 64ull * 16 * 64, 16, 64};  // 1024 blocks
+    auto policy = std::make_unique<NUcachePolicy>(adaptiveConfig());
+    NUcachePolicy *nu = policy.get();
+    Cache c(cfg, std::move(policy));
+
+    Addr stream = 1 << 24;
+    for (int iter = 0; iter < 60; ++iter) {
+        for (Addr b = 0; b < 800; ++b)
+            c.access(read(b * 64, 0x400000 + (mix64(b) % 8) * 4));
+        for (int s = 0; s < 600; ++s) {
+            c.access(read(stream, 0x500000));
+            stream += 64;
+        }
+    }
+    EXPECT_GT(nu->epochsRun(), 3u);
+    EXPECT_GE(nu->numDeliWays(), 8u);
+    EXPECT_GT(nu->deliHits(), 0u);
+}
+
+TEST(AdaptiveDeli, CollapsesDeliWhenNothingIsRetainable)
+{
+    // Pure streaming: the deli model finds zero benefit at every
+    // candidate split, so the tie resolves to the smallest D and the
+    // MainWays get (nearly) the whole cache back.  (The converse —
+    // growing the MainWays for recency-served traffic — is
+    // observability-limited: hits beyond the current MainWays size
+    // show up as DeliWay hits of selected PCs instead, which the
+    // model correctly scores as equivalent.)
+    CacheConfig cfg{"a", 64ull * 16 * 64, 16, 64};
+    auto policy = std::make_unique<NUcachePolicy>(adaptiveConfig());
+    NUcachePolicy *nu = policy.get();
+    Cache c(cfg, std::move(policy));
+
+    Addr stream = 0;
+    for (int i = 0; i < 60000; ++i) {
+        c.access(read(stream, 0x500000 + (i % 4) * 4));
+        stream += 64;
+    }
+    EXPECT_GT(nu->epochsRun(), 3u);
+    EXPECT_LE(nu->numDeliWays(), 2u);
+}
+
+TEST(AdaptiveDeli, AccountingBalancesAcrossResizes)
+{
+    CacheConfig cfg{"a", 16ull * 16 * 64, 16, 64};
+    NUcacheConfig acfg = adaptiveConfig();
+    acfg.epochMisses = 300;  // force frequent resizes
+    auto policy = std::make_unique<NUcachePolicy>(acfg);
+    Cache c(cfg, std::move(policy));
+    std::uint64_t x = 3;
+    for (int i = 0; i < 60000; ++i) {
+        x = x * 6364136223846793005ull + 1;
+        // Alternate phases so the best split keeps moving.
+        const bool phase = (i / 10000) % 2 == 0;
+        const Addr block = phase ? (x >> 20) % 128
+                                 : (x >> 20) % 2048;
+        c.access(read(block * 64, 0x400000 + (mix64(block) % 8) * 4));
+    }
+    const auto s = c.totalStats();
+    EXPECT_EQ(s.hits + s.misses, s.accesses);
+}
+
+} // anonymous namespace
+} // namespace nucache

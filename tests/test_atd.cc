@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the Auxiliary Tag Directory / utility monitor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "policy/atd.hh"
+
+namespace nucache
+{
+namespace
+{
+
+TEST(UtilityMonitor, MonitorsEverySetWhenTiny)
+{
+    UtilityMonitor m(4, 4, 5);  // 4 sets >> shift 5 would leave none
+    for (std::uint32_t s = 0; s < 4; ++s)
+        EXPECT_TRUE(m.sampled(s));
+}
+
+TEST(UtilityMonitor, SamplesRoughlyOneInFactor)
+{
+    UtilityMonitor m(1024, 8, 5);
+    int sampled = 0;
+    for (std::uint32_t s = 0; s < 1024; ++s)
+        sampled += m.sampled(s) ? 1 : 0;
+    // Hash-based sampling: expect 32 +- a generous band.
+    EXPECT_GT(sampled, 12);
+    EXPECT_LT(sampled, 80);
+}
+
+TEST(UtilityMonitor, StackPositionHistogram)
+{
+    UtilityMonitor m(1, 4, 0);  // one set, monitored
+    // Touch A, B, then A again: A hits at stack position 1.
+    m.observe(0, 100);
+    m.observe(0, 101);
+    m.observe(0, 100);
+    EXPECT_EQ(m.misses(), 2u);
+    EXPECT_EQ(m.hitsAtPosition(1), 1u);
+    EXPECT_EQ(m.hitsAtPosition(0), 0u);
+    // MRU re-touch hits position 0.
+    m.observe(0, 100);
+    EXPECT_EQ(m.hitsAtPosition(0), 1u);
+}
+
+TEST(UtilityMonitor, CumulativeHitsWithWays)
+{
+    UtilityMonitor m(1, 4, 0);
+    m.observe(0, 1);
+    m.observe(0, 2);
+    m.observe(0, 3);
+    m.observe(0, 1);  // position 2
+    m.observe(0, 1);  // position 0
+    EXPECT_EQ(m.hitsWithWays(1), 1u);
+    EXPECT_EQ(m.hitsWithWays(3), 2u);
+    EXPECT_EQ(m.hitsWithWays(4), 2u);
+}
+
+TEST(UtilityMonitor, LruReplacementInShadow)
+{
+    UtilityMonitor m(1, 2, 0);
+    m.observe(0, 1);
+    m.observe(0, 2);
+    m.observe(0, 3);  // evicts 1
+    m.observe(0, 1);  // miss again
+    EXPECT_EQ(m.misses(), 4u);
+}
+
+TEST(UtilityMonitor, CurveIsMonotone)
+{
+    UtilityMonitor m(4, 8, 0);
+    std::uint64_t x = 3;
+    for (int i = 0; i < 20000; ++i) {
+        x = x * 6364136223846793005ull + 1;
+        m.observe(static_cast<std::uint32_t>(x % 4), (x >> 8) % 64);
+    }
+    for (std::uint32_t w = 1; w < 8; ++w)
+        EXPECT_LE(m.hitsWithWays(w), m.hitsWithWays(w + 1));
+}
+
+TEST(UtilityMonitor, DecayHalves)
+{
+    UtilityMonitor m(1, 2, 0);
+    m.observe(0, 1);
+    m.observe(0, 1);
+    m.observe(0, 1);
+    m.observe(0, 1);
+    EXPECT_EQ(m.hitsWithWays(2), 3u);
+    m.decay();
+    EXPECT_EQ(m.hitsWithWays(2), 1u);
+}
+
+TEST(UtilityMonitor, UnsampledSetsIgnored)
+{
+    UtilityMonitor m(1024, 4, 5);
+    std::uint32_t unsampled = 0;
+    while (m.sampled(unsampled))
+        ++unsampled;
+    m.observe(unsampled, 1);
+    m.observe(unsampled, 1);
+    EXPECT_EQ(m.misses(), 0u);
+    EXPECT_EQ(m.hitsWithWays(4), 0u);
+}
+
+} // anonymous namespace
+} // namespace nucache

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the bit-manipulation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hh"
+
+namespace nucache
+{
+namespace
+{
+
+TEST(BitUtil, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(BitUtil, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(~std::uint64_t{0}), 63u);
+}
+
+TEST(BitUtil, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(1ull << 62), 62u);
+}
+
+TEST(BitUtil, Mask)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xffu);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+    EXPECT_EQ(mask(65), ~std::uint64_t{0});
+}
+
+TEST(BitUtil, Bits)
+{
+    EXPECT_EQ(bits(0xabcd, 0, 4), 0xdu);
+    EXPECT_EQ(bits(0xabcd, 4, 4), 0xcu);
+    EXPECT_EQ(bits(0xabcd, 8, 8), 0xabu);
+    EXPECT_EQ(bits(~std::uint64_t{0}, 60, 4), 0xfu);
+}
+
+TEST(BitUtil, Mix64IsDeterministicAndSpreads)
+{
+    EXPECT_EQ(mix64(42), mix64(42));
+    EXPECT_NE(mix64(1), mix64(2));
+    // Consecutive inputs should differ in roughly half their bits.
+    int diffs = 0;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        const std::uint64_t x = mix64(i) ^ mix64(i + 1);
+        diffs += __builtin_popcountll(x);
+    }
+    const double avg = static_cast<double>(diffs) / 64.0;
+    EXPECT_GT(avg, 20.0);
+    EXPECT_LT(avg, 44.0);
+}
+
+TEST(BitUtil, Mix64LowBitsUnbiased)
+{
+    // Low bits of mix64 over a strided input must be close to uniform
+    // (this is what the set-sampling decorrelation relies on).
+    int ones = 0;
+    for (std::uint64_t i = 0; i < 4096; i += 32)
+        ones += static_cast<int>(mix64(i) & 1);
+    EXPECT_GT(ones, 32);
+    EXPECT_LT(ones, 96);
+}
+
+} // anonymous namespace
+} // namespace nucache

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for the ASCII bar-chart renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/chart.hh"
+
+namespace nucache
+{
+namespace
+{
+
+TEST(BarChart, RendersBarsProportionally)
+{
+    BarChart chart(20, 0.0);
+    chart.add("half", 0.5);
+    chart.add("full", 1.0);
+    std::ostringstream os;
+    chart.print(os);
+    const std::string out = os.str();
+    const auto count_hashes = [&](const std::string &line_start) {
+        const auto pos = out.find(line_start);
+        EXPECT_NE(pos, std::string::npos) << line_start;
+        const auto end = out.find('\n', pos);
+        const std::string line = out.substr(pos, end - pos);
+        return std::count(line.begin(), line.end(), '#');
+    };
+    const auto h = count_hashes("half");
+    const auto f = count_hashes("full");
+    EXPECT_GT(f, h);
+    EXPECT_NEAR(static_cast<double>(h) / static_cast<double>(f), 0.5,
+                0.15);
+}
+
+TEST(BarChart, MarksBaseline)
+{
+    BarChart chart(20, 1.0);
+    chart.add("above", 1.2);
+    std::ostringstream os;
+    chart.print(os);
+    EXPECT_NE(os.str().find('|'), std::string::npos);
+}
+
+TEST(BarChart, EmptyPrintsNothing)
+{
+    BarChart chart;
+    std::ostringstream os;
+    chart.print(os);
+    EXPECT_TRUE(os.str().empty());
+}
+
+TEST(BarChart, ShowsValueSuffix)
+{
+    BarChart chart(16, 0.0);
+    chart.add("x", 1.234);
+    std::ostringstream os;
+    chart.print(os);
+    EXPECT_NE(os.str().find("1.234"), std::string::npos);
+}
+
+TEST(BarChartDeathTest, RejectsBadInputs)
+{
+    EXPECT_EXIT(BarChart(4), ::testing::ExitedWithCode(1), "width");
+    BarChart chart;
+    EXPECT_EXIT(chart.add("neg", -1.0), ::testing::ExitedWithCode(1),
+                "non-negative");
+}
+
+} // anonymous namespace
+} // namespace nucache

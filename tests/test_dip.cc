@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for DIP and TADIP-F.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "policy/dip.hh"
+#include "policy/set_dueling.hh"
+
+namespace nucache
+{
+namespace
+{
+
+AccessInfo
+read(Addr addr, CoreId core = 0)
+{
+    AccessInfo info;
+    info.addr = addr;
+    info.pc = 0x400000;
+    info.coreId = core;
+    return info;
+}
+
+TEST(SaturatingCounter, SaturatesBothEnds)
+{
+    SaturatingCounter c(2);  // range 0..3, starts at 2
+    EXPECT_EQ(c.value(), 2u);
+    c.up();
+    c.up();
+    c.up();
+    EXPECT_EQ(c.value(), 3u);
+    for (int i = 0; i < 10; ++i)
+        c.down();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_FALSE(c.high());
+    c.up();
+    c.up();
+    c.up();
+    EXPECT_TRUE(c.high());
+}
+
+TEST(LeaderSets, TwoLeadersPerConstituencyDisjoint)
+{
+    LeaderSets ls(1024, 32);
+    int team0 = 0, team1 = 0;
+    for (std::uint32_t s = 0; s < 1024; ++s) {
+        const int t = ls.teamOf(s);
+        if (t == 0)
+            ++team0;
+        else if (t == 1)
+            ++team1;
+    }
+    EXPECT_EQ(team0, 32);
+    EXPECT_EQ(team1, 32);
+}
+
+TEST(LeaderSets, LanesPickDifferentLeaders)
+{
+    LeaderSets a(1024, 32, 0), b(1024, 32, 1);
+    int overlap = 0;
+    for (std::uint32_t s = 0; s < 1024; ++s) {
+        if (a.teamOf(s) >= 0 && b.teamOf(s) >= 0)
+            ++overlap;
+    }
+    // Occasional hash collisions are fine; wholesale overlap is not.
+    EXPECT_LT(overlap, 16);
+}
+
+TEST(Dip, BeatsLruOnThrashingLoop)
+{
+    CacheConfig cfg{"d", 64ull * 16 * 64, 16, 64};  // 1024 blocks
+    Cache dip(cfg, std::make_unique<DipPolicy>());
+    const int loop_blocks = 2048;  // 2x capacity
+    for (int iter = 0; iter < 40; ++iter) {
+        for (int b = 0; b < loop_blocks; ++b)
+            dip.access(read(b * 64ull));
+    }
+    const auto s = dip.totalStats();
+    // LRU would approach 0% hits; DIP should retain roughly half.
+    EXPECT_GT(static_cast<double>(s.hits) / s.accesses, 0.25);
+}
+
+TEST(Dip, MatchesLruWhenWorkingSetFits)
+{
+    CacheConfig cfg{"d", 64ull * 16 * 64, 16, 64};
+    Cache dip(cfg, std::make_unique<DipPolicy>());
+    for (int iter = 0; iter < 20; ++iter) {
+        for (int b = 0; b < 512; ++b)  // fits easily
+            dip.access(read(b * 64ull));
+    }
+    const auto s = dip.totalStats();
+    // Only cold misses.
+    EXPECT_EQ(s.misses, 512u);
+}
+
+TEST(Dip, PselMovesUnderThrash)
+{
+    CacheConfig cfg{"d", 64ull * 16 * 64, 16, 64};
+    auto policy = std::make_unique<DipPolicy>();
+    DipPolicy *dip = policy.get();
+    Cache c(cfg, std::move(policy));
+    const std::uint32_t start = dip->pselValue();
+    for (int iter = 0; iter < 20; ++iter) {
+        for (int b = 0; b < 4096; ++b)
+            c.access(read(b * 64ull));
+    }
+    // LRU leaders miss everything, BIP leaders get hits: PSEL rises.
+    EXPECT_GT(dip->pselValue(), start);
+}
+
+TEST(Tadip, DemotesOnlyTheThrashingCore)
+{
+    // Core 0: small reusable set.  Core 1: giant loop.
+    CacheConfig cfg{"t", 64ull * 16 * 64, 16, 64};
+    auto policy = std::make_unique<TadipPolicy>();
+    TadipPolicy *tadip = policy.get();
+    Cache c(cfg, std::move(policy), 2);
+
+    for (int iter = 0; iter < 60; ++iter) {
+        for (int b = 0; b < 256; ++b)
+            c.access(read(b * 64ull, 0));
+        for (int b = 0; b < 2048; ++b)
+            c.access(read((1 << 24) + b * 64ull, 1));
+    }
+    // Core 1's PSEL should favour BIP more than core 0's.
+    EXPECT_GT(tadip->pselValue(1), tadip->pselValue(0));
+    // And core 0 must keep a high hit rate despite the co-runner.
+    const auto s0 = c.coreStats(0);
+    EXPECT_GT(static_cast<double>(s0.hits) / s0.accesses, 0.8);
+}
+
+TEST(Tadip, AccountingBalances)
+{
+    CacheConfig cfg{"t", 64ull * 8 * 64, 8, 64};
+    Cache c(cfg, std::make_unique<TadipPolicy>(), 4);
+    std::uint64_t x = 11;
+    for (int i = 0; i < 40000; ++i) {
+        x = x * 6364136223846793005ull + 1;
+        c.access(read(((x >> 18) % 4096) * 64, (x >> 40) % 4));
+    }
+    const auto s = c.totalStats();
+    EXPECT_EQ(s.hits + s.misses, s.accesses);
+}
+
+} // anonymous namespace
+} // namespace nucache

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests for the DRAM latency/occupancy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+
+namespace nucache
+{
+namespace
+{
+
+TEST(Dram, UncontendedReadLatency)
+{
+    DramModel dram(DramConfig{200, 16, 2});
+    EXPECT_EQ(dram.read(1000), 200u);
+    EXPECT_EQ(dram.reads(), 1u);
+}
+
+TEST(Dram, QueueingAccumulatesWhenChannelsBusy)
+{
+    DramModel dram(DramConfig{100, 50, 1});
+    EXPECT_EQ(dram.read(0), 100u);   // starts at 0, busy till 50
+    EXPECT_EQ(dram.read(0), 150u);   // waits 50
+    EXPECT_EQ(dram.read(0), 200u);   // waits 100
+    EXPECT_EQ(dram.queueingCycles(), 150u);
+}
+
+TEST(Dram, SecondChannelAbsorbsBurst)
+{
+    DramModel dram(DramConfig{100, 50, 2});
+    EXPECT_EQ(dram.read(0), 100u);
+    EXPECT_EQ(dram.read(0), 100u);   // second channel free
+    EXPECT_EQ(dram.read(0), 150u);   // both busy now
+}
+
+TEST(Dram, BusyChannelFreesOverTime)
+{
+    DramModel dram(DramConfig{100, 50, 1});
+    dram.read(0);
+    // Issue after the channel freed: no queueing.
+    EXPECT_EQ(dram.read(1000), 100u);
+    EXPECT_EQ(dram.queueingCycles(), 0u);
+}
+
+TEST(Dram, WritesConsumeBandwidthButReturnNothing)
+{
+    DramModel dram(DramConfig{100, 50, 1});
+    dram.write(0);
+    EXPECT_EQ(dram.writes(), 1u);
+    // A read right behind the write queues behind it.
+    EXPECT_EQ(dram.read(0), 150u);
+}
+
+TEST(DramDeathTest, RejectsZeroChannels)
+{
+    EXPECT_EXIT(DramModel(DramConfig{100, 10, 0}),
+                ::testing::ExitedWithCode(1), "at least one channel");
+}
+
+} // anonymous namespace
+} // namespace nucache

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the experiment harness and the mix catalog.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "trace/workloads.hh"
+
+namespace nucache
+{
+namespace
+{
+
+TEST(Experiment, DefaultHierarchyShapes)
+{
+    const auto one = defaultHierarchy(1);
+    EXPECT_EQ(one.numCores, 1u);
+    EXPECT_EQ(one.llc.sizeBytes, 1u << 20);
+    EXPECT_EQ(one.llc.ways, 16u);
+
+    const auto two = defaultHierarchy(2);
+    EXPECT_EQ(two.llc.sizeBytes, 1u << 20);
+    EXPECT_EQ(two.llc.ways, 16u);
+
+    const auto four = defaultHierarchy(4);
+    EXPECT_EQ(four.llc.sizeBytes, 2u << 20);
+    EXPECT_EQ(four.llc.ways, 32u);
+
+    const auto eight = defaultHierarchy(8);
+    EXPECT_EQ(eight.llc.sizeBytes, 4u << 20);
+    EXPECT_EQ(eight.llc.ways, 32u);
+}
+
+TEST(Experiment, MixCatalogsWellFormed)
+{
+    EXPECT_EQ(dualCoreMixes().size(), 10u);
+    EXPECT_EQ(quadCoreMixes().size(), 8u);
+    EXPECT_EQ(eightCoreMixes().size(), 5u);
+    for (unsigned cores : {2u, 4u, 8u}) {
+        for (const auto &mix : mixesForCores(cores)) {
+            EXPECT_EQ(mix.workloads.size(), cores) << mix.name;
+            for (const auto &w : mix.workloads)
+                EXPECT_TRUE(isWorkloadName(w))
+                    << mix.name << " uses unknown workload " << w;
+        }
+    }
+}
+
+TEST(Experiment, AloneIpcIsMemoized)
+{
+    ExperimentHarness h(3000);
+    const auto hier = defaultHierarchy(2);
+    const double a = h.aloneIpc("tiny_hot", hier);
+    const double b = h.aloneIpc("tiny_hot", hier);
+    EXPECT_GT(a, 0.0);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Experiment, RunMixFillsMetrics)
+{
+    ExperimentHarness h(3000);
+    const auto hier = defaultHierarchy(2);
+    WorkloadMix mix{"t", {"tiny_hot", "small_ws"}};
+    const MixResult res = h.runMix(mix, "lru", hier);
+    EXPECT_EQ(res.mixName, "t");
+    EXPECT_EQ(res.policy, "lru");
+    ASSERT_EQ(res.system.cores.size(), 2u);
+    EXPECT_GT(res.weightedSpeedup, 0.0);
+    EXPECT_LE(res.weightedSpeedup, 2.0 + 1e-9);
+    EXPECT_GT(res.hmeanSpeedup, 0.0);
+    EXPECT_GE(res.antt, 1.0 - 1e-9);
+    EXPECT_GT(res.fairness, 0.0);
+    EXPECT_LE(res.fairness, 1.0 + 1e-9);
+}
+
+TEST(Experiment, RunSingleUsesOneCore)
+{
+    ExperimentHarness h(3000);
+    const auto res =
+        h.runSingle("tiny_hot", "nucache", defaultHierarchy(1));
+    ASSERT_EQ(res.cores.size(), 1u);
+    EXPECT_GT(res.cores[0].ipc, 0.0);
+}
+
+TEST(ExperimentDeathTest, MixSizeMustMatchCores)
+{
+    ExperimentHarness h(1000);
+    WorkloadMix mix{"bad", {"tiny_hot"}};
+    EXPECT_EXIT(h.runMix(mix, "lru", defaultHierarchy(2)),
+                ::testing::ExitedWithCode(1), "1 programs for 2 cores");
+}
+
+TEST(ExperimentDeathTest, UnknownMixCores)
+{
+    EXPECT_EXIT(mixesForCores(3), ::testing::ExitedWithCode(1),
+                "no mixes");
+}
+
+} // anonymous namespace
+} // namespace nucache

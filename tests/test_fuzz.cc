@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Randomized robustness sweep: every policy driven over randomized
+ * cache geometries and access streams, checking only the global
+ * invariants (no crash, accounting balances, results deterministic).
+ * This is the net under the whole policy zoo.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mem/cache.hh"
+#include "sim/policies.hh"
+
+namespace nucache
+{
+namespace
+{
+
+struct FuzzCase
+{
+    std::string policy;
+    std::uint32_t sets;
+    std::uint32_t ways;
+    std::uint32_t cores;
+};
+
+class PolicyFuzz : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(PolicyFuzz, RandomGeometriesAndStreams)
+{
+    const std::string policy = GetParam();
+    Rng shape_rng(0xf022 + std::hash<std::string>{}(policy));
+
+    for (int round = 0; round < 6; ++round) {
+        const std::uint32_t sets = 1u
+            << shape_rng.between(0, 7);             // 1..128 sets
+        const std::uint32_t ways =
+            static_cast<std::uint32_t>(shape_rng.between(1, 12));
+        const std::uint32_t cores =
+            static_cast<std::uint32_t>(shape_rng.between(1, 4));
+        if ((policy == "ucp" || policy == "pipp") && ways < cores)
+            continue;  // these need a way per core
+
+        CacheConfig cfg{"fuzz", 64ull * sets * ways, ways, 64};
+        Cache cache(cfg, makePolicy(policy), cores);
+
+        Rng rng(round * 977 + 5);
+        const std::uint64_t span = 64ull * sets * ways * 6;
+        for (int i = 0; i < 8000; ++i) {
+            AccessInfo info;
+            info.addr = rng.below(span / 64) * 64;
+            info.pc = 0x400000 + rng.below(24) * 4;
+            info.coreId = static_cast<CoreId>(rng.below(cores));
+            info.isWrite = rng.chance(0.3);
+            cache.access(info);
+        }
+        const auto s = cache.totalStats();
+        ASSERT_EQ(s.hits + s.misses, s.accesses)
+            << policy << " sets=" << sets << " ways=" << ways
+            << " cores=" << cores;
+        ASSERT_LE(s.hits, s.accesses);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyFuzz,
+    ::testing::Values("lru", "random", "nru", "srrip", "brrip", "drrip",
+                      "dip", "tadip", "ship", "hawkeye", "ucp", "pipp",
+                      "nucache", "nucache-adaptive", "nucache-topk",
+                      "nucache-all", "nucache-none"));
+
+TEST(PolicyFuzz, IdenticalSeedsGiveIdenticalOutcomes)
+{
+    // Determinism across the zoo: two identical runs must agree
+    // hit-for-hit (reproducibility of every experiment depends on it).
+    for (const auto &policy : allPolicyNames()) {
+        CacheConfig cfg{"d", 16ull * 8 * 64, 8, 64};
+        Cache a(cfg, makePolicy(policy), 2);
+        Cache b(cfg, makePolicy(policy), 2);
+        Rng ra(42), rb(42);
+        for (int i = 0; i < 5000; ++i) {
+            AccessInfo ia, ib;
+            ia.addr = ra.below(1024) * 64;
+            ia.pc = 0x400000 + ra.below(16) * 4;
+            ia.coreId = static_cast<CoreId>(ra.below(2));
+            ib.addr = rb.below(1024) * 64;
+            ib.pc = 0x400000 + rb.below(16) * 4;
+            ib.coreId = static_cast<CoreId>(rb.below(2));
+            ASSERT_EQ(a.access(ia).hit, b.access(ib).hit)
+                << policy << " at " << i;
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace nucache

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Fine-grained insertion-behaviour tests: the exact placement
+ * semantics of BIP/DIP fills and SHiP predictions, which the
+ * coarse-grained workload tests cannot pin down.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "policy/dip.hh"
+#include "policy/ship.hh"
+
+namespace nucache
+{
+namespace
+{
+
+AccessInfo
+read(Addr addr, PC pc = 0x400000, CoreId core = 0)
+{
+    AccessInfo info;
+    info.addr = addr;
+    info.pc = pc;
+    info.coreId = core;
+    return info;
+}
+
+/** DIP in pure-BIP state: LRU-position fills are the next victims. */
+TEST(InsertionBehavior, BipFillsLandAtLruPosition)
+{
+    // A DIP with epsilon 0 never trickles to MRU; drive its PSEL into
+    // BIP territory first with a thrashing loop over the leader sets.
+    CacheConfig cfg{"d", 64ull * 4 * 64, 4, 64};
+    auto policy = std::make_unique<DipPolicy>(/*epsilon=*/0.0);
+    DipPolicy *dip = policy.get();
+    Cache c(cfg, std::move(policy));
+    for (int iter = 0; iter < 30; ++iter) {
+        for (Addr b = 0; b < 1024; ++b)
+            c.access(read(b * 64));
+    }
+    ASSERT_GT(dip->pselValue(), 512u);  // BIP selected
+
+    // Pick a follower set (teams 0/1 are leaders).
+    const LeaderSets leaders(64, 32);
+    std::uint32_t set = 0;
+    while (leaders.teamOf(set) != -1)
+        ++set;
+    const Addr base = static_cast<Addr>(set) * 64;
+    const Addr stride = 64ull * 64;  // next block in the same set
+
+    // Establish 3 blocks in the 4-way set and touch them to MRU.
+    for (int i = 0; i < 3; ++i) {
+        c.access(read(base + 8 * stride + i * stride));
+        c.access(read(base + 8 * stride + i * stride));
+    }
+    // A new BIP fill lands at the LRU position: the very next
+    // conflicting fill evicts it, never an established block.
+    c.access(read(base + 20 * stride));
+    c.access(read(base + 21 * stride));
+    EXPECT_FALSE(c.probe(base + 20 * stride));
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(c.probe(base + 8 * stride + i * stride)) << i;
+}
+
+/** SHiP inserts predicted-dead fills at the distant RRPV. */
+TEST(InsertionBehavior, ShipDeadPredictionEvictsFirst)
+{
+    CacheConfig cfg{"s", 1ull * 4 * 64, 4, 64};  // one set
+    auto policy = std::make_unique<ShipPolicy>();
+    ShipPolicy *ship = policy.get();
+    Cache c(cfg, std::move(policy));
+
+    // Teach the predictor that PC 0x500000 is dead: stream blocks
+    // through without reuse until the counter bottoms out.
+    Addr a = 0;
+    while (ship->shctValue(0x500000) > 0) {
+        c.access(read(a, 0x500000));
+        a += 64;
+    }
+    // Establish three trusted blocks (hit once each).
+    for (Addr b = 0; b < 3; ++b) {
+        c.access(read((1 << 20) + b * 64, 0x400000));
+        c.access(read((1 << 20) + b * 64, 0x400000));
+    }
+    // A dead-predicted fill, then one more trusted fill: the victim
+    // must be the dead-predicted line.
+    c.access(read(1 << 22, 0x500000));
+    c.access(read((1 << 20) + 3 * 64, 0x400000));
+    EXPECT_FALSE(c.probe(1 << 22));
+    for (Addr b = 0; b < 3; ++b)
+        EXPECT_TRUE(c.probe((1 << 20) + b * 64)) << b;
+}
+
+/** TADIP: follower insertion depth tracks the issuing core's PSEL. */
+TEST(InsertionBehavior, TadipFollowsPerCorePsel)
+{
+    CacheConfig cfg{"t", 64ull * 4 * 64, 4, 64};
+    auto policy = std::make_unique<TadipPolicy>(/*epsilon=*/0.0);
+    TadipPolicy *tadip = policy.get();
+    Cache c(cfg, std::move(policy), 2);
+
+    // Core 1 thrashes; core 0 reuses a small set.
+    for (int iter = 0; iter < 40; ++iter) {
+        for (Addr b = 0; b < 32; ++b)
+            c.access(read(b * 64, 0x400000, 0));
+        for (Addr b = 0; b < 2048; ++b)
+            c.access(read((1 << 24) + b * 64, 0x500000, 1));
+    }
+    EXPECT_GT(tadip->pselValue(1), tadip->pselValue(0));
+    // Core 0 keeps a meaningful share of its working set despite
+    // core 1's 64x traffic volume (with epsilon=0, its own occasional
+    // BIP-mode fills make full residency unattainable; the PSEL
+    // ordering above is the discriminating check).
+    int resident = 0;
+    for (Addr b = 0; b < 32; ++b)
+        resident += c.probe(b * 64) ? 1 : 0;
+    EXPECT_GT(resident, 8);
+}
+
+} // anonymous namespace
+} // namespace nucache

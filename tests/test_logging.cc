@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Tests for the gem5-style reporting helpers (fatal/panic exit
+ * behaviour, quiet mode, message concatenation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace nucache
+{
+namespace
+{
+
+TEST(Logging, ConcatFormatsMixedTypes)
+{
+    EXPECT_EQ(detail::concat("a=", 1, " b=", 2.5), "a=1 b=2.5");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+TEST(Logging, QuietFlagRoundTrips)
+{
+    const bool was = quiet();
+    setQuiet(true);
+    EXPECT_TRUE(quiet());
+    setQuiet(false);
+    EXPECT_FALSE(quiet());
+    setQuiet(was);
+}
+
+TEST(LoggingDeathTest, FatalExitsWithCode1)
+{
+    EXPECT_EXIT(fatal("bad config ", 42),
+                ::testing::ExitedWithCode(1), "bad config 42");
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant broke"), "invariant broke");
+}
+
+} // anonymous namespace
+} // namespace nucache

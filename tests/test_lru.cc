@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Property test: the LruPolicy-backed cache behaves identically to a
+ * reference stack-model LRU simulation under random traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+
+#include "common/rng.hh"
+#include "mem/cache.hh"
+#include "mem/lru.hh"
+
+namespace nucache
+{
+namespace
+{
+
+/** Straightforward reference LRU cache over block addresses. */
+class ReferenceLru
+{
+  public:
+    ReferenceLru(std::uint32_t sets, std::uint32_t ways,
+                 std::uint32_t block)
+        : numSets(sets), numWays(ways), blockSize(block),
+          stacks(sets)
+    {
+    }
+
+    bool
+    access(Addr addr)
+    {
+        const Addr tag = addr / blockSize;
+        auto &stack = stacks[tag % numSets];
+        for (auto it = stack.begin(); it != stack.end(); ++it) {
+            if (*it == tag) {
+                stack.erase(it);
+                stack.push_front(tag);
+                return true;
+            }
+        }
+        stack.push_front(tag);
+        if (stack.size() > numWays)
+            stack.pop_back();
+        return false;
+    }
+
+  private:
+    std::uint32_t numSets;
+    std::uint32_t numWays;
+    std::uint32_t blockSize;
+    std::vector<std::list<Addr>> stacks;
+};
+
+class LruEquivalence : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(LruEquivalence, MatchesReferenceModel)
+{
+    const std::uint32_t ways = GetParam();
+    const std::uint32_t sets = 8;
+    CacheConfig cfg{"lru", 64ull * ways * sets, ways, 64};
+    Cache cache(cfg, std::make_unique<LruPolicy>());
+    ReferenceLru ref(sets, ways, 64);
+
+    Rng rng(ways * 1000 + 17);
+    for (int i = 0; i < 50000; ++i) {
+        // Footprint 4x the cache so both hits and misses are common.
+        const Addr addr = rng.below(4ull * ways * sets) * 64;
+        AccessInfo info;
+        info.addr = addr;
+        info.pc = 0x400000;
+        const bool model_hit = ref.access(addr);
+        const bool cache_hit = cache.access(info).hit;
+        ASSERT_EQ(cache_hit, model_hit) << "access " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, LruEquivalence,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 16u));
+
+TEST(LruPolicy, StampAccessors)
+{
+    CacheConfig cfg{"lru", 1024, 4, 64};
+    auto policy = std::make_unique<LruPolicy>();
+    LruPolicy *lru = policy.get();
+    Cache cache(cfg, std::move(policy));
+    AccessInfo info;
+    info.addr = 0x40;
+    info.pc = 1;
+    cache.access(info);
+    const std::uint32_t set = cache.setIndexOf(0x40);
+    bool touched = false;
+    for (std::uint32_t w = 0; w < 4; ++w)
+        touched |= lru->stamp(set, w) != 0;
+    EXPECT_TRUE(touched);
+}
+
+} // anonymous namespace
+} // namespace nucache

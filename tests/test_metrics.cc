@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tests for the multiprogramming metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hh"
+
+namespace nucache
+{
+namespace
+{
+
+TEST(Metrics, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Metrics, WeightedSpeedupEqualsCoresWhenNoSlowdown)
+{
+    EXPECT_DOUBLE_EQ(weightedSpeedup({1.0, 2.0}, {1.0, 2.0}), 2.0);
+}
+
+TEST(Metrics, WeightedSpeedupSumsRatios)
+{
+    EXPECT_DOUBLE_EQ(weightedSpeedup({0.5, 1.0}, {1.0, 2.0}), 1.0);
+}
+
+TEST(Metrics, HmeanSpeedup)
+{
+    // Ratios 1 and 0.5: hmean = 2 / (1/1 + 1/0.5) = 2/3.
+    EXPECT_NEAR(hmeanSpeedup({1.0, 1.0}, {1.0, 2.0}), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, Antt)
+{
+    // Slowdowns 1x and 2x: ANTT = 1.5.
+    EXPECT_DOUBLE_EQ(antt({1.0, 1.0}, {1.0, 2.0}), 1.5);
+}
+
+TEST(Metrics, FairnessIsMinOverMaxRatio)
+{
+    EXPECT_DOUBLE_EQ(fairness({1.0, 1.0}, {1.0, 1.0}), 1.0);
+    EXPECT_DOUBLE_EQ(fairness({1.0, 1.0}, {1.0, 2.0}), 0.5);
+}
+
+TEST(MetricsDeathTest, RejectsBadInputs)
+{
+    EXPECT_EXIT(geomean({}), ::testing::ExitedWithCode(1), "empty");
+    EXPECT_EXIT(geomean({0.0}), ::testing::ExitedWithCode(1),
+                "non-positive");
+    EXPECT_EXIT(weightedSpeedup({1.0}, {1.0, 2.0}),
+                ::testing::ExitedWithCode(1), "equal-sized");
+    EXPECT_EXIT(antt({1.0, -1.0}, {1.0, 1.0}),
+                ::testing::ExitedWithCode(1), "non-positive");
+}
+
+} // anonymous namespace
+} // namespace nucache

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for the Next-Use monitor: retire/use matching, distance
+ * accounting, lease counting, aging and pruning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/next_use_monitor.hh"
+
+namespace nucache
+{
+namespace
+{
+
+NextUseMonitorConfig
+fullSampling()
+{
+    NextUseMonitorConfig cfg;
+    cfg.sampleShift = 0;  // watch every set
+    return cfg;
+}
+
+TEST(NextUseMonitor, RecordsRetireToMissDistance)
+{
+    NextUseMonitor m(fullSampling());
+    m.onRetire(0, /*tag=*/100, /*pc=*/1);
+    // Four misses to other blocks, then the reuse miss.
+    for (Addr t = 200; t < 204; ++t)
+        m.onMiss(0, t, 9);
+    m.onMiss(0, 100, 2);
+    EXPECT_EQ(m.matchedSamples(), 1u);
+    const auto top = m.topDelinquent(8);
+    // The distance is credited to the ALLOCATING pc (1), not the
+    // missing pc (2).
+    bool found = false;
+    for (const auto &p : top) {
+        if (p.pc == 1) {
+            found = true;
+            ASSERT_NE(p.nextUse, nullptr);
+            EXPECT_EQ(p.nextUse->total(), 1u);
+            // Distance = 5 misses (4 interleaved + the matching one).
+            EXPECT_GT(p.nextUse->countAtOrBelow(5), 0.9);
+            EXPECT_LT(p.nextUse->countAtOrBelow(3), 0.5);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(NextUseMonitor, RecordsRetireToUseDistance)
+{
+    NextUseMonitor m(fullSampling());
+    m.onRetire(0, 100, 1);
+    m.onMiss(0, 200, 9);
+    m.onUse(0, 100);  // a DeliWays hit
+    EXPECT_EQ(m.matchedSamples(), 1u);
+}
+
+TEST(NextUseMonitor, UseConsumesBoardEntry)
+{
+    NextUseMonitor m(fullSampling());
+    m.onRetire(0, 100, 1);
+    m.onUse(0, 100);
+    m.onUse(0, 100);  // second use has no entry
+    EXPECT_EQ(m.matchedSamples(), 1u);
+}
+
+TEST(NextUseMonitor, MissCountsPerPc)
+{
+    NextUseMonitor m(fullSampling());
+    m.onMiss(0, 1, 10);
+    m.onMiss(0, 2, 10);
+    m.onMiss(0, 3, 20);
+    const auto top = m.topDelinquent(8);
+    ASSERT_GE(top.size(), 2u);
+    EXPECT_EQ(top[0].pc, 10u);
+    EXPECT_EQ(top[0].misses, 2u);
+    EXPECT_EQ(m.totalMisses(), 3u);
+}
+
+TEST(NextUseMonitor, LeaseCountsRetiresWithoutBoarding)
+{
+    NextUseMonitor m(fullSampling());
+    m.onLease(0, 5);
+    m.onLease(0, 5);
+    const auto top = m.topDelinquent(8);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].retires, 2u);
+    // No board entry: a miss on any tag matches nothing.
+    m.onMiss(0, 42, 5);
+    EXPECT_EQ(m.matchedSamples(), 0u);
+}
+
+TEST(NextUseMonitor, BoardIsFifoBounded)
+{
+    NextUseMonitorConfig cfg = fullSampling();
+    cfg.boardEntries = 4;
+    NextUseMonitor m(cfg);
+    for (Addr t = 0; t < 6; ++t)
+        m.onRetire(0, 100 + t, 1);
+    // The two oldest entries were displaced.
+    m.onMiss(0, 100, 1);
+    m.onMiss(0, 101, 1);
+    EXPECT_EQ(m.matchedSamples(), 0u);
+    m.onMiss(0, 105, 1);
+    EXPECT_EQ(m.matchedSamples(), 1u);
+}
+
+TEST(NextUseMonitor, ReRetireKeepsNewestStamp)
+{
+    NextUseMonitor m(fullSampling());
+    m.onRetire(0, 100, 1);
+    for (Addr t = 0; t < 10; ++t)
+        m.onMiss(0, 200 + t, 9);
+    m.onRetire(0, 100, 1);  // re-boarded with a fresh stamp
+    m.onMiss(0, 300, 9);
+    m.onMiss(0, 100, 1);
+    const auto top = m.topDelinquent(8);
+    for (const auto &p : top) {
+        if (p.pc == 1) {
+            // Distance measured from the SECOND retire: 2, not 12.
+            EXPECT_GT(p.nextUse->countAtOrBelow(3), 0.9);
+        }
+    }
+}
+
+TEST(NextUseMonitor, DistancesSurviveEpochBoundaries)
+{
+    NextUseMonitor m(fullSampling());
+    m.onRetire(0, 100, 1);
+    for (Addr t = 0; t < 8; ++t)
+        m.onMiss(0, 200 + t, 9);
+    m.epochDecay();  // must NOT corrupt the pending distance
+    for (Addr t = 0; t < 8; ++t)
+        m.onMiss(0, 300 + t, 9);
+    m.onMiss(0, 100, 1);
+    const auto top = m.topDelinquent(8);
+    for (const auto &p : top) {
+        if (p.pc == 1) {
+            ASSERT_EQ(p.nextUse->total(), 1u);
+            // True distance is 17 misses; accept the bucket range.
+            EXPECT_GT(p.nextUse->countAtOrBelow(20), 0.5);
+            EXPECT_LT(p.nextUse->countAtOrBelow(10), 0.5);
+        }
+    }
+}
+
+TEST(NextUseMonitor, SampledScalingAppliesToDistances)
+{
+    NextUseMonitorConfig cfg;
+    cfg.sampleShift = 2;  // 1 in 4
+    NextUseMonitor m(cfg);
+    EXPECT_EQ(m.scaleFactor(), 4u);
+    // Find a sampled set.
+    std::uint32_t set = 0;
+    while (!m.sampled(set))
+        ++set;
+    m.onRetire(set, 100, 1);
+    m.onMiss(set, 200, 9);
+    m.onMiss(set, 100, 1);
+    const auto top = m.topDelinquent(8);
+    for (const auto &p : top) {
+        if (p.pc == 1) {
+            // 2 sampled misses -> estimated global distance 8.
+            EXPECT_GT(p.nextUse->countAtOrBelow(9), 0.5);
+            EXPECT_LT(p.nextUse->countAtOrBelow(4), 0.5);
+        }
+    }
+}
+
+TEST(NextUseMonitor, UnsampledSetsIgnored)
+{
+    NextUseMonitorConfig cfg;
+    cfg.sampleShift = 3;
+    NextUseMonitor m(cfg);
+    std::uint32_t unsampled = 0;
+    while (m.sampled(unsampled))
+        ++unsampled;
+    m.onMiss(unsampled, 1, 1);
+    m.onRetire(unsampled, 2, 1);
+    EXPECT_EQ(m.totalMisses(), 0u);
+    EXPECT_EQ(m.trackedPcs(), 0u);
+}
+
+TEST(NextUseMonitor, EpochDecayAgesAndPrunes)
+{
+    NextUseMonitorConfig cfg = fullSampling();
+    cfg.maxPcs = 2;
+    NextUseMonitor m(cfg);
+    m.onMiss(0, 1, 10);
+    m.onMiss(0, 2, 10);
+    m.onMiss(0, 3, 10);
+    m.onMiss(0, 4, 10);
+    m.onMiss(0, 5, 20);
+    m.onMiss(0, 6, 30);
+    EXPECT_EQ(m.trackedPcs(), 3u);
+    m.epochDecay();
+    EXPECT_EQ(m.trackedPcs(), 2u);
+    const auto top = m.topDelinquent(8);
+    EXPECT_EQ(top[0].pc, 10u);
+    EXPECT_EQ(top[0].misses, 2u);  // 4 halved
+}
+
+TEST(NextUseMonitor, CounterfactualRankingKeepsServedPcs)
+{
+    NextUseMonitor m(fullSampling());
+    // PC 1: few misses but many matched next-uses (being served).
+    for (int i = 0; i < 10; ++i) {
+        m.onRetire(0, 100 + i, 1);
+        m.onUse(0, 100 + i);
+    }
+    m.onMiss(0, 99, 1);
+    // PC 2: moderate misses, no reuse.
+    for (int i = 0; i < 5; ++i)
+        m.onMiss(0, 200 + i, 2);
+    const auto top = m.topDelinquent(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].pc, 1u);  // 1 miss + 10 uses > 5 misses
+}
+
+TEST(NextUseMonitorDeathTest, RejectsDegenerateConfig)
+{
+    NextUseMonitorConfig cfg;
+    cfg.boardEntries = 0;
+    EXPECT_EXIT(NextUseMonitor{cfg}, ::testing::ExitedWithCode(1),
+                "at least one entry");
+    NextUseMonitorConfig cfg2;
+    cfg2.maxPcs = 0;
+    EXPECT_EXIT(NextUseMonitor{cfg2}, ::testing::ExitedWithCode(1),
+                "maxPcs");
+}
+
+} // anonymous namespace
+} // namespace nucache

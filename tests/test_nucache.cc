@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Tests for the NUcache organization: Main/Deli invariants, retention
+ * of selected blocks, promotion semantics, stale reclamation, and the
+ * LRU-degeneration property when nothing is selected.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hh"
+#include "common/rng.hh"
+#include "core/nucache.hh"
+#include "mem/cache.hh"
+#include "mem/lru.hh"
+
+namespace nucache
+{
+namespace
+{
+
+AccessInfo
+read(Addr addr, PC pc = 0x400000, CoreId core = 0)
+{
+    AccessInfo info;
+    info.addr = addr;
+    info.pc = pc;
+    info.coreId = core;
+    return info;
+}
+
+NUcacheConfig
+testConfig(std::uint32_t deli_ways,
+           NUcacheConfig::Selection mode =
+               NUcacheConfig::Selection::CostBenefit)
+{
+    NUcacheConfig cfg;
+    cfg.deliWays = deli_ways;
+    cfg.selection = mode;
+    cfg.epochMisses = 2000;
+    cfg.monitor.sampleShift = 0;  // monitor everything in unit tests
+    return cfg;
+}
+
+TEST(NUcache, DefaultSplitIsFiveEighths)
+{
+    CacheConfig cfg{"n", 4ull * 16 * 64, 16, 64};
+    auto policy = std::make_unique<NUcachePolicy>();
+    NUcachePolicy *nu = policy.get();
+    Cache c(cfg, std::move(policy));
+    (void)c;
+    EXPECT_EQ(nu->numDeliWays(), 10u);
+    EXPECT_EQ(nu->mainWays(), 6u);
+}
+
+TEST(NUcache, InvariantsHoldUnderRandomTraffic)
+{
+    CacheConfig cfg{"n", 8ull * 8 * 64, 8, 64};  // 8 sets x 8 ways
+    auto policy = std::make_unique<NUcachePolicy>(testConfig(5));
+    NUcachePolicy *nu = policy.get();
+    Cache c(cfg, std::move(policy));
+
+    Rng rng(404);
+    for (int i = 0; i < 40000; ++i) {
+        const Addr addr = rng.below(512) * 64;
+        c.access(read(addr, 0x400000 + (addr / 64 % 16) * 4));
+        if (i % 997 == 0) {
+            for (std::uint32_t s = 0; s < 8; ++s)
+                ASSERT_TRUE(nu->checkSetInvariants(c.viewSet(s)))
+                    << "set " << s << " at access " << i;
+        }
+    }
+    const auto s = c.totalStats();
+    EXPECT_EQ(s.hits + s.misses, s.accesses);
+}
+
+/** Invariants hold for every DeliWays count. */
+class NUcacheDeliSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(NUcacheDeliSweep, InvariantsAndAccounting)
+{
+    const std::uint32_t d = GetParam();
+    CacheConfig cfg{"n", 4ull * 16 * 64, 16, 64};
+    auto policy = std::make_unique<NUcachePolicy>(testConfig(d));
+    NUcachePolicy *nu = policy.get();
+    Cache c(cfg, std::move(policy));
+    Rng rng(d * 31 + 5);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr addr = rng.below(256) * 64;
+        c.access(read(addr, 0x400000 + (addr / 64 % 8) * 4));
+    }
+    for (std::uint32_t s = 0; s < 4; ++s)
+        EXPECT_TRUE(nu->checkSetInvariants(c.viewSet(s))) << "d=" << d;
+    const auto s = c.totalStats();
+    EXPECT_EQ(s.hits + s.misses, s.accesses);
+}
+
+INSTANTIATE_TEST_SUITE_P(DeliWays, NUcacheDeliSweep,
+                         ::testing::Values(0u, 1u, 4u, 6u, 10u, 15u));
+
+TEST(NUcache, SelectedBlocksRetainedInDeliWays)
+{
+    // One set, 8 ways (3 main + 5 deli).  Selection::All admits every
+    // PC.  A block pushed out of the MainWays must survive in the
+    // DeliWays and hit on reuse.
+    CacheConfig cfg{"n", 1ull * 8 * 64, 8, 64};
+    auto policy = std::make_unique<NUcachePolicy>(
+        testConfig(5, NUcacheConfig::Selection::All));
+    NUcachePolicy *nu = policy.get();
+    Cache c(cfg, std::move(policy));
+
+    c.access(read(0));  // block under test
+    // Push 7 more distinct blocks through: 0 leaves the 3 MainWays.
+    for (Addr b = 1; b <= 7; ++b)
+        c.access(read(b * 64));
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_TRUE(c.access(read(0)).hit);
+    EXPECT_GE(nu->deliHits(), 1u);
+}
+
+TEST(NUcache, NoneSelectionNeverUsesDeliWaysAfterWarmup)
+{
+    CacheConfig cfg{"n", 1ull * 8 * 64, 8, 64};
+    auto policy = std::make_unique<NUcachePolicy>(
+        testConfig(5, NUcacheConfig::Selection::None));
+    NUcachePolicy *nu = policy.get();
+    Cache c(cfg, std::move(policy));
+    // Cyclic loop of 2x capacity: with nothing selected, the stale-
+    // reclamation path recycles the DeliWays as a FIFO annex.
+    std::uint64_t late_hits = 0;
+    for (int iter = 0; iter < 100; ++iter) {
+        for (Addr b = 0; b < 16; ++b) {
+            const bool hit = c.access(read(b * 64)).hit;
+            if (iter > 2)
+                late_hits += hit ? 1 : 0;
+        }
+    }
+    // A 16-block loop in an 8-way set: miss always (like true LRU).
+    EXPECT_EQ(late_hits, 0u);
+    EXPECT_EQ(nu->deliHits(), 0u);
+}
+
+TEST(NUcache, DegeneratesToNearLruWhenNothingSelected)
+{
+    // Selection::None on a working set that FITS: hit rate must match
+    // true 16-way LRU (the stale-reclamation path keeps the DeliWays
+    // usable as capacity).
+    CacheConfig cfg{"n", 16ull * 16 * 64, 16, 64};  // 256 blocks
+    auto nupol = std::make_unique<NUcachePolicy>(
+        testConfig(10, NUcacheConfig::Selection::None));
+    Cache nu(cfg, std::move(nupol));
+    Cache lru(cfg, std::make_unique<LruPolicy>());
+
+    Rng rng(777);
+    for (int i = 0; i < 60000; ++i) {
+        // Zipf-ish skew via double draw.
+        Addr block = rng.below(512);
+        if (rng.chance(0.7))
+            block = rng.below(128);
+        nu.access(read(block * 64));
+        lru.access(read(block * 64));
+    }
+    const double nu_rate =
+        static_cast<double>(nu.totalStats().hits) /
+        static_cast<double>(nu.totalStats().accesses);
+    const double lru_rate =
+        static_cast<double>(lru.totalStats().hits) /
+        static_cast<double>(lru.totalStats().accesses);
+    EXPECT_NEAR(nu_rate, lru_rate, 0.05);
+}
+
+/**
+ * The structural identity discovered by the ablation study: with
+ * indiscriminate admission (everything or nothing selected), blocks
+ * demote out of the MainWays in recency order, the FIFO annex is
+ * exactly the LRU stack's tail, and every DeliWay hit re-promotes to
+ * MRU — so the organization is *bit-identical* to true LRU.  This is
+ * the strongest available correctness check of the Main/Deli
+ * bookkeeping: any off-by-one in demotion, promotion or victim
+ * selection breaks exact equality under random traffic.
+ */
+class NUcacheLruIdentity
+    : public ::testing::TestWithParam<
+          std::tuple<NUcacheConfig::Selection, std::uint32_t>>
+{
+};
+
+TEST_P(NUcacheLruIdentity, BitIdenticalToLru)
+{
+    const auto [mode, deli] = GetParam();
+    CacheConfig cfg{"n", 16ull * 16 * 64, 16, 64};
+    Cache nu(cfg, std::make_unique<NUcachePolicy>(testConfig(deli, mode)));
+    Cache lru(cfg, std::make_unique<LruPolicy>());
+
+    Rng rng(deli * 1000 + static_cast<unsigned>(mode));
+    for (int i = 0; i < 60000; ++i) {
+        Addr block = rng.below(1024);
+        if (rng.chance(0.5))
+            block = rng.below(192);
+        const AccessInfo info = read(block * 64, 0x400000 + block % 32);
+        ASSERT_EQ(nu.access(info).hit, lru.access(info).hit)
+            << "diverged at access " << i;
+    }
+    EXPECT_EQ(nu.totalStats().hits, lru.totalStats().hits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, NUcacheLruIdentity,
+    ::testing::Combine(
+        ::testing::Values(NUcacheConfig::Selection::All,
+                          NUcacheConfig::Selection::None),
+        ::testing::Values(1u, 4u, 10u, 15u)));
+
+TEST(NUcache, StaleDeliBlocksReclaimedFirst)
+{
+    // Fill the DeliWays via Selection::All warmup-style demotions,
+    // then switch understanding: with Selection::None (fresh policy,
+    // shared cache contents are rebuilt), stale blocks must not
+    // blockade capacity.  Covered behaviourally by the degeneration
+    // test; here check the victim choice directly: a full set with
+    // stale deli lines evicts one of those, not the Main-LRU.
+    CacheConfig cfg{"n", 1ull * 8 * 64, 8, 64};
+    auto policy = std::make_unique<NUcachePolicy>(
+        testConfig(5, NUcacheConfig::Selection::None));
+    Cache c(cfg, std::move(policy));
+    // 8 fills: 3 main + 5 demoted-to-deli (warmup free-space use).
+    for (Addr b = 0; b < 8; ++b)
+        c.access(read(b * 64));
+    // Touch the main lines (the 3 most recent fills: blocks 5, 6, 7).
+    c.access(read(5 * 64));
+    c.access(read(6 * 64));
+    c.access(read(7 * 64));
+    // A new fill must evict a stale deli line (oldest: block 0), not
+    // any of the recently-touched main lines.
+    c.access(read(8 * 64));
+    EXPECT_TRUE(c.probe(5 * 64));
+    EXPECT_TRUE(c.probe(6 * 64));
+    EXPECT_TRUE(c.probe(7 * 64));
+    EXPECT_FALSE(c.probe(0));
+}
+
+TEST(NUcache, EpochsRunAndSelect)
+{
+    CacheConfig cfg{"n", 64ull * 16 * 64, 16, 64};
+    NUcacheConfig ncfg = testConfig(10);
+    ncfg.epochMisses = 1000;
+    auto policy = std::make_unique<NUcachePolicy>(ncfg);
+    NUcachePolicy *nu = policy.get();
+    Cache c(cfg, std::move(policy));
+
+    // A loop with clear per-PC reuse beyond the MainWays' reach plus a
+    // polluting stream.  The block->PC mapping is hashed (like the
+    // workload generators): a strided mapping would concentrate one
+    // PC's blocks in a few sets and overload their DeliWays.
+    Addr stream = 1 << 24;
+    for (int iter = 0; iter < 60; ++iter) {
+        for (Addr b = 0; b < 1500; ++b)
+            c.access(read(b * 64, 0x400000 + (mix64(b) % 8) * 4));
+        for (int s = 0; s < 500; ++s) {
+            c.access(read(stream, 0x500000));
+            stream += 64;
+        }
+    }
+    EXPECT_GT(nu->epochsRun(), 5u);
+    EXPECT_FALSE(nu->selectedPcs().empty());
+    // The stream PC must not be admitted.
+    EXPECT_EQ(nu->selectedPcs().count(0x500000), 0u);
+    EXPECT_GT(nu->deliHits(), 0u);
+}
+
+TEST(NUcache, BeatsPlainLruUnderPollution)
+{
+    // The headline mechanism test: loop + stream vs a plain LRU cache.
+    CacheConfig cfg{"n", 64ull * 16 * 64, 16, 64};  // 1024 blocks
+    NUcacheConfig ncfg = testConfig(10);
+    ncfg.epochMisses = 2000;
+    Cache nu(cfg, std::make_unique<NUcachePolicy>(ncfg));
+    Cache lru(cfg, std::make_unique<LruPolicy>());
+
+    const auto run = [](Cache &c) {
+        Addr stream = 1 << 24;
+        for (int iter = 0; iter < 80; ++iter) {
+            // 600-block loop (fits alone) + heavy stream pollution.
+            for (Addr b = 0; b < 600; ++b)
+                c.access(read(b * 64, 0x400000 + (b % 8) * 4));
+            for (int s = 0; s < 900; ++s) {
+                c.access(read(stream, 0x500000));
+                stream += 64;
+            }
+        }
+        return static_cast<double>(c.totalStats().hits) /
+               static_cast<double>(c.totalStats().accesses);
+    };
+    const double nu_rate = run(nu);
+    const double lru_rate = run(lru);
+    EXPECT_GT(nu_rate, lru_rate + 0.1);
+}
+
+TEST(NUcache, TopKModeSelectsSomething)
+{
+    CacheConfig cfg{"n", 16ull * 8 * 64, 8, 64};
+    NUcacheConfig ncfg = testConfig(5, NUcacheConfig::Selection::TopK);
+    ncfg.topK = 4;
+    ncfg.epochMisses = 500;
+    auto policy = std::make_unique<NUcachePolicy>(ncfg);
+    NUcachePolicy *nu = policy.get();
+    Cache c(cfg, std::move(policy));
+    Rng rng(55);
+    for (int i = 0; i < 20000; ++i)
+        c.access(read(rng.below(1024) * 64, 0x400000 + rng.below(8) * 4));
+    EXPECT_GT(nu->epochsRun(), 0u);
+    EXPECT_LE(nu->selectedPcs().size(), 4u);
+    EXPECT_GE(nu->selectedPcs().size(), 1u);
+}
+
+TEST(NUcache, NamesFollowMode)
+{
+    EXPECT_EQ(NUcachePolicy(testConfig(4)).name(), "nucache");
+    EXPECT_EQ(NUcachePolicy(
+                  testConfig(4, NUcacheConfig::Selection::TopK)).name(),
+              "nucache-topk");
+    EXPECT_EQ(NUcachePolicy(
+                  testConfig(4, NUcacheConfig::Selection::All)).name(),
+              "nucache-all");
+    EXPECT_EQ(NUcachePolicy(
+                  testConfig(4, NUcacheConfig::Selection::None)).name(),
+              "nucache-none");
+}
+
+TEST(NUcacheDeathTest, RejectsAllWaysAsDeliWays)
+{
+    CacheConfig cfg{"n", 4ull * 8 * 64, 8, 64};
+    EXPECT_EXIT(Cache(cfg,
+                      std::make_unique<NUcachePolicy>(testConfig(8))),
+                ::testing::ExitedWithCode(1), "no MainWays");
+}
+
+} // anonymous namespace
+} // namespace nucache

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the cost-benefit PC-selection algorithm on crafted
+ * profiles: the window shrinkage trade-off, flood avoidance, and
+ * warm-start stability.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pc_selection.hh"
+
+namespace nucache
+{
+namespace
+{
+
+/** Profile whose next-uses all sit at one distance. */
+struct MadeProfile
+{
+    PC pc;
+    std::uint64_t misses;
+    std::uint64_t retires;
+    LogHistogram hist{32, 2};
+
+    MadeProfile(PC pc, std::uint64_t misses, std::uint64_t distance,
+                std::uint64_t uses)
+        : pc(pc), misses(misses), retires(misses)
+    {
+        hist.add(distance, uses);
+    }
+};
+
+std::vector<PcProfile>
+views(const std::vector<MadeProfile> &made)
+{
+    std::vector<PcProfile> out;
+    for (const auto &m : made) {
+        PcProfile p;
+        p.pc = m.pc;
+        p.misses = m.misses;
+        p.retires = m.retires;
+        p.nextUse = &m.hist;
+        out.push_back(p);
+    }
+    return out;
+}
+
+TEST(PcSelection, EmptyInputsSelectNothing)
+{
+    EXPECT_TRUE(selectDelinquentPcs({}, 100, 100).selected.empty());
+    std::vector<MadeProfile> made;
+    made.emplace_back(1, 10, 5, 10);
+    EXPECT_TRUE(
+        selectDelinquentPcs(views(made), 0, 100).selected.empty());
+    EXPECT_TRUE(
+        selectDelinquentPcs(views(made), 100, 0).selected.empty());
+}
+
+TEST(PcSelection, SelectsReusersSkipsStreams)
+{
+    std::vector<MadeProfile> made;
+    // PC 1: reuse at distance 50.  PC 2: a stream, no reuse mass.
+    made.emplace_back(1, 100, 50, 90);
+    made.emplace_back(2, 400, 1, 0);
+    const auto res = selectDelinquentPcs(views(made), 100, 1000);
+    ASSERT_EQ(res.selected.size(), 1u);
+    EXPECT_EQ(res.selected[0], 1u);
+    EXPECT_GT(res.expectedHits, 80.0);
+}
+
+TEST(PcSelection, StopsBeforeFloodingTheWindow)
+{
+    // Homogeneous loop: 16 PCs, each with 100 misses/epoch, all reuse
+    // at distance 600 (in misses).  Capacity 100 blocks; total misses
+    // 1600/epoch.  Window(k) = 100 * 1600 / (100k) = 1600/k; benefit
+    // requires window >= 600 => k* = 2.
+    std::vector<MadeProfile> made;
+    for (PC pc = 1; pc <= 16; ++pc)
+        made.emplace_back(pc, 100, 600, 95);
+    const auto res = selectDelinquentPcs(views(made), 100, 1600);
+    EXPECT_GE(res.selected.size(), 1u);
+    EXPECT_LE(res.selected.size(), 3u);
+    EXPECT_GT(res.expectedHits, 90.0);
+}
+
+TEST(PcSelection, SelectsAllWhenEverythingFits)
+{
+    std::vector<MadeProfile> made;
+    for (PC pc = 1; pc <= 8; ++pc)
+        made.emplace_back(pc, 10, 20, 9);
+    // Capacity ample: window(all) = 1000*80/80 = 1000 >= 20.
+    const auto res = selectDelinquentPcs(views(made), 1000, 80);
+    EXPECT_EQ(res.selected.size(), 8u);
+}
+
+TEST(PcSelection, AdmitsNearBandRejectsFarBand)
+{
+    // Two bands: near reuse (distance 50) and far reuse (distance
+    // 5000).  Capacity only supports the near band.
+    std::vector<MadeProfile> made;
+    for (PC pc = 1; pc <= 4; ++pc)
+        made.emplace_back(pc, 100, 50, 95);
+    for (PC pc = 11; pc <= 14; ++pc)
+        made.emplace_back(pc, 100, 5000, 95);
+    const auto res = selectDelinquentPcs(views(made), 100, 800);
+    for (const PC pc : res.selected)
+        EXPECT_LE(pc, 4u) << "far-band PC selected";
+    EXPECT_GE(res.selected.size(), 2u);
+}
+
+TEST(PcSelection, UsesRetiresAsInsertionRate)
+{
+    // Same misses, but PC 2 has huge retires (lease churn): admitting
+    // it crushes the window and must be avoided.
+    std::vector<MadeProfile> near_only;
+    near_only.emplace_back(1, 100, 400, 95);
+    near_only.emplace_back(2, 100, 400, 95);
+    near_only[1].retires = 3000;
+    const auto res = selectDelinquentPcs(views(near_only), 100, 1000);
+    ASSERT_EQ(res.selected.size(), 1u);
+    EXPECT_EQ(res.selected[0], 1u);
+}
+
+TEST(PcSelection, HonorsMaxSelected)
+{
+    std::vector<MadeProfile> made;
+    for (PC pc = 1; pc <= 12; ++pc)
+        made.emplace_back(pc, 10, 5, 9);
+    PcSelectionConfig cfg;
+    cfg.maxSelected = 3;
+    const auto res = selectDelinquentPcs(views(made), 10000, 120, cfg);
+    EXPECT_LE(res.selected.size(), 3u);
+}
+
+TEST(PcSelection, HonorsCandidatePool)
+{
+    std::vector<MadeProfile> made;
+    for (PC pc = 1; pc <= 12; ++pc)
+        made.emplace_back(pc, 10, 5, 9);
+    PcSelectionConfig cfg;
+    cfg.candidatePcs = 4;
+    const auto res = selectDelinquentPcs(views(made), 10000, 120, cfg);
+    for (const PC pc : res.selected)
+        EXPECT_LE(pc, 4u);
+}
+
+TEST(PcSelection, WarmStartKeepsEquivalentSelection)
+{
+    std::vector<MadeProfile> made;
+    for (PC pc = 1; pc <= 8; ++pc)
+        made.emplace_back(pc, 100, 600, 95);
+    // From scratch the algorithm picks some subset of size ~2.
+    const auto fresh = selectDelinquentPcs(views(made), 100, 800);
+    ASSERT_FALSE(fresh.selected.empty());
+    // Warm-started with that subset it must keep it (same benefit,
+    // no reshuffle).
+    const auto warm = selectDelinquentPcs(views(made), 100, 800,
+                                          PcSelectionConfig{},
+                                          fresh.selected);
+    EXPECT_EQ(warm.selected, fresh.selected);
+}
+
+TEST(PcSelection, WarmStartPrunesHarmfulInheritance)
+{
+    // Inherit a flooding selection; removal passes must trim it.
+    std::vector<MadeProfile> made;
+    for (PC pc = 1; pc <= 16; ++pc)
+        made.emplace_back(pc, 100, 600, 95);
+    std::vector<PC> all;
+    for (PC pc = 1; pc <= 16; ++pc)
+        all.push_back(pc);
+    const auto res = selectDelinquentPcs(views(made), 100, 1600,
+                                         PcSelectionConfig{}, all);
+    EXPECT_LE(res.selected.size(), 3u);
+    EXPECT_GT(res.expectedHits, 90.0);
+}
+
+TEST(PcSelection, ReportsWindow)
+{
+    std::vector<MadeProfile> made;
+    made.emplace_back(1, 100, 50, 90);
+    const auto res = selectDelinquentPcs(views(made), 200, 1000);
+    // frac = 100/1000 -> window = 200/0.1 = 2000.
+    EXPECT_NEAR(res.window, 2000.0, 1.0);
+}
+
+TEST(PcSelection, TopKBaselinePicksByMisses)
+{
+    std::vector<MadeProfile> made;
+    made.emplace_back(3, 50, 5, 10);
+    made.emplace_back(1, 300, 5, 10);
+    made.emplace_back(2, 100, 5, 10);
+    const auto res = selectTopKByMisses(views(made), 2);
+    ASSERT_EQ(res.selected.size(), 2u);
+    EXPECT_EQ(res.selected[0], 1u);
+    EXPECT_EQ(res.selected[1], 2u);
+}
+
+} // anonymous namespace
+} // namespace nucache

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the simple baseline policies: Random and NRU.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "policy/nru.hh"
+#include "policy/random.hh"
+
+namespace nucache
+{
+namespace
+{
+
+AccessInfo
+read(Addr addr)
+{
+    AccessInfo info;
+    info.addr = addr;
+    info.pc = 0x400000;
+    return info;
+}
+
+TEST(RandomPolicy, ServesHitsAndEvictsSomething)
+{
+    CacheConfig cfg{"r", 1024, 4, 64};  // 4 sets
+    Cache c(cfg, std::make_unique<RandomPolicy>(1));
+    c.access(read(0x1000));
+    EXPECT_TRUE(c.access(read(0x1000)).hit);
+    for (int i = 1; i <= 4; ++i)
+        c.access(read(0x1000 + i * 256));
+    // 5 distinct blocks through a 4-way set: one must be gone.
+    int resident = 0;
+    for (int i = 0; i <= 4; ++i)
+        resident += c.probe(0x1000 + i * 256) ? 1 : 0;
+    EXPECT_EQ(resident, 4);
+}
+
+TEST(RandomPolicy, DeterministicForSeed)
+{
+    CacheConfig cfg{"r", 1024, 4, 64};
+    Cache a(cfg, std::make_unique<RandomPolicy>(7));
+    Cache b(cfg, std::make_unique<RandomPolicy>(7));
+    std::uint64_t x = 99;
+    for (int i = 0; i < 5000; ++i) {
+        x = x * 6364136223846793005ull + 1;
+        const Addr addr = ((x >> 20) % 4096) * 64;
+        ASSERT_EQ(a.access(read(addr)).hit, b.access(read(addr)).hit);
+    }
+}
+
+TEST(NruPolicy, PrefersUnreferencedVictims)
+{
+    CacheConfig cfg{"n", 512, 2, 64};  // 4 sets, 2 ways
+    Cache c(cfg, std::make_unique<NruPolicy>());
+    c.access(read(0x1000));            // way A
+    c.access(read(0x1000 + 256));      // way B; set saturates -> only B marked
+    c.access(read(0x1000 + 256));      // hit B
+    // A is unreferenced; the next conflicting fill must evict A.
+    c.access(read(0x1000 + 512));
+    EXPECT_FALSE(c.probe(0x1000));
+    EXPECT_TRUE(c.probe(0x1000 + 256));
+}
+
+TEST(NruPolicy, ApproximatesRecencyUnderLoop)
+{
+    // A loop that fits must eventually stop missing under NRU.
+    CacheConfig cfg{"n", 4096, 8, 64};  // 8 sets x 8 ways = 64 blocks
+    Cache c(cfg, std::make_unique<NruPolicy>());
+    std::uint64_t misses_late = 0;
+    for (int iter = 0; iter < 50; ++iter) {
+        for (int b = 0; b < 32; ++b) {
+            const bool hit = c.access(read(b * 64)).hit;
+            if (iter >= 2 && !hit)
+                ++misses_late;
+        }
+    }
+    EXPECT_EQ(misses_late, 0u);
+}
+
+} // anonymous namespace
+} // namespace nucache

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Tests for the policy factory's spec grammar.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/nucache.hh"
+#include "sim/policies.hh"
+
+namespace nucache
+{
+namespace
+{
+
+TEST(PolicyFactory, AllNamesConstructible)
+{
+    for (const auto &name : allPolicyNames()) {
+        auto p = makePolicy(name);
+        ASSERT_NE(p, nullptr) << name;
+        EXPECT_EQ(p->name(), name) << name;
+    }
+}
+
+TEST(PolicyFactory, EvaluationSetIsSubset)
+{
+    for (const auto &name : evaluationPolicySet())
+        EXPECT_NO_FATAL_FAILURE(makePolicy(name));
+}
+
+TEST(PolicyFactory, NucacheOptionsApply)
+{
+    auto p = makePolicy("nucache:d=7,epoch=5000,pool=16");
+    auto *nu = dynamic_cast<NUcachePolicy *>(p.get());
+    ASSERT_NE(nu, nullptr);
+    PolicyContext ctx;
+    ctx.numSets = 16;
+    ctx.numWays = 16;
+    ctx.numCores = 1;
+    nu->init(ctx);
+    EXPECT_EQ(nu->numDeliWays(), 7u);
+}
+
+TEST(PolicyFactory, VariantNames)
+{
+    EXPECT_EQ(makePolicy("nucache-topk:topk=4")->name(), "nucache-topk");
+    EXPECT_EQ(makePolicy("nucache-all")->name(), "nucache-all");
+    EXPECT_EQ(makePolicy("nucache-none")->name(), "nucache-none");
+}
+
+TEST(PolicyFactoryDeathTest, UnknownPolicyIsFatal)
+{
+    EXPECT_EXIT(makePolicy("mystery"), ::testing::ExitedWithCode(1),
+                "unknown policy");
+}
+
+TEST(PolicyFactoryDeathTest, MalformedOptionIsFatal)
+{
+    EXPECT_EXIT(makePolicy("nucache:d"), ::testing::ExitedWithCode(1),
+                "bad option");
+    EXPECT_EXIT(makePolicy("nucache:=4"), ::testing::ExitedWithCode(1),
+                "bad option");
+}
+
+} // anonymous namespace
+} // namespace nucache

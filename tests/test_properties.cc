@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Cross-module property tests: relations that must hold between
+ * components (MIN is a lower bound for every online policy; warm-
+ * started selection never scores below greedy-from-scratch; the
+ * selection output is always well-formed).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitutil.hh"
+#include "common/rng.hh"
+#include "core/pc_selection.hh"
+#include "mem/cache.hh"
+#include "policy/belady.hh"
+#include "sim/policies.hh"
+
+namespace nucache
+{
+namespace
+{
+
+/** MIN's misses lower-bound every online policy on the same stream. */
+class MinLowerBound : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(MinLowerBound, HoldsOnRandomStreams)
+{
+    const std::string policy = GetParam();
+    Rng rng(std::hash<std::string>{}(policy) ^ 0xbe1adull);
+
+    const std::uint32_t sets = 16, ways = 8;
+    std::vector<std::uint64_t> stream;
+    for (int i = 0; i < 30000; ++i) {
+        // Mixture: hot region + scan, to exercise both ends.
+        const std::uint64_t b = rng.chance(0.6)
+                                    ? rng.below(256)
+                                    : 4096 + (i / 2);
+        stream.push_back(b);
+    }
+
+    const auto opt = simulateBelady(stream, sets, ways);
+
+    CacheConfig cfg{"p", 64ull * sets * ways, ways, 64};
+    Cache cache(cfg, makePolicy(policy));
+    for (const auto b : stream) {
+        AccessInfo info;
+        info.addr = b * 64;
+        info.pc = 0x400000 + (mix64(b) % 8) * 4;
+        cache.access(info);
+    }
+    EXPECT_LE(opt.misses, cache.totalStats().misses) << policy;
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, MinLowerBound,
+                         ::testing::Values("lru", "random", "nru",
+                                           "srrip", "drrip", "dip",
+                                           "ship", "hawkeye",
+                                           "nucache"));
+
+/** Randomized well-formedness of the selection output. */
+TEST(SelectionProperties, OutputAlwaysWellFormed)
+{
+    Rng rng(2024);
+    for (int trial = 0; trial < 50; ++trial) {
+        const unsigned n = static_cast<unsigned>(rng.between(1, 40));
+        std::vector<LogHistogram> hists;
+        hists.reserve(n);
+        std::vector<PcProfile> profiles;
+        for (unsigned i = 0; i < n; ++i) {
+            hists.emplace_back(32u, 2u);
+            if (rng.chance(0.7))
+                hists.back().add(rng.below(100000), rng.between(1, 200));
+        }
+        for (unsigned i = 0; i < n; ++i) {
+            PcProfile p;
+            p.pc = 0x1000 + i * 4;
+            p.misses = rng.below(1000);
+            p.retires = p.misses + rng.below(300);
+            p.nextUse = &hists[i];
+            profiles.push_back(p);
+        }
+        const std::uint64_t capacity = rng.between(1, 20000);
+        const std::uint64_t total = 1 + rng.below(500000);
+
+        PcSelectionConfig cfg;
+        cfg.candidatePcs = static_cast<std::uint32_t>(rng.between(1, 48));
+        cfg.maxSelected = static_cast<std::uint32_t>(rng.between(1, 48));
+        const auto res =
+            selectDelinquentPcs(profiles, capacity, total, cfg);
+
+        ASSERT_LE(res.selected.size(), cfg.maxSelected);
+        ASSERT_GE(res.expectedHits, 0.0);
+        std::set<PC> uniq(res.selected.begin(), res.selected.end());
+        ASSERT_EQ(uniq.size(), res.selected.size()) << "duplicates";
+        const std::size_t pool =
+            std::min<std::size_t>(n, cfg.candidatePcs);
+        for (const PC pc : res.selected) {
+            const std::size_t idx = (pc - 0x1000) / 4;
+            ASSERT_LT(idx, pool) << "selected outside the pool";
+        }
+    }
+}
+
+/** Warm-started selection never scores below greedy-from-scratch. */
+TEST(SelectionProperties, WarmStartNeverLosesToScratch)
+{
+    Rng rng(777);
+    for (int trial = 0; trial < 30; ++trial) {
+        const unsigned n = static_cast<unsigned>(rng.between(2, 24));
+        std::vector<LogHistogram> hists;
+        hists.reserve(n);
+        std::vector<PcProfile> profiles;
+        for (unsigned i = 0; i < n; ++i) {
+            hists.emplace_back(32u, 2u);
+            hists.back().add(rng.below(50000), rng.between(1, 100));
+        }
+        for (unsigned i = 0; i < n; ++i) {
+            PcProfile p;
+            p.pc = 0x1000 + i * 4;
+            p.misses = 1 + rng.below(500);
+            p.retires = p.misses;
+            p.nextUse = &hists[i];
+            profiles.push_back(p);
+        }
+        const std::uint64_t capacity = 1 + rng.below(5000);
+        const std::uint64_t total = 1 + rng.below(100000);
+
+        const auto scratch =
+            selectDelinquentPcs(profiles, capacity, total);
+        // An arbitrary (possibly bad) inherited selection.
+        std::vector<PC> inherited;
+        for (unsigned i = 0; i < n; ++i) {
+            if (rng.chance(0.5))
+                inherited.push_back(0x1000 + i * 4);
+        }
+        const auto warm = selectDelinquentPcs(
+            profiles, capacity, total, PcSelectionConfig{}, inherited);
+        ASSERT_GE(warm.expectedHits + 1e-9, scratch.expectedHits)
+            << "trial " << trial;
+    }
+}
+
+/** Zero-capacity or zero-miss inputs select nothing, never crash. */
+TEST(SelectionProperties, DegenerateInputs)
+{
+    LogHistogram h(32, 2);
+    h.add(10, 5);
+    PcProfile p;
+    p.pc = 1;
+    p.misses = 10;
+    p.retires = 10;
+    p.nextUse = &h;
+    EXPECT_TRUE(selectDelinquentPcs({p}, 0, 100).selected.empty());
+    EXPECT_TRUE(selectDelinquentPcs({p}, 100, 0).selected.empty());
+    PcSelectionConfig zero_pool;
+    zero_pool.candidatePcs = 0;
+    EXPECT_TRUE(selectDelinquentPcs({p}, 100, 100, zero_pool)
+                    .selected.empty());
+}
+
+} // anonymous namespace
+} // namespace nucache

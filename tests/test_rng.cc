@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit and statistical-property tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+
+namespace nucache
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = rng.between(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(17);
+    const double p = 0.2;
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    // Mean of the failures-before-success geometric is (1-p)/p = 4.
+    EXPECT_NEAR(sum / n, 4.0, 0.25);
+}
+
+TEST(Rng, GeometricWithCertainSuccess)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Zipf, UniformWhenSkewZero)
+{
+    ZipfSampler z(10, 0.0);
+    Rng rng(23);
+    std::map<std::size_t, int> counts;
+    for (int i = 0; i < 50000; ++i)
+        counts[z.sample(rng)]++;
+    for (const auto &kv : counts)
+        EXPECT_NEAR(kv.second / 50000.0, 0.1, 0.02);
+}
+
+TEST(Zipf, SkewFavoursLowRanks)
+{
+    ZipfSampler z(100, 1.0);
+    Rng rng(29);
+    int rank0 = 0, rank50 = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const std::size_t s = z.sample(rng);
+        if (s == 0)
+            ++rank0;
+        if (s == 50)
+            ++rank50;
+    }
+    // Rank 0 is ~51x more likely than rank 50 under s=1.
+    EXPECT_GT(rank0, rank50 * 10);
+}
+
+TEST(Zipf, AllRanksReachable)
+{
+    ZipfSampler z(4, 2.0);
+    Rng rng(31);
+    std::map<std::size_t, int> counts;
+    for (int i = 0; i < 100000; ++i)
+        counts[z.sample(rng)]++;
+    EXPECT_EQ(counts.size(), 4u);
+}
+
+} // anonymous namespace
+} // namespace nucache

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for SRRIP / BRRIP / DRRIP.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "policy/rrip.hh"
+
+namespace nucache
+{
+namespace
+{
+
+AccessInfo
+read(Addr addr)
+{
+    AccessInfo info;
+    info.addr = addr;
+    info.pc = 0x400000;
+    return info;
+}
+
+TEST(Srrip, ReusedLinesSurviveScans)
+{
+    // 1 set x 4 ways.
+    CacheConfig cfg{"s", 256, 4, 64};
+    Cache c(cfg, std::make_unique<SrripPolicy>());
+    // Establish a hot line and touch it (RRPV -> 0).
+    c.access(read(0x0));
+    c.access(read(0x0));
+    // Scan many distinct blocks through the set.
+    for (int i = 1; i <= 8; ++i)
+        c.access(read(i * 64ull * 1));
+    // The hot line should still be resident: scan blocks insert at
+    // long-rereference and evict each other first.
+    EXPECT_TRUE(c.probe(0x0));
+}
+
+TEST(Srrip, VictimAgingTerminates)
+{
+    CacheConfig cfg{"s", 256, 4, 64};
+    Cache c(cfg, std::make_unique<SrripPolicy>());
+    // Fill and touch everything so all RRPVs are 0, then force a
+    // replacement: the aging loop must still find a victim.
+    for (int i = 0; i < 4; ++i) {
+        c.access(read(i * 64));
+        c.access(read(i * 64));
+    }
+    const auto res = c.access(read(4 * 64));
+    EXPECT_TRUE(res.evicted);
+}
+
+TEST(Brrip, MostInsertionsAreDistantRereference)
+{
+    // BRRIP-filled blocks should usually be evicted before reuse in a
+    // thrash loop (that is its design point: don't let a big loop keep
+    // anything by default).
+    CacheConfig cfg{"b", 256, 4, 64};
+    Cache c(cfg, std::make_unique<BrripPolicy>());
+    std::uint64_t hits = 0, accesses = 0;
+    for (int iter = 0; iter < 200; ++iter) {
+        for (int b = 0; b < 8; ++b) {  // loop 2x the set capacity
+            hits += c.access(read(b * 64)).hit ? 1 : 0;
+            ++accesses;
+        }
+    }
+    // LRU would score 0; BRRIP keeps a sticky subset: ~4/8 hits.
+    const double hit_rate =
+        static_cast<double>(hits) / static_cast<double>(accesses);
+    EXPECT_GT(hit_rate, 0.25);
+}
+
+TEST(Drrip, BeatsLruOnThrashingLoop)
+{
+    // Loop of 2x capacity: LRU scores ~0, DRRIP must learn BRRIP.
+    CacheConfig cfg{"d", 64ull * 16 * 64, 16, 64};  // 64 sets x 16 ways
+    Cache lru_like(cfg, std::make_unique<SrripPolicy>());
+    Cache drrip(cfg, std::make_unique<DrripPolicy>());
+    const int loop_blocks = 2 * 64 * 16;
+    std::uint64_t drrip_hits = 0;
+    for (int iter = 0; iter < 30; ++iter) {
+        for (int b = 0; b < loop_blocks; ++b)
+            drrip_hits += drrip.access(read(b * 64ull)).hit ? 1 : 0;
+    }
+    const auto s = drrip.totalStats();
+    EXPECT_GT(static_cast<double>(s.hits) / s.accesses, 0.2);
+}
+
+TEST(Drrip, FollowersAdoptWinner)
+{
+    CacheConfig cfg{"d", 64ull * 4 * 64, 4, 64};
+    Cache c(cfg, std::make_unique<DrripPolicy>());
+    // Just exercise the dueling paths for coverage/cleanliness.
+    std::uint64_t x = 5;
+    for (int i = 0; i < 20000; ++i) {
+        x = x * 6364136223846793005ull + 1;
+        c.access(read(((x >> 18) % 2048) * 64));
+    }
+    const auto s = c.totalStats();
+    EXPECT_EQ(s.hits + s.misses, s.accesses);
+}
+
+TEST(SrripDeathTest, RejectsBadWidth)
+{
+    CacheConfig cfg{"s", 256, 4, 64};
+    EXPECT_EXIT(Cache(cfg, std::make_unique<SrripPolicy>(0)),
+                ::testing::ExitedWithCode(1), "rrpv width");
+}
+
+} // anonymous namespace
+} // namespace nucache

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Tests for the statistics registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace nucache
+{
+namespace
+{
+
+TEST(StatGroup, CountersStartAtZeroAndAccumulate)
+{
+    StatGroup g("llc");
+    EXPECT_EQ(g.value("hits"), 0u);
+    g.counter("hits") += 3;
+    g.counter("hits") += 2;
+    EXPECT_EQ(g.value("hits"), 5u);
+}
+
+TEST(StatGroup, ScalarsRoundTrip)
+{
+    StatGroup g;
+    EXPECT_DOUBLE_EQ(g.scalar("ipc"), 0.0);
+    g.setScalar("ipc", 1.25);
+    EXPECT_DOUBLE_EQ(g.scalar("ipc"), 1.25);
+}
+
+TEST(StatGroup, ResetZeroesEverything)
+{
+    StatGroup g;
+    g.counter("a") = 7;
+    g.setScalar("b", 3.0);
+    g.reset();
+    EXPECT_EQ(g.value("a"), 0u);
+    EXPECT_DOUBLE_EQ(g.scalar("b"), 0.0);
+}
+
+TEST(StatGroup, DumpIsSortedAndPrefixed)
+{
+    StatGroup g("core0");
+    g.counter("misses") = 2;
+    g.counter("accesses") = 10;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "core0.accesses 10\ncore0.misses 2\n");
+}
+
+TEST(StatGroup, CounterKeysSorted)
+{
+    StatGroup g;
+    g.counter("zeta");
+    g.counter("alpha");
+    const auto keys = g.counterKeys();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "alpha");
+    EXPECT_EQ(keys[1], "zeta");
+}
+
+} // anonymous namespace
+} // namespace nucache

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tests for the ASCII table printer used by the benchmark harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace nucache
+{
+namespace
+{
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row().cell("a").cell(std::uint64_t{1});
+    t.row().cell("long-name").cell(std::uint64_t{22});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    // Header, separator, two data rows.
+    EXPECT_NE(out.find("name       value"), std::string::npos);
+    EXPECT_NE(out.find("long-name  22"), std::string::npos);
+}
+
+TEST(TextTable, FormatsDoublesWithPrecision)
+{
+    TextTable t(2);
+    t.row().cell(1.23456);
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("1.23"), std::string::npos);
+    EXPECT_EQ(os.str().find("1.234"), std::string::npos);
+}
+
+TEST(TextTable, CountsRows)
+{
+    TextTable t;
+    EXPECT_EQ(t.numRows(), 0u);
+    t.row().cell("x");
+    t.row().cell("y");
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TextTable, CellWithoutRowStartsOne)
+{
+    TextTable t;
+    t.cell("implicit");
+    EXPECT_EQ(t.numRows(), 1u);
+}
+
+TEST(TextTable, HeaderOnlyPrintsSeparator)
+{
+    TextTable t;
+    t.header({"a", "b"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("----"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace nucache

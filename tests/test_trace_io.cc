@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the binary/text trace formats and the vector trace source.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/trace_io.hh"
+
+namespace nucache
+{
+namespace
+{
+
+std::vector<TraceRecord>
+sampleRecords()
+{
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 17; ++i) {
+        TraceRecord r;
+        r.pc = 0x400000 + i * 4;
+        r.addr = 0x10000 + i * 64;
+        r.nonMemGap = static_cast<std::uint32_t>(i * 3);
+        r.isWrite = (i % 3 == 0);
+        recs.push_back(r);
+    }
+    return recs;
+}
+
+TEST(TraceIo, BinaryRoundTrip)
+{
+    const auto recs = sampleRecords();
+    std::stringstream ss;
+    writeBinaryTrace(ss, recs);
+    const auto back = readBinaryTrace(ss);
+    ASSERT_EQ(back.size(), recs.size());
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        EXPECT_EQ(back[i].pc, recs[i].pc);
+        EXPECT_EQ(back[i].addr, recs[i].addr);
+        EXPECT_EQ(back[i].nonMemGap, recs[i].nonMemGap);
+        EXPECT_EQ(back[i].isWrite, recs[i].isWrite);
+    }
+}
+
+TEST(TraceIo, BinaryRoundTripEmpty)
+{
+    std::stringstream ss;
+    writeBinaryTrace(ss, {});
+    EXPECT_TRUE(readBinaryTrace(ss).empty());
+}
+
+TEST(TraceIo, TextRoundTrip)
+{
+    const auto recs = sampleRecords();
+    std::stringstream ss;
+    writeTextTrace(ss, recs);
+    const auto back = readTextTrace(ss);
+    ASSERT_EQ(back.size(), recs.size());
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        EXPECT_EQ(back[i].pc, recs[i].pc);
+        EXPECT_EQ(back[i].addr, recs[i].addr);
+        EXPECT_EQ(back[i].nonMemGap, recs[i].nonMemGap);
+        EXPECT_EQ(back[i].isWrite, recs[i].isWrite);
+    }
+}
+
+TEST(TraceIo, TextIgnoresCommentsAndBlankLines)
+{
+    std::stringstream ss("# a comment\n\n0x10 0x40 2 r\n");
+    const auto recs = readTextTrace(ss);
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].pc, 0x10u);
+    EXPECT_EQ(recs[0].addr, 0x40u);
+    EXPECT_EQ(recs[0].nonMemGap, 2u);
+    EXPECT_FALSE(recs[0].isWrite);
+}
+
+TEST(TraceIoDeathTest, BinaryBadMagic)
+{
+    std::stringstream ss("NOTATRACE-------");
+    EXPECT_EXIT(readBinaryTrace(ss), ::testing::ExitedWithCode(1),
+                "bad magic");
+}
+
+TEST(TraceIoDeathTest, BinaryTruncated)
+{
+    std::stringstream full;
+    writeBinaryTrace(full, sampleRecords());
+    const std::string payload = full.str();
+    std::stringstream cut(payload.substr(0, payload.size() - 5));
+    EXPECT_EXIT(readBinaryTrace(cut), ::testing::ExitedWithCode(1),
+                "truncated");
+}
+
+TEST(TraceIoDeathTest, TextMalformedLine)
+{
+    std::stringstream ss("0x10 0x40 nonsense\n");
+    EXPECT_EXIT(readTextTrace(ss), ::testing::ExitedWithCode(1),
+                "malformed");
+}
+
+TEST(VectorTraceSource, ReplaysAndResets)
+{
+    VectorTraceSource src("t", sampleRecords());
+    EXPECT_EQ(src.size(), 17u);
+    TraceRecord rec;
+    std::size_t n = 0;
+    while (src.next(rec))
+        ++n;
+    EXPECT_EQ(n, 17u);
+    EXPECT_FALSE(src.next(rec));
+    src.reset();
+    EXPECT_TRUE(src.next(rec));
+    EXPECT_EQ(rec.pc, 0x400000u);
+}
+
+TEST(VectorTraceSource, NameIsPreserved)
+{
+    VectorTraceSource src("my-trace", {});
+    EXPECT_EQ(src.name(), "my-trace");
+}
+
+} // anonymous namespace
+} // namespace nucache

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the named workload catalog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/workloads.hh"
+
+namespace nucache
+{
+namespace
+{
+
+TEST(Workloads, CatalogIsNonTrivial)
+{
+    EXPECT_GE(workloadNames().size(), 14u);
+}
+
+TEST(Workloads, NamesRoundTrip)
+{
+    for (const auto &name : workloadNames()) {
+        EXPECT_TRUE(isWorkloadName(name));
+        const WorkloadSpec spec = workloadSpec(name);
+        EXPECT_EQ(spec.name, name);
+        EXPECT_FALSE(spec.patterns.empty());
+        EXPECT_GT(spec.length, 0u);
+    }
+    EXPECT_FALSE(isWorkloadName("no-such-workload"));
+}
+
+TEST(Workloads, SeedsAreDistinct)
+{
+    std::set<std::uint64_t> seeds;
+    for (const auto &name : workloadNames())
+        EXPECT_TRUE(seeds.insert(workloadSpec(name).seed).second)
+            << name;
+}
+
+TEST(Workloads, LengthOverrideApplies)
+{
+    const auto spec = workloadSpec(workloadNames().front(), 777);
+    EXPECT_EQ(spec.length, 777u);
+}
+
+TEST(Workloads, MakeWorkloadProducesRecords)
+{
+    auto src = makeWorkload("stream_pure", 100);
+    TraceRecord r;
+    std::size_t n = 0;
+    while (src->next(r))
+        ++n;
+    EXPECT_EQ(n, 100u);
+}
+
+TEST(Workloads, EveryWorkloadIsInstantiableAndDeterministic)
+{
+    for (const auto &name : workloadNames()) {
+        auto src = makeWorkload(name, 2000);
+        TraceRecord a, b;
+        std::vector<Addr> first;
+        while (src->next(a))
+            first.push_back(a.addr);
+        src->reset();
+        std::size_t i = 0;
+        while (src->next(b)) {
+            ASSERT_EQ(b.addr, first[i]) << name << " record " << i;
+            ++i;
+        }
+        ASSERT_EQ(i, first.size()) << name;
+    }
+}
+
+TEST(WorkloadsDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(workloadSpec("bogus"), ::testing::ExitedWithCode(1),
+                "unknown workload");
+}
+
+} // anonymous namespace
+} // namespace nucache
