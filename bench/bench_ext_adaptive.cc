@@ -16,11 +16,11 @@ int
 main(int argc, char **argv)
 {
     const CliArgs args(argc, argv);
-    const std::uint64_t records = bench::recordsFor(args, 500'000);
+    const auto opt = bench::parseOptions(args, 500'000);
     bench::banner(std::cout, "Extension E4",
                   "adaptive Main/Deli split (quad-core, normalized "
                   "weighted speedup)",
-                  records);
+                  opt.records);
 
     const std::vector<std::string> policies = {
         "nucache",            // static default (d = 20 of 32)
@@ -28,8 +28,10 @@ main(int argc, char **argv)
         "nucache-adaptive",   // model-chosen split per epoch
     };
 
-    ExperimentHarness harness(records);
-    bench::runPolicyGrid(harness, defaultHierarchy(4), quadCoreMixes(),
-                         policies, std::cout);
+    RunEngine engine(opt.records, opt.jobs);
+    bench::JsonReport report(opt, "Extension E4");
+    bench::runPolicyGrid(engine, defaultHierarchy(4), quadCoreMixes(),
+                         policies, std::cout, &report);
+    report.write();
     return 0;
 }

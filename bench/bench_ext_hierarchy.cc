@@ -19,11 +19,11 @@ int
 main(int argc, char **argv)
 {
     const CliArgs args(argc, argv);
-    const std::uint64_t records = bench::recordsFor(args, 400'000);
+    const auto opt = bench::parseOptions(args, 400'000);
     bench::banner(std::cout, "Extension E5",
                   "hierarchy sensitivity (quad-core weighted speedup, "
                   "normalized to LRU within each configuration)",
-                  records);
+                  opt.records);
 
     struct Variant
     {
@@ -38,23 +38,27 @@ main(int argc, char **argv)
         {"L2+inclusive", true, true},
     };
 
+    RunEngine engine(opt.records, opt.jobs);
+    bench::JsonReport report(opt, "Extension E5");
     TextTable table;
     table.header({"variant", "nucache vs lru (geomean)"});
     for (const auto &v : variants) {
         HierarchyConfig hier = defaultHierarchy(4);
         hier.enableL2 = v.l2;
         hier.inclusive = v.inclusive;
-        ExperimentHarness harness(records);
+        bench::Progress progress;
+        const GridRun run = engine.runGrid(
+            hier, quadCoreMixes(), {"nucache"}, "lru",
+            [&progress](std::size_t done, std::size_t total) {
+                progress(done, total);
+            });
         std::vector<double> norms;
-        for (const auto &mix : quadCoreMixes()) {
-            const double lru =
-                harness.runMix(mix, "lru", hier).weightedSpeedup;
-            const double nuc =
-                harness.runMix(mix, "nucache", hier).weightedSpeedup;
-            norms.push_back(nuc / lru);
-        }
+        for (const auto &row : run.cells)
+            norms.push_back(row[0].normWs);
         table.row().cell(v.name).cell(geomean(norms));
+        report.addGrid(v.name, hier, run);
     }
     table.print(std::cout);
+    report.write();
     return 0;
 }

@@ -17,14 +17,16 @@ int
 main(int argc, char **argv)
 {
     const CliArgs args(argc, argv);
-    const std::uint64_t records = bench::recordsFor(args, 400'000);
+    const auto opt = bench::parseOptions(args, 400'000);
     bench::banner(std::cout, "Extension E6",
                   "LLC size scaling (quad-core, normalized weighted "
                   "speedup per size)",
-                  records);
+                  opt.records);
 
     const std::vector<std::string> policies = {"tadip", "ucp",
                                                "nucache"};
+    RunEngine engine(opt.records, opt.jobs);
+    bench::JsonReport report(opt, "Extension E6");
     TextTable table;
     std::vector<std::string> head = {"LLC size"};
     head.insert(head.end(), policies.begin(), policies.end());
@@ -33,20 +35,23 @@ main(int argc, char **argv)
     for (const std::uint64_t mib : {1ull, 2ull, 4ull, 8ull}) {
         HierarchyConfig hier = defaultHierarchy(4);
         hier.llc = CacheConfig{"llc", mib << 20, 32, 64};
-        ExperimentHarness harness(records);
-        table.row().cell(std::to_string(mib) + " MiB");
-        for (const auto &policy : policies) {
+        const std::string label = std::to_string(mib) + " MiB";
+        bench::Progress progress;
+        const GridRun run = engine.runGrid(
+            hier, quadCoreMixes(), policies, "lru",
+            [&progress](std::size_t done, std::size_t total) {
+                progress(done, total);
+            });
+        table.row().cell(label);
+        for (std::size_t p = 0; p < policies.size(); ++p) {
             std::vector<double> norms;
-            for (const auto &mix : quadCoreMixes()) {
-                const double lru =
-                    harness.runMix(mix, "lru", hier).weightedSpeedup;
-                const double p =
-                    harness.runMix(mix, policy, hier).weightedSpeedup;
-                norms.push_back(p / lru);
-            }
+            for (const auto &row : run.cells)
+                norms.push_back(row[p].normWs);
             table.cell(geomean(norms));
         }
+        report.addGrid(label, hier, run);
     }
     table.print(std::cout);
+    report.write();
     return 0;
 }

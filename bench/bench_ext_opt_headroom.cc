@@ -18,44 +18,83 @@ int
 main(int argc, char **argv)
 {
     const CliArgs args(argc, argv);
-    const std::uint64_t records = bench::recordsFor(args, 1'000'000);
+    const auto opt = bench::parseOptions(args, 1'000'000);
     bench::banner(std::cout, "Extension E2",
                   "LLC miss rate vs offline MIN headroom (single core)",
-                  records);
+                  opt.records);
 
     const HierarchyConfig hier = defaultHierarchy(1);
-    ExperimentHarness harness(records);
+    RunEngine engine(opt.records, opt.jobs);
+    const auto &workloads = workloadNames();
+
+    struct Row
+    {
+        double lru = 0.0;
+        double drrip = 0.0;
+        double nucache = 0.0;
+        double min = 0.0;
+    };
+    std::vector<Row> rows(workloads.size());
+    bench::Progress progress;
+    // One job per workload: three online policies plus the offline
+    // MIN simulation on the same L1-filtered stream.
+    engine.parallelFor(
+        workloads.size(),
+        [&](std::size_t w) {
+            const auto &name = workloads[w];
+            Row &row = rows[w];
+            row.lru = engine.runSingle(name, "lru", hier)
+                          .cores[0].llc.missRate();
+            row.drrip = engine.runSingle(name, "drrip", hier)
+                            .cores[0].llc.missRate();
+            row.nucache = engine.runSingle(name, "nucache", hier)
+                              .cores[0].llc.missRate();
+            auto trace = makeWorkload(name);
+            const auto stream = collectLlcBlockStream(
+                *trace, hier.l1, hier.llc.blockSize, opt.records);
+            const auto min = simulateBelady(stream, hier.llc.numSets(),
+                                            hier.llc.ways);
+            row.min = min.missRate();
+        },
+        [&progress](std::size_t done, std::size_t total) {
+            progress(done, total);
+        });
 
     TextTable table;
     table.header({"workload", "lru", "drrip", "nucache", "MIN",
                   "nucache captures"});
-    for (const auto &name : workloadNames()) {
-        const double lru =
-            harness.runSingle(name, "lru", hier).cores[0].llc.missRate();
-        const double drrip =
-            harness.runSingle(name, "drrip", hier)
-                .cores[0].llc.missRate();
-        const double nuc =
-            harness.runSingle(name, "nucache", hier)
-                .cores[0].llc.missRate();
-
-        auto trace = makeWorkload(name);
-        const auto stream = collectLlcBlockStream(
-            *trace, hier.l1, hier.llc.blockSize, records);
-        const auto opt = simulateBelady(stream, hier.llc.numSets(),
-                                        hier.llc.ways);
-
-        const double headroom = lru - opt.missRate();
+    bench::JsonReport report(opt, "Extension E2");
+    Json cells = Json::array();
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const Row &row = rows[w];
+        const double headroom = row.lru - row.min;
         const double captured =
-            headroom <= 0.0 ? 0.0 : (lru - nuc) / headroom;
+            headroom <= 0.0 ? 0.0 : (row.lru - row.nucache) / headroom;
         table.row()
-            .cell(name)
-            .cell(lru)
-            .cell(drrip)
-            .cell(nuc)
-            .cell(opt.missRate())
+            .cell(workloads[w])
+            .cell(row.lru)
+            .cell(row.drrip)
+            .cell(row.nucache)
+            .cell(row.min)
             .cell(captured);
+        if (report.enabled()) {
+            Json c = Json::object();
+            c["workload"] = workloads[w];
+            c["lru_miss_rate"] = row.lru;
+            c["drrip_miss_rate"] = row.drrip;
+            c["nucache_miss_rate"] = row.nucache;
+            c["min_miss_rate"] = row.min;
+            c["headroom_captured"] = captured;
+            cells.push(std::move(c));
+        }
     }
     table.print(std::cout);
+
+    if (report.enabled()) {
+        Json &s = report.section("headroom", "opt_headroom");
+        s["hierarchy"] = bench::jsonHierarchy(hier);
+        s["cells"] = std::move(cells);
+    }
+    report.write();
     return 0;
 }

@@ -20,37 +20,71 @@ int
 main(int argc, char **argv)
 {
     const CliArgs args(argc, argv);
-    const std::uint64_t records = bench::recordsFor(args, 500'000);
+    const auto opt = bench::parseOptions(args, 500'000);
     bench::banner(std::cout, "Extension E3",
                   "stride prefetching x {LRU, NUcache} (quad-core "
                   "weighted speedup, normalized to LRU w/o prefetch)",
-                  records);
+                  opt.records);
 
-    ExperimentHarness harness(records);
+    RunEngine engine(opt.records, opt.jobs);
     HierarchyConfig base = defaultHierarchy(4);
     HierarchyConfig with_pf = base;
     with_pf.prefetch.enabled = true;
 
+    struct Variant
+    {
+        const char *policy;
+        const HierarchyConfig *hier;
+    };
+    const std::vector<Variant> variants = {
+        {"lru", &base},
+        {"lru", &with_pf},
+        {"nucache", &base},
+        {"nucache", &with_pf},
+    };
+
+    const auto &mixes = quadCoreMixes();
+    std::vector<std::vector<double>> ws(
+        mixes.size(), std::vector<double>(variants.size(), 0.0));
+    bench::Progress progress;
+    engine.parallelFor(
+        mixes.size() * variants.size(),
+        [&](std::size_t idx) {
+            const std::size_t m = idx / variants.size();
+            const std::size_t v = idx % variants.size();
+            ws[m][v] = engine
+                           .runMix(mixes[m], variants[v].policy,
+                                   *variants[v].hier)
+                           .weightedSpeedup;
+        },
+        [&progress](std::size_t done, std::size_t total) {
+            progress(done, total);
+        });
+
     TextTable table;
     table.header({"mix", "lru+pf", "nucache", "nucache+pf"});
+    bench::JsonReport report(opt, "Extension E3");
+    Json cells = Json::array();
     std::vector<double> n_lru_pf, n_nuc, n_nuc_pf;
-    for (const auto &mix : quadCoreMixes()) {
-        const double lru =
-            harness.runMix(mix, "lru", base).weightedSpeedup;
-        const double lru_pf =
-            harness.runMix(mix, "lru", with_pf).weightedSpeedup;
-        const double nuc =
-            harness.runMix(mix, "nucache", base).weightedSpeedup;
-        const double nuc_pf =
-            harness.runMix(mix, "nucache", with_pf).weightedSpeedup;
-        n_lru_pf.push_back(lru_pf / lru);
-        n_nuc.push_back(nuc / lru);
-        n_nuc_pf.push_back(nuc_pf / lru);
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        const double lru = ws[m][0];
+        n_lru_pf.push_back(ws[m][1] / lru);
+        n_nuc.push_back(ws[m][2] / lru);
+        n_nuc_pf.push_back(ws[m][3] / lru);
         table.row()
-            .cell(mix.name)
-            .cell(lru_pf / lru)
-            .cell(nuc / lru)
-            .cell(nuc_pf / lru);
+            .cell(mixes[m].name)
+            .cell(ws[m][1] / lru)
+            .cell(ws[m][2] / lru)
+            .cell(ws[m][3] / lru);
+        if (report.enabled()) {
+            Json c = Json::object();
+            c["mix"] = mixes[m].name;
+            c["lru"] = ws[m][0];
+            c["lru_pf"] = ws[m][1];
+            c["nucache"] = ws[m][2];
+            c["nucache_pf"] = ws[m][3];
+            cells.push(std::move(c));
+        }
     }
     table.row()
         .cell("geomean")
@@ -58,5 +92,17 @@ main(int argc, char **argv)
         .cell(geomean(n_nuc))
         .cell(geomean(n_nuc_pf));
     table.print(std::cout);
+
+    if (report.enabled()) {
+        Json &s = report.section("prefetch", "prefetch_sensitivity");
+        s["hierarchy"] = bench::jsonHierarchy(base);
+        s["cells"] = std::move(cells);
+        Json geo = Json::object();
+        geo["lru_pf"] = geomean(n_lru_pf);
+        geo["nucache"] = geomean(n_nuc);
+        geo["nucache_pf"] = geomean(n_nuc_pf);
+        s["geomean_norm_ws"] = std::move(geo);
+    }
+    report.write();
     return 0;
 }

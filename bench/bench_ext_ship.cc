@@ -22,23 +22,25 @@ int
 main(int argc, char **argv)
 {
     const CliArgs args(argc, argv);
-    const std::uint64_t records = bench::recordsFor(args, 700'000);
+    const auto opt = bench::parseOptions(args, 700'000);
     bench::banner(std::cout, "Extension E1",
                   "NUcache vs SHiP-PC vs DRRIP (normalized weighted "
                   "speedup)",
-                  records);
+                  opt.records);
 
     const std::vector<std::string> policies = {"lru", "drrip", "ship",
                                                "hawkeye", "nucache"};
+    bench::JsonReport report(opt, "Extension E1");
 
     std::cout << "\n## dual-core mixes\n";
-    ExperimentHarness dual(records);
+    RunEngine dual(opt.records, opt.jobs);
     bench::runPolicyGrid(dual, defaultHierarchy(2), dualCoreMixes(),
-                         policies, std::cout);
+                         policies, std::cout, &report, "dual-core");
 
     std::cout << "\n## quad-core mixes\n";
-    ExperimentHarness quad(records * 7 / 10);
+    RunEngine quad(opt.records * 7 / 10, opt.jobs);
     bench::runPolicyGrid(quad, defaultHierarchy(4), quadCoreMixes(),
-                         policies, std::cout);
+                         policies, std::cout, &report, "quad-core");
+    report.write();
     return 0;
 }

@@ -25,11 +25,11 @@ int
 main(int argc, char **argv)
 {
     const CliArgs args(argc, argv);
-    const std::uint64_t records = bench::recordsFor(args, 500'000);
+    const auto opt = bench::parseOptions(args, 500'000);
     bench::banner(std::cout, "Figure 10",
                   "selection ablation (quad-core): normalized "
                   "weighted speedup",
-                  records);
+                  opt.records);
 
     const std::vector<std::string> policies = {
         "nucache",                // cost-benefit (the paper's scheme)
@@ -39,8 +39,10 @@ main(int argc, char **argv)
         "nucache-none",           // admit nothing
     };
 
-    ExperimentHarness harness(records);
-    bench::runPolicyGrid(harness, defaultHierarchy(4), quadCoreMixes(),
-                         policies, std::cout);
+    RunEngine engine(opt.records, opt.jobs);
+    bench::JsonReport report(opt, "Figure 10");
+    bench::runPolicyGrid(engine, defaultHierarchy(4), quadCoreMixes(),
+                         policies, std::cout, &report);
+    report.write();
     return 0;
 }

@@ -15,21 +15,28 @@ int
 main(int argc, char **argv)
 {
     const CliArgs args(argc, argv);
-    const std::uint64_t records = bench::recordsFor(args, 500'000);
+    const auto opt = bench::parseOptions(args, 500'000);
     bench::banner(std::cout, "Figure 11",
-                  "quad-core fairness and throughput metrics", records);
+                  "quad-core fairness and throughput metrics",
+                  opt.records);
 
-    ExperimentHarness harness(records);
+    RunEngine engine(opt.records, opt.jobs);
     const HierarchyConfig hier = defaultHierarchy(4);
     const auto &policies = evaluationPolicySet();
 
+    bench::Progress progress;
+    const GridRun run = engine.runGrid(
+        hier, quadCoreMixes(), policies, "lru",
+        [&progress](std::size_t done, std::size_t total) {
+            progress(done, total);
+        });
+
     std::map<std::string, std::vector<double>> hmeans, antts, fairs;
-    for (const auto &mix : quadCoreMixes()) {
-        for (const auto &policy : policies) {
-            const MixResult res = harness.runMix(mix, policy, hier);
-            hmeans[policy].push_back(res.hmeanSpeedup);
-            antts[policy].push_back(res.antt);
-            fairs[policy].push_back(res.fairness);
+    for (const auto &row : run.cells) {
+        for (const auto &cell : row) {
+            hmeans[cell.result.policy].push_back(cell.result.hmeanSpeedup);
+            antts[cell.result.policy].push_back(cell.result.antt);
+            fairs[cell.result.policy].push_back(cell.result.fairness);
         }
     }
 
@@ -43,5 +50,22 @@ main(int argc, char **argv)
             .cell(geomean(fairs[policy]));
     }
     table.print(std::cout);
+
+    bench::JsonReport report(opt, "Figure 11");
+    if (report.enabled()) {
+        Json &s = report.section("summary", "fairness_summary");
+        Json rows = Json::array();
+        for (const auto &policy : policies) {
+            Json r = Json::object();
+            r["policy"] = policy;
+            r["hmean_speedup"] = geomean(hmeans[policy]);
+            r["antt"] = geomean(antts[policy]);
+            r["fairness"] = geomean(fairs[policy]);
+            rows.push(std::move(r));
+        }
+        s["rows"] = std::move(rows);
+        report.addGrid("quad-core", hier, run);
+    }
+    report.write();
     return 0;
 }

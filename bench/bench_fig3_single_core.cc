@@ -16,15 +16,33 @@ int
 main(int argc, char **argv)
 {
     const CliArgs args(argc, argv);
-    const std::uint64_t records = bench::recordsFor(args, 1'000'000);
+    const auto opt = bench::parseOptions(args, 1'000'000);
     bench::banner(std::cout, "Figure 3",
                   "single-core LLC miss rate and normalized IPC",
-                  records);
+                  opt.records);
 
     const std::vector<std::string> policies = {"lru", "dip", "drrip",
                                                "nucache"};
-    ExperimentHarness harness(records);
+    RunEngine engine(opt.records, opt.jobs);
     const HierarchyConfig hier = defaultHierarchy(1);
+    const auto &workloads = workloadNames();
+
+    // One job per (workload, policy) single run; each writes only its
+    // own slot, so the assembly below is independent of --jobs.
+    std::vector<std::vector<SystemResult>> results(
+        workloads.size(), std::vector<SystemResult>(policies.size()));
+    bench::Progress progress;
+    engine.parallelFor(
+        workloads.size() * policies.size(),
+        [&](std::size_t idx) {
+            const std::size_t w = idx / policies.size();
+            const std::size_t p = idx % policies.size();
+            results[w][p] =
+                engine.runSingle(workloads[w], policies[p], hier);
+        },
+        [&progress](std::size_t done, std::size_t total) {
+            progress(done, total);
+        });
 
     TextTable table;
     std::vector<std::string> head = {"workload"};
@@ -34,19 +52,30 @@ main(int argc, char **argv)
         head.push_back("ipc_norm." + p);
     table.header(head);
 
+    bench::JsonReport report(opt, "Figure 3");
+    Json cells = Json::array();
     std::map<std::string, std::vector<double>> ipc_norms;
-    for (const auto &name : workloadNames()) {
-        table.row().cell(name);
-        std::map<std::string, SystemResult> results;
-        for (const auto &p : policies) {
-            results[p] = harness.runSingle(name, p, hier);
-            table.cell(results[p].cores[0].llc.missRate());
-        }
-        const double lru_ipc = results["lru"].cores[0].ipc;
-        for (const auto &p : policies) {
-            const double norm = results[p].cores[0].ipc / lru_ipc;
-            ipc_norms[p].push_back(norm);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        table.row().cell(workloads[w]);
+        for (std::size_t p = 0; p < policies.size(); ++p)
+            table.cell(results[w][p].cores[0].llc.missRate());
+        const double lru_ipc = results[w][0].cores[0].ipc;
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const double norm = results[w][p].cores[0].ipc / lru_ipc;
+            ipc_norms[policies[p]].push_back(norm);
             table.cell(norm);
+            if (report.enabled()) {
+                Json c = Json::object();
+                c["workload"] = workloads[w];
+                c["policy"] = policies[p];
+                c["llc_miss_rate"] =
+                    results[w][p].cores[0].llc.missRate();
+                c["llc_accesses"] = results[w][p].cores[0].llc.accesses;
+                c["llc_misses"] = results[w][p].cores[0].llc.misses;
+                c["ipc"] = results[w][p].cores[0].ipc;
+                c["norm_ipc"] = norm;
+                cells.push(std::move(c));
+            }
         }
     }
     table.row().cell("geomean");
@@ -55,5 +84,16 @@ main(int argc, char **argv)
     for (const auto &p : policies)
         table.cell(geomean(ipc_norms[p]));
     table.print(std::cout);
+
+    if (report.enabled()) {
+        Json &s = report.section("single-core", "single_core");
+        s["hierarchy"] = bench::jsonHierarchy(hier);
+        s["cells"] = std::move(cells);
+        Json geo = Json::object();
+        for (const auto &p : policies)
+            geo[p] = geomean(ipc_norms[p]);
+        s["geomean_norm_ipc"] = std::move(geo);
+    }
+    report.write();
     return 0;
 }

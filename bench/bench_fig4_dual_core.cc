@@ -16,13 +16,15 @@ int
 main(int argc, char **argv)
 {
     const CliArgs args(argc, argv);
-    const std::uint64_t records = bench::recordsFor(args, 1'000'000);
+    const auto opt = bench::parseOptions(args, 1'000'000);
     bench::banner(std::cout, "Figure 4",
                   "dual-core weighted speedup normalized to LRU",
-                  records);
+                  opt.records);
 
-    ExperimentHarness harness(records);
-    bench::runPolicyGrid(harness, defaultHierarchy(2), dualCoreMixes(),
-                         evaluationPolicySet(), std::cout);
+    RunEngine engine(opt.records, opt.jobs);
+    bench::JsonReport report(opt, "Figure 4");
+    bench::runPolicyGrid(engine, defaultHierarchy(2), dualCoreMixes(),
+                         evaluationPolicySet(), std::cout, &report);
+    report.write();
     return 0;
 }

@@ -15,13 +15,15 @@ int
 main(int argc, char **argv)
 {
     const CliArgs args(argc, argv);
-    const std::uint64_t records = bench::recordsFor(args, 700'000);
+    const auto opt = bench::parseOptions(args, 700'000);
     bench::banner(std::cout, "Figure 5",
                   "quad-core weighted speedup normalized to LRU",
-                  records);
+                  opt.records);
 
-    ExperimentHarness harness(records);
-    bench::runPolicyGrid(harness, defaultHierarchy(4), quadCoreMixes(),
-                         evaluationPolicySet(), std::cout);
+    RunEngine engine(opt.records, opt.jobs);
+    bench::JsonReport report(opt, "Figure 5");
+    bench::runPolicyGrid(engine, defaultHierarchy(4), quadCoreMixes(),
+                         evaluationPolicySet(), std::cout, &report);
+    report.write();
     return 0;
 }

@@ -15,13 +15,15 @@ int
 main(int argc, char **argv)
 {
     const CliArgs args(argc, argv);
-    const std::uint64_t records = bench::recordsFor(args, 500'000);
+    const auto opt = bench::parseOptions(args, 500'000);
     bench::banner(std::cout, "Figure 6",
                   "eight-core weighted speedup normalized to LRU",
-                  records);
+                  opt.records);
 
-    ExperimentHarness harness(records);
-    bench::runPolicyGrid(harness, defaultHierarchy(8), eightCoreMixes(),
-                         evaluationPolicySet(), std::cout);
+    RunEngine engine(opt.records, opt.jobs);
+    bench::JsonReport report(opt, "Figure 6");
+    bench::runPolicyGrid(engine, defaultHierarchy(8), eightCoreMixes(),
+                         evaluationPolicySet(), std::cout, &report);
+    report.write();
     return 0;
 }

@@ -17,18 +17,20 @@ int
 main(int argc, char **argv)
 {
     const CliArgs args(argc, argv);
-    const std::uint64_t records = bench::recordsFor(args, 500'000);
+    const auto opt = bench::parseOptions(args, 500'000);
     bench::banner(std::cout, "Figure 7",
                   "DeliWays sweep (quad-core, 32-way LLC): normalized "
                   "weighted speedup",
-                  records);
+                  opt.records);
 
     std::vector<std::string> policies;
     for (const unsigned d : {4u, 8u, 12u, 16u, 20u, 24u, 28u})
         policies.push_back("nucache:d=" + std::to_string(d));
 
-    ExperimentHarness harness(records);
-    bench::runPolicyGrid(harness, defaultHierarchy(4), quadCoreMixes(),
-                         policies, std::cout);
+    RunEngine engine(opt.records, opt.jobs);
+    bench::JsonReport report(opt, "Figure 7");
+    bench::runPolicyGrid(engine, defaultHierarchy(4), quadCoreMixes(),
+                         policies, std::cout, &report);
+    report.write();
     return 0;
 }

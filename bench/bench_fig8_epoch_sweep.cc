@@ -16,18 +16,20 @@ int
 main(int argc, char **argv)
 {
     const CliArgs args(argc, argv);
-    const std::uint64_t records = bench::recordsFor(args, 500'000);
+    const auto opt = bench::parseOptions(args, 500'000);
     bench::banner(std::cout, "Figure 8",
                   "selection-epoch sweep (quad-core): normalized "
                   "weighted speedup",
-                  records);
+                  opt.records);
 
     std::vector<std::string> policies;
     for (const unsigned e : {25u, 50u, 100u, 200u, 400u, 800u})
         policies.push_back("nucache:epoch=" + std::to_string(e * 1000));
 
-    ExperimentHarness harness(records);
-    bench::runPolicyGrid(harness, defaultHierarchy(4), quadCoreMixes(),
-                         policies, std::cout);
+    RunEngine engine(opt.records, opt.jobs);
+    bench::JsonReport report(opt, "Figure 8");
+    bench::runPolicyGrid(engine, defaultHierarchy(4), quadCoreMixes(),
+                         policies, std::cout, &report);
+    report.write();
     return 0;
 }

@@ -17,11 +17,11 @@ int
 main(int argc, char **argv)
 {
     const CliArgs args(argc, argv);
-    const std::uint64_t records = bench::recordsFor(args, 500'000);
+    const auto opt = bench::parseOptions(args, 500'000);
     bench::banner(std::cout, "Figure 9",
                   "candidate-PC pool sweep (quad-core): normalized "
                   "weighted speedup",
-                  records);
+                  opt.records);
 
     std::vector<std::string> policies;
     for (const unsigned p : {2u, 4u, 8u, 16u, 32u, 64u}) {
@@ -29,8 +29,10 @@ main(int argc, char **argv)
                            ",maxsel=" + std::to_string(p));
     }
 
-    ExperimentHarness harness(records);
-    bench::runPolicyGrid(harness, defaultHierarchy(4), quadCoreMixes(),
-                         policies, std::cout);
+    RunEngine engine(opt.records, opt.jobs);
+    bench::JsonReport report(opt, "Figure 9");
+    bench::runPolicyGrid(engine, defaultHierarchy(4), quadCoreMixes(),
+                         policies, std::cout, &report);
+    report.write();
     return 0;
 }

@@ -5,7 +5,7 @@
  * metrics.
  *
  * Usage: multicore_mix [--policy=nucache] [--records=500000]
- *                      [workload workload ...]
+ *                      [--jobs=N] [workload workload ...]
  * Default mix: loop_medium stream_pure echo_near zipf_hot
  */
 
@@ -13,8 +13,9 @@
 
 #include "common/cli.hh"
 #include "common/table.hh"
-#include "sim/experiment.hh"
+#include "common/thread_pool.hh"
 #include "sim/policies.hh"
+#include "sim/run_engine.hh"
 #include "trace/workloads.hh"
 
 using namespace nucache;
@@ -41,7 +42,9 @@ main(int argc, char **argv)
     }
     const unsigned cores = static_cast<unsigned>(workloads.size());
 
-    ExperimentHarness harness(records);
+    const unsigned jobs = static_cast<unsigned>(
+        args.getInt("jobs", ThreadPool::hardwareConcurrency()));
+    RunEngine engine(records, jobs);
     const HierarchyConfig hier = defaultHierarchy(cores);
     const WorkloadMix mix{"cli-mix", workloads};
 
@@ -49,9 +52,12 @@ main(int argc, char **argv)
               << (hier.llc.sizeBytes >> 10) << " KiB shared LLC, policy "
               << policy << "\n\n";
 
-    const MixResult lru = harness.runMix(mix, "lru", hier);
-    const MixResult res =
-        policy == "lru" ? lru : harness.runMix(mix, policy, hier);
+    // A one-mix grid: the policy and its LRU reference run as
+    // parallel jobs, normalized for us by the engine.
+    const GridRun run = engine.runGrid(hier, {mix}, {policy});
+    const MixResult &lru =
+        policy == "lru" ? run.cells[0][0].result : run.baselineRuns[0];
+    const MixResult &res = run.cells[0][0].result;
 
     TextTable table;
     table.header({"core", "workload", "IPC alone", "IPC lru",

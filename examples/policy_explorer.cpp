@@ -4,14 +4,16 @@
  * sizes — a quick way to see where each policy's regime starts.
  *
  * Usage: policy_explorer [--workload=loop_medium] [--records=500000]
+ *                        [--jobs=N]
  */
 
 #include <iostream>
 
 #include "common/cli.hh"
 #include "common/table.hh"
-#include "sim/experiment.hh"
+#include "common/thread_pool.hh"
 #include "sim/policies.hh"
+#include "sim/run_engine.hh"
 #include "trace/workloads.hh"
 
 using namespace nucache;
@@ -32,7 +34,9 @@ main(int argc, char **argv)
         "lru", "nru", "srrip", "drrip", "dip", "nucache"};
     const std::vector<std::uint64_t> sizes_kib = {256, 512, 1024, 2048};
 
-    ExperimentHarness harness(records);
+    const unsigned jobs = static_cast<unsigned>(
+        args.getInt("jobs", ThreadPool::hardwareConcurrency()));
+    RunEngine engine(records, jobs);
     std::cout << "workload " << workload
               << ": LLC miss rate by policy and cache size\n\n";
 
@@ -41,15 +45,23 @@ main(int argc, char **argv)
     head.insert(head.end(), policies.begin(), policies.end());
     table.header(head);
 
-    for (const auto kib : sizes_kib) {
-        HierarchyConfig hier = defaultHierarchy(1);
-        hier.llc = CacheConfig{"llc", kib << 10, 16, 64};
-        table.row().cell(std::to_string(kib) + " KiB");
-        for (const auto &policy : policies) {
-            const SystemResult res =
-                harness.runSingle(workload, policy, hier);
-            table.cell(res.cores[0].llc.missRate());
-        }
+    // The whole (size x policy) surface runs as one parallel batch.
+    std::vector<std::vector<SystemResult>> results(
+        sizes_kib.size(), std::vector<SystemResult>(policies.size()));
+    engine.parallelFor(
+        sizes_kib.size() * policies.size(), [&](std::size_t idx) {
+            const std::size_t s = idx / policies.size();
+            const std::size_t p = idx % policies.size();
+            HierarchyConfig hier = defaultHierarchy(1);
+            hier.llc = CacheConfig{"llc", sizes_kib[s] << 10, 16, 64};
+            results[s][p] =
+                engine.runSingle(workload, policies[p], hier);
+        });
+
+    for (std::size_t s = 0; s < sizes_kib.size(); ++s) {
+        table.row().cell(std::to_string(sizes_kib[s]) + " KiB");
+        for (std::size_t p = 0; p < policies.size(); ++p)
+            table.cell(results[s][p].cores[0].llc.missRate());
     }
     table.print(std::cout);
 

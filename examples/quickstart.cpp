@@ -6,15 +6,16 @@
  * NUcache by weighted speedup.
  *
  * Usage: quickstart [--workload=echo_near] [--corunner=stream_pure]
- *                   [--records=800000]
+ *                   [--records=800000] [--jobs=N]
  */
 
 #include <iostream>
 
 #include "common/cli.hh"
 #include "common/table.hh"
-#include "sim/experiment.hh"
+#include "common/thread_pool.hh"
 #include "sim/policies.hh"
+#include "sim/run_engine.hh"
 #include "trace/workloads.hh"
 
 using namespace nucache;
@@ -26,6 +27,8 @@ main(int argc, char **argv)
     const std::string workload = args.get("workload", "echo_near");
     const std::string corunner = args.get("corunner", "stream_pure");
     const std::uint64_t records = args.getInt("records", 800'000);
+    const unsigned jobs = static_cast<unsigned>(
+        args.getInt("jobs", ThreadPool::hardwareConcurrency()));
 
     for (const auto &w : {workload, corunner}) {
         if (!isWorkloadName(w)) {
@@ -36,7 +39,7 @@ main(int argc, char **argv)
         }
     }
 
-    ExperimentHarness harness(records);
+    RunEngine engine(records, jobs);
     const HierarchyConfig hier = defaultHierarchy(2);
     const WorkloadMix mix{"quickstart", {workload, corunner}};
 
@@ -45,20 +48,20 @@ main(int argc, char **argv)
               << hier.llc.ways << "-way LLC, " << records
               << " references per core\n\n";
 
+    // One grid row: every policy on this mix runs as a parallel job.
+    const GridRun run =
+        engine.runGrid(hier, {mix}, evaluationPolicySet());
+
     TextTable table;
     table.header({"policy", "IPC " + workload, "IPC " + corunner,
                   "weighted speedup", "vs lru"});
-    double lru_ws = 0.0;
-    for (const auto &policy : evaluationPolicySet()) {
-        const MixResult res = harness.runMix(mix, policy, hier);
-        if (policy == "lru")
-            lru_ws = res.weightedSpeedup;
+    for (const auto &cell : run.cells[0]) {
         table.row()
-            .cell(policy)
-            .cell(res.system.cores[0].ipc)
-            .cell(res.system.cores[1].ipc)
-            .cell(res.weightedSpeedup)
-            .cell(res.weightedSpeedup / lru_ws);
+            .cell(cell.result.policy)
+            .cell(cell.result.system.cores[0].ipc)
+            .cell(cell.result.system.cores[1].ipc)
+            .cell(cell.result.weightedSpeedup)
+            .cell(cell.normWs);
     }
     table.print(std::cout);
 

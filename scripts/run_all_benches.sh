@@ -1,13 +1,27 @@
 #!/usr/bin/env bash
 # Regenerate every table/figure of the evaluation into results/.
-# Usage: scripts/run_all_benches.sh [--quick] [results_dir]
+# Each engine-driven bench runs its (mix x policy) grid on --jobs
+# worker threads and mirrors its tables into results/<name>.json.
+# Usage: scripts/run_all_benches.sh [--quick] [--jobs N] [results_dir]
 set -euo pipefail
 
 quick=""
-if [ "${1-}" = "--quick" ]; then
-    quick="--quick"
-    shift
-fi
+jobs="$(nproc 2>/dev/null || echo 1)"
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --quick)
+            quick="--quick"
+            shift
+            ;;
+        --jobs)
+            jobs="$2"
+            shift 2
+            ;;
+        *)
+            break
+            ;;
+    esac
+done
 out="${1-results}"
 mkdir -p "$out"
 
@@ -17,7 +31,13 @@ for b in build/bench/bench_*; do
     if [ "$name" = "bench_micro_cache" ]; then
         "$b" --benchmark_min_time=0.2 > "$out/$name.txt" 2>&1
     else
-        "$b" $quick > "$out/$name.txt" 2>&1
+        # Analysis-only benches (fig1, fig2, tables) accept and ignore
+        # --jobs/--json; engine-driven ones parallelize and emit JSON.
+        "$b" $quick --jobs "$jobs" --json "$out/$name.json" \
+            > "$out/$name.txt" 2>&1
+        # Drop empty placeholders from benches that ignore --json.
+        [ -s "$out/$name.json" ] || rm -f "$out/$name.json"
     fi
 done
-echo "wrote $(ls "$out" | wc -l) result files to $out/"
+echo "wrote $(ls "$out" | wc -l) result files to $out/" \
+    "($(ls "$out"/*.json 2>/dev/null | wc -l) JSON)"

@@ -1,0 +1,212 @@
+#include "common/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace nucache
+{
+
+Json
+Json::array()
+{
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (type_ != Type::Object)
+        panic("Json::operator[]: not an object");
+    for (auto &kv : objectV) {
+        if (kv.first == key)
+            return kv.second;
+    }
+    objectV.emplace_back(key, Json());
+    return objectV.back().second;
+}
+
+Json &
+Json::push(Json v)
+{
+    if (type_ != Type::Array)
+        panic("Json::push: not an array");
+    arrayV.push_back(std::move(v));
+    return *this;
+}
+
+Json &
+Json::back()
+{
+    if (type_ != Type::Array || arrayV.empty())
+        panic("Json::back: not a non-empty array");
+    return arrayV.back();
+}
+
+std::size_t
+Json::size() const
+{
+    if (type_ == Type::Array)
+        return arrayV.size();
+    if (type_ == Type::Object)
+        return objectV.size();
+    return 0;
+}
+
+void
+Json::writeEscaped(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\b':
+            os << "\\b";
+            break;
+          case '\f':
+            os << "\\f";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+namespace
+{
+
+void
+writeDouble(std::ostream &os, double v)
+{
+    // NaN/Inf are not representable in JSON; null is the least-wrong
+    // encoding and keeps consumers from choking on bare tokens.
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    std::ostringstream tmp;
+    tmp.precision(std::numeric_limits<double>::max_digits10);
+    tmp << v;
+    os << tmp.str();
+}
+
+void
+newlineIndent(std::ostream &os, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    os << '\n';
+    for (int i = 0; i < indent * depth; ++i)
+        os << ' ';
+}
+
+} // anonymous namespace
+
+void
+Json::dumpValue(std::ostream &os, int indent, int depth) const
+{
+    switch (type_) {
+      case Type::Null:
+        os << "null";
+        break;
+      case Type::Bool:
+        os << (boolV ? "true" : "false");
+        break;
+      case Type::Int:
+        os << intV;
+        break;
+      case Type::Uint:
+        os << uintV;
+        break;
+      case Type::Double:
+        writeDouble(os, doubleV);
+        break;
+      case Type::String:
+        writeEscaped(os, stringV);
+        break;
+      case Type::Array:
+        if (arrayV.empty()) {
+            os << "[]";
+            break;
+        }
+        os << '[';
+        for (std::size_t i = 0; i < arrayV.size(); ++i) {
+            if (i)
+                os << ',';
+            newlineIndent(os, indent, depth + 1);
+            arrayV[i].dumpValue(os, indent, depth + 1);
+        }
+        newlineIndent(os, indent, depth);
+        os << ']';
+        break;
+      case Type::Object:
+        if (objectV.empty()) {
+            os << "{}";
+            break;
+        }
+        os << '{';
+        for (std::size_t i = 0; i < objectV.size(); ++i) {
+            if (i)
+                os << ',';
+            newlineIndent(os, indent, depth + 1);
+            writeEscaped(os, objectV[i].first);
+            os << (indent > 0 ? ": " : ":");
+            objectV[i].second.dumpValue(os, indent, depth + 1);
+        }
+        newlineIndent(os, indent, depth);
+        os << '}';
+        break;
+    }
+}
+
+void
+Json::dump(std::ostream &os, int indent) const
+{
+    dumpValue(os, indent, 0);
+}
+
+std::string
+Json::str(int indent) const
+{
+    std::ostringstream os;
+    dump(os, indent);
+    return os.str();
+}
+
+} // namespace nucache

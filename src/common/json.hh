@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A dependency-free JSON value and writer for structured bench
+ * results.  Build a tree with object()/array(), set members with
+ * operator[] / push(), then dump() it.  Object members keep insertion
+ * order so emitted files are deterministic and diffable.
+ *
+ * Writing only — the repo consumes its own output with external
+ * tooling (jq, python), so no parser is provided.
+ */
+
+#ifndef NUCACHE_COMMON_JSON_HH
+#define NUCACHE_COMMON_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nucache
+{
+
+/** One JSON value: null, bool, number, string, array or object. */
+class Json
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Int,
+        Uint,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    /** null */
+    Json() = default;
+    Json(bool v) : type_(Type::Bool), boolV(v) {}
+    Json(int v) : type_(Type::Int), intV(v) {}
+    Json(long v) : type_(Type::Int), intV(v) {}
+    Json(long long v) : type_(Type::Int), intV(v) {}
+    Json(unsigned v) : type_(Type::Uint), uintV(v) {}
+    Json(unsigned long v) : type_(Type::Uint), uintV(v) {}
+    Json(unsigned long long v) : type_(Type::Uint), uintV(v) {}
+    Json(double v) : type_(Type::Double), doubleV(v) {}
+    Json(const char *v) : type_(Type::String), stringV(v) {}
+    Json(std::string v) : type_(Type::String), stringV(std::move(v)) {}
+
+    /** @return an empty array value. */
+    static Json array();
+
+    /** @return an empty object value. */
+    static Json object();
+
+    Type type() const { return type_; }
+
+    /**
+     * Member access on an object: returns the member named @p key,
+     * inserting a null member (at the end, preserving order) if
+     * absent.  panic()s when called on a non-object.
+     */
+    Json &operator[](const std::string &key);
+
+    /** Append @p v to an array value; panic()s on a non-array. */
+    Json &push(Json v);
+
+    /** @return the last element of an array; panic()s when empty. */
+    Json &back();
+
+    /** @return element count of an array or object (0 otherwise). */
+    std::size_t size() const;
+
+    /**
+     * Serialize.  @p indent > 0 pretty-prints with that many spaces
+     * per level; 0 emits a compact single line.  Doubles are written
+     * with max_digits10 so values round-trip exactly.
+     */
+    void dump(std::ostream &os, int indent = 2) const;
+
+    /** @return dump() into a string. */
+    std::string str(int indent = 2) const;
+
+    /** Write '"' + escaped @p s + '"' (JSON string literal). */
+    static void writeEscaped(std::ostream &os, const std::string &s);
+
+  private:
+    void dumpValue(std::ostream &os, int indent, int depth) const;
+
+    Type type_ = Type::Null;
+    bool boolV = false;
+    std::int64_t intV = 0;
+    std::uint64_t uintV = 0;
+    double doubleV = 0.0;
+    std::string stringV;
+    std::vector<Json> arrayV;
+    std::vector<std::pair<std::string, Json>> objectV;
+};
+
+} // namespace nucache
+
+#endif // NUCACHE_COMMON_JSON_HH

@@ -1,7 +1,9 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace nucache
 {
@@ -9,20 +11,29 @@ namespace nucache
 namespace
 {
 
-bool quietFlag = false;
+std::atomic<bool> quietFlag{false};
+
+// Serializes whole messages so concurrent engine jobs cannot
+// interleave characters within a line.
+std::mutex &
+outputMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 } // anonymous namespace
 
 void
 setQuiet(bool quiet)
 {
-    quietFlag = quiet;
+    quietFlag.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 quiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
 }
 
 namespace detail
@@ -31,29 +42,39 @@ namespace detail
 void
 fatalImpl(const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(outputMutex());
+        std::cerr << "fatal: " << msg << std::endl;
+    }
     std::exit(1);
 }
 
 void
 panicImpl(const std::string &msg)
 {
-    std::cerr << "panic: " << msg << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(outputMutex());
+        std::cerr << "panic: " << msg << std::endl;
+    }
     std::abort();
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!quietFlag)
-        std::cout << "info: " << msg << std::endl;
+    if (quiet())
+        return;
+    std::lock_guard<std::mutex> lock(outputMutex());
+    std::cout << "info: " << msg << std::endl;
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    if (!quietFlag)
-        std::cerr << "warn: " << msg << std::endl;
+    if (quiet())
+        return;
+    std::lock_guard<std::mutex> lock(outputMutex());
+    std::cerr << "warn: " << msg << std::endl;
 }
 
 } // namespace detail

@@ -31,7 +31,9 @@ std::string
 concat(Args &&...args)
 {
     std::ostringstream os;
-    (os << ... << std::forward<Args>(args));
+    // void-cast so an empty pack (plain "inform()") folds to a
+    // discarded "os" instead of a -Wunused-value statement.
+    static_cast<void>((os << ... << std::forward<Args>(args)));
     return os.str();
 }
 

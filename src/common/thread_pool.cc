@@ -1,0 +1,85 @@
+#include "common/thread_pool.hh"
+
+#include <utility>
+
+namespace nucache
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = threads == 0 ? 1 : threads;
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    workAvailable.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        queue.push_back(std::move(job));
+    }
+    workAvailable.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    allIdle.wait(lock, [this] { return queue.empty() && active == 0; });
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        submit([&fn, i] { fn(i); });
+    wait();
+}
+
+unsigned
+ThreadPool::hardwareConcurrency()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            workAvailable.wait(
+                lock, [this] { return stopping || !queue.empty(); });
+            if (queue.empty()) // stopping, and nothing left to drain
+                return;
+            job = std::move(queue.front());
+            queue.pop_front();
+            ++active;
+        }
+        job();
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            --active;
+            if (queue.empty() && active == 0)
+                allIdle.notify_all();
+        }
+    }
+}
+
+} // namespace nucache

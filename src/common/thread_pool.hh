@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A small fixed-size thread pool for the experiment engine.  Jobs are
+ * arbitrary callables executed in FIFO submission order across the
+ * workers; wait() gives the barrier the bench layer needs between a
+ * submitted grid and its assembly.
+ *
+ * With one thread the pool degenerates to the serial path: a single
+ * worker drains the queue in submission order, so any computation that
+ * is deterministic per job is bit-identical at every pool width.
+ */
+
+#ifndef NUCACHE_COMMON_THREAD_POOL_HH
+#define NUCACHE_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nucache
+{
+
+/** Fixed-size worker pool with a FIFO job queue. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; clamped to at least 1. */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains the queue, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** @return the number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers.size()); }
+
+    /** Enqueue one job; returns immediately. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished executing. */
+    void wait();
+
+    /**
+     * Run fn(0) .. fn(n-1) on the pool and block until all are done.
+     * Indices are submitted in order, so a one-thread pool executes
+     * them serially in order.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /** @return std::thread::hardware_concurrency(), at least 1. */
+    static unsigned hardwareConcurrency();
+
+  private:
+    void workerLoop();
+
+    std::mutex mtx;
+    std::condition_variable workAvailable;
+    std::condition_variable allIdle;
+    std::deque<std::function<void()>> queue;
+    std::size_t active = 0;
+    bool stopping = false;
+    std::vector<std::thread> workers;
+};
+
+} // namespace nucache
+
+#endif // NUCACHE_COMMON_THREAD_POOL_HH

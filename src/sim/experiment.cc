@@ -1,11 +1,6 @@
 #include "sim/experiment.hh"
 
-#include <sstream>
-
 #include "common/logging.hh"
-#include "sim/metrics.hh"
-#include "sim/policies.hh"
-#include "trace/workloads.hh"
 
 namespace nucache
 {
@@ -29,84 +24,6 @@ defaultHierarchy(unsigned cores)
     cfg.llcLatency = 20;
     cfg.dram = DramConfig{200, 16, 2};
     return cfg;
-}
-
-ExperimentHarness::ExperimentHarness(std::uint64_t records_per_core)
-    : records(records_per_core)
-{
-    if (records == 0)
-        fatal("ExperimentHarness: zero records per core");
-}
-
-double
-ExperimentHarness::aloneIpc(const std::string &workload,
-                            const HierarchyConfig &hier)
-{
-    std::ostringstream key;
-    key << workload << "/" << hier.llc.sizeBytes << "/" << hier.llc.ways
-        << "/" << records;
-    const auto it = aloneCache.find(key.str());
-    if (it != aloneCache.end())
-        return it->second;
-
-    // Run-alone baseline: the whole LLC, LRU management, one core.
-    HierarchyConfig alone = hier;
-    alone.numCores = 1;
-    std::vector<TraceSourcePtr> traces;
-    traces.push_back(makeWorkload(workload));
-    System sys(alone, makePolicy("lru"), std::move(traces), records);
-    const SystemResult res = sys.run();
-    const double ipc = res.cores.at(0).ipc;
-    aloneCache[key.str()] = ipc;
-    return ipc;
-}
-
-MixResult
-ExperimentHarness::runMix(const WorkloadMix &mix,
-                          const std::string &policy_spec,
-                          const HierarchyConfig &hier)
-{
-    if (mix.workloads.size() != hier.numCores)
-        fatal("mix '", mix.name, "' has ", mix.workloads.size(),
-              " programs for ", hier.numCores, " cores");
-
-    std::vector<TraceSourcePtr> traces;
-    traces.reserve(mix.workloads.size());
-    for (const auto &w : mix.workloads)
-        traces.push_back(makeWorkload(w));
-
-    System sys(hier, makePolicy(policy_spec), std::move(traces), records);
-
-    MixResult out;
-    out.mixName = mix.name;
-    out.policy = policy_spec;
-    out.system = sys.run();
-
-    std::vector<double> shared;
-    for (const auto &core : out.system.cores)
-        shared.push_back(core.ipc);
-    for (const auto &w : mix.workloads)
-        out.ipcAlone.push_back(aloneIpc(w, hier));
-
-    out.weightedSpeedup = nucache::weightedSpeedup(shared, out.ipcAlone);
-    out.hmeanSpeedup = nucache::hmeanSpeedup(shared, out.ipcAlone);
-    out.antt = nucache::antt(shared, out.ipcAlone);
-    out.fairness = nucache::fairness(shared, out.ipcAlone);
-    return out;
-}
-
-SystemResult
-ExperimentHarness::runSingle(const std::string &workload,
-                             const std::string &policy_spec,
-                             const HierarchyConfig &hier)
-{
-    HierarchyConfig single = hier;
-    single.numCores = 1;
-    std::vector<TraceSourcePtr> traces;
-    traces.push_back(makeWorkload(workload));
-    System sys(single, makePolicy(policy_spec), std::move(traces),
-               records);
-    return sys.run();
 }
 
 } // namespace nucache

@@ -1,18 +1,17 @@
 /**
  * @file
- * The experiment harness: canonical hierarchy configurations, cached
- * run-alone baselines, and one-call mix evaluation.  Every bench
- * binary is a thin loop over these helpers.
+ * The experiment model layer: canonical hierarchy configurations and
+ * the per-(mix, policy) result record.  Execution — including the
+ * memoized run-alone baselines and parallel grids — lives in the
+ * RunEngine (sim/run_engine.hh).
  */
 
 #ifndef NUCACHE_SIM_EXPERIMENT_HH
 #define NUCACHE_SIM_EXPERIMENT_HH
 
-#include <map>
 #include <string>
 #include <vector>
 
-#include "sim/mixes.hh"
 #include "sim/system.hh"
 
 namespace nucache
@@ -41,44 +40,6 @@ struct MixResult
     double antt = 0.0;
     /** min/max normalized-progress fairness. */
     double fairness = 0.0;
-};
-
-/**
- * Runs experiments with memoized run-alone baselines.  One instance
- * per bench binary; not thread-safe.
- */
-class ExperimentHarness
-{
-  public:
-    /** @param records_per_core measurement window per program. */
-    explicit ExperimentHarness(std::uint64_t records_per_core);
-
-    /**
-     * @return IPC of @p workload running alone under LRU on the LLC of
-     * @p hier (memoized).
-     */
-    double aloneIpc(const std::string &workload,
-                    const HierarchyConfig &hier);
-
-    /** Run one mix under one policy; fills every derived metric. */
-    MixResult runMix(const WorkloadMix &mix,
-                     const std::string &policy_spec,
-                     const HierarchyConfig &hier);
-
-    /**
-     * Run one workload alone under an arbitrary policy (single-core
-     * experiments, Figure 3).
-     */
-    SystemResult runSingle(const std::string &workload,
-                           const std::string &policy_spec,
-                           const HierarchyConfig &hier);
-
-    /** @return the measurement window. */
-    std::uint64_t recordsPerCore() const { return records; }
-
-  private:
-    std::uint64_t records;
-    std::map<std::string, double> aloneCache;
 };
 
 } // namespace nucache

@@ -1,0 +1,189 @@
+#include "sim/run_engine.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hh"
+#include "sim/metrics.hh"
+#include "sim/policies.hh"
+#include "trace/workloads.hh"
+
+namespace nucache
+{
+
+RunEngine::RunEngine(std::uint64_t records_per_core, unsigned jobs)
+    : records(records_per_core), pool(jobs)
+{
+    if (records == 0)
+        fatal("RunEngine: zero records per core");
+}
+
+double
+RunEngine::aloneIpc(const std::string &workload,
+                    const HierarchyConfig &hier)
+{
+    // The run-alone config inherits everything but the core count, so
+    // the key must cover every field that changes the alone run — one
+    // engine may span hierarchy variants (L2, inclusion, prefetch).
+    std::ostringstream key;
+    key << workload << "/" << hier.llc.sizeBytes << "/" << hier.llc.ways
+        << "/" << records << "/" << hier.enableL2 << hier.inclusive
+        << hier.prefetch.enabled << "/" << hier.l2.sizeBytes;
+
+    std::promise<double> promise;
+    std::shared_future<double> future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(aloneMtx);
+        const auto it = aloneCache.find(key.str());
+        if (it != aloneCache.end()) {
+            future = it->second;
+        } else {
+            // First requester becomes the owner; everyone else who
+            // races in blocks on the shared future below.
+            future = promise.get_future().share();
+            aloneCache.emplace(key.str(), future);
+            owner = true;
+        }
+    }
+    if (!owner)
+        return future.get();
+
+    // Run-alone baseline: the whole LLC, LRU management, one core.
+    HierarchyConfig alone = hier;
+    alone.numCores = 1;
+    std::vector<TraceSourcePtr> traces;
+    traces.push_back(makeWorkload(workload));
+    System sys(alone, makePolicy("lru"), std::move(traces), records);
+    const SystemResult res = sys.run();
+    const double ipc = res.cores.at(0).ipc;
+    aloneRuns.fetch_add(1, std::memory_order_relaxed);
+    promise.set_value(ipc);
+    return ipc;
+}
+
+MixResult
+RunEngine::runMix(const WorkloadMix &mix, const std::string &policy_spec,
+                  const HierarchyConfig &hier)
+{
+    if (mix.workloads.size() != hier.numCores)
+        fatal("mix '", mix.name, "' has ", mix.workloads.size(),
+              " programs for ", hier.numCores, " cores");
+
+    std::vector<TraceSourcePtr> traces;
+    traces.reserve(mix.workloads.size());
+    for (const auto &w : mix.workloads)
+        traces.push_back(makeWorkload(w));
+
+    System sys(hier, makePolicy(policy_spec), std::move(traces), records);
+
+    MixResult out;
+    out.mixName = mix.name;
+    out.policy = policy_spec;
+    out.system = sys.run();
+
+    std::vector<double> shared;
+    for (const auto &core : out.system.cores)
+        shared.push_back(core.ipc);
+    for (const auto &w : mix.workloads)
+        out.ipcAlone.push_back(aloneIpc(w, hier));
+
+    out.weightedSpeedup = nucache::weightedSpeedup(shared, out.ipcAlone);
+    out.hmeanSpeedup = nucache::hmeanSpeedup(shared, out.ipcAlone);
+    out.antt = nucache::antt(shared, out.ipcAlone);
+    out.fairness = nucache::fairness(shared, out.ipcAlone);
+    return out;
+}
+
+SystemResult
+RunEngine::runSingle(const std::string &workload,
+                     const std::string &policy_spec,
+                     const HierarchyConfig &hier)
+{
+    HierarchyConfig single = hier;
+    single.numCores = 1;
+    std::vector<TraceSourcePtr> traces;
+    traces.push_back(makeWorkload(workload));
+    System sys(single, makePolicy(policy_spec), std::move(traces),
+               records);
+    return sys.run();
+}
+
+GridRun
+RunEngine::runGrid(const HierarchyConfig &hier,
+                   const std::vector<WorkloadMix> &mixes,
+                   const std::vector<std::string> &policies,
+                   const std::string &baseline,
+                   const ProgressFn &progress)
+{
+    // One job per (mix, spec); the baseline gets its own job per mix
+    // only when it is not already a column.
+    std::vector<std::string> specs = policies;
+    const auto base_it =
+        std::find(policies.begin(), policies.end(), baseline);
+    const std::size_t base_idx =
+        static_cast<std::size_t>(base_it - policies.begin());
+    if (base_it == policies.end())
+        specs.push_back(baseline);
+
+    std::vector<std::vector<MixResult>> results(
+        mixes.size(), std::vector<MixResult>(specs.size()));
+
+    const std::size_t total = mixes.size() * specs.size();
+    std::mutex progressMtx;
+    std::size_t done = 0;
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        for (std::size_t s = 0; s < specs.size(); ++s) {
+            pool.submit([this, &results, &mixes, &specs, &hier,
+                         &progress, &progressMtx, &done, total, m, s] {
+                results[m][s] = runMix(mixes[m], specs[s], hier);
+                if (progress) {
+                    std::lock_guard<std::mutex> lock(progressMtx);
+                    progress(++done, total);
+                }
+            });
+        }
+    }
+    pool.wait();
+
+    GridRun out;
+    out.baseline = baseline;
+    out.policies = policies;
+    out.cells.resize(mixes.size());
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        out.mixNames.push_back(mixes[m].name);
+        const MixResult &base = results[m][base_idx];
+        const double base_ws = base.weightedSpeedup;
+        if (base_ws <= 0.0)
+            fatal("grid baseline '", baseline, "' has non-positive ",
+                  "weighted speedup on mix '", mixes[m].name, "'");
+        out.baselineRuns.push_back(base);
+        out.cells[m].reserve(policies.size());
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            GridCell cell;
+            cell.result = std::move(results[m][p]);
+            cell.normWs = cell.result.weightedSpeedup / base_ws;
+            out.cells[m].push_back(std::move(cell));
+        }
+    }
+    return out;
+}
+
+void
+RunEngine::parallelFor(std::size_t n,
+                       const std::function<void(std::size_t)> &fn,
+                       const ProgressFn &progress)
+{
+    std::mutex progressMtx;
+    std::size_t done = 0;
+    pool.parallelFor(n, [&](std::size_t i) {
+        fn(i);
+        if (progress) {
+            std::lock_guard<std::mutex> lock(progressMtx);
+            progress(++done, n);
+        }
+    });
+}
+
+} // namespace nucache

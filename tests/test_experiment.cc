@@ -1,11 +1,15 @@
 /**
  * @file
- * Tests for the experiment harness and the mix catalog.
+ * Tests for the experiment model layer (canonical hierarchies, mix
+ * catalog) and the engine's single-instance behaviours.  Concurrency
+ * behaviours of the engine are covered in test_run_engine.cc.
  */
 
 #include <gtest/gtest.h>
 
 #include "sim/experiment.hh"
+#include "sim/mixes.hh"
+#include "sim/run_engine.hh"
 #include "trace/workloads.hh"
 
 namespace nucache
@@ -50,17 +54,18 @@ TEST(Experiment, MixCatalogsWellFormed)
 
 TEST(Experiment, AloneIpcIsMemoized)
 {
-    ExperimentHarness h(3000);
+    RunEngine h(3000);
     const auto hier = defaultHierarchy(2);
     const double a = h.aloneIpc("tiny_hot", hier);
     const double b = h.aloneIpc("tiny_hot", hier);
     EXPECT_GT(a, 0.0);
     EXPECT_DOUBLE_EQ(a, b);
+    EXPECT_EQ(h.aloneRunCount(), 1u);
 }
 
 TEST(Experiment, RunMixFillsMetrics)
 {
-    ExperimentHarness h(3000);
+    RunEngine h(3000);
     const auto hier = defaultHierarchy(2);
     WorkloadMix mix{"t", {"tiny_hot", "small_ws"}};
     const MixResult res = h.runMix(mix, "lru", hier);
@@ -77,7 +82,7 @@ TEST(Experiment, RunMixFillsMetrics)
 
 TEST(Experiment, RunSingleUsesOneCore)
 {
-    ExperimentHarness h(3000);
+    RunEngine h(3000);
     const auto res =
         h.runSingle("tiny_hot", "nucache", defaultHierarchy(1));
     ASSERT_EQ(res.cores.size(), 1u);
@@ -86,7 +91,7 @@ TEST(Experiment, RunSingleUsesOneCore)
 
 TEST(ExperimentDeathTest, MixSizeMustMatchCores)
 {
-    ExperimentHarness h(1000);
+    RunEngine h(1000);
     WorkloadMix mix{"bad", {"tiny_hot"}};
     EXPECT_EXIT(h.runMix(mix, "lru", defaultHierarchy(2)),
                 ::testing::ExitedWithCode(1), "1 programs for 2 cores");

@@ -214,8 +214,9 @@ TEST(Generator, ZipfAssignsPcByPopularityBand)
     bool first = true;
     std::uint64_t prev = 0;
     for (const auto &kv : counts) {
-        if (!first)
+        if (!first) {
             EXPECT_LE(kv.second, prev);
+        }
         prev = kv.second;
         first = false;
     }
@@ -246,8 +247,9 @@ TEST(Generator, PhaseGatingAlternates)
         const bool in_b = r.addr >= (2ull << 28);
         const bool phase_b = (t / 1000) % 2 == 1;
         // Bursts can straddle the boundary by < burstLen records.
-        if (t % 1000 >= 8)
+        if (t % 1000 >= 8) {
             ASSERT_EQ(in_b, phase_b) << "at " << t;
+        }
         ++t;
     }
 }

@@ -7,7 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/nucache.hh"
-#include "sim/experiment.hh"
+#include "sim/run_engine.hh"
 #include "sim/policies.hh"
 #include "trace/workloads.hh"
 
@@ -62,7 +62,7 @@ TEST(Integration, NUcacheBeatsLruOnEchoWorkload)
     // that LRU cannot.
     // 512 KiB: echo_near's next-use distance sits beyond LRU's reach
     // but within a selectable DeliWays retention window.
-    ExperimentHarness h(400'000);
+    RunEngine h(400'000);
     HierarchyConfig hier = defaultHierarchy(1);
     hier.llc = CacheConfig{"llc", 512 << 10, 16, 64};
 
@@ -78,7 +78,7 @@ TEST(Integration, CostBenefitBeatsSelectAllOnEchoBands)
 {
     // Selecting everything floods the FIFO; the cost-benefit selection
     // must do better (the paper's "intelligent" claim).
-    ExperimentHarness h(400'000);
+    RunEngine h(400'000);
     HierarchyConfig hier = defaultHierarchy(1);
     hier.llc = CacheConfig{"llc", 256 << 10, 16, 64};
 
@@ -93,7 +93,7 @@ TEST(Integration, NucacheNoneTracksLru)
 {
     // With selection disabled NUcache must stay close to LRU (the
     // degeneration property) on an LRU-friendly workload.
-    ExperimentHarness h(200'000);
+    RunEngine h(200'000);
     HierarchyConfig hier = defaultHierarchy(1);
     hier.llc = CacheConfig{"llc", 256 << 10, 16, 64};
 
@@ -107,7 +107,7 @@ TEST(Integration, SharedCacheContentionIsVisible)
 {
     // A program must run slower with a co-runner than alone; the
     // harness' weighted speedup must reflect it.
-    ExperimentHarness h(120'000);
+    RunEngine h(120'000);
     const auto hier = defaultHierarchy(2);
     WorkloadMix mix{"contended", {"loop_medium", "stream_pure"}};
     const auto res = h.runMix(mix, "lru", hier);
@@ -117,7 +117,7 @@ TEST(Integration, SharedCacheContentionIsVisible)
 
 TEST(Integration, DeterministicMixResults)
 {
-    ExperimentHarness h(60'000);
+    RunEngine h(60'000);
     const auto hier = defaultHierarchy(2);
     WorkloadMix mix{"d", {"zipf_hot", "mix_rw"}};
     const auto a = h.runMix(mix, "nucache", hier);

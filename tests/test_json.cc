@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the dependency-free JSON writer: literals, escaping,
+ * nesting, ordering, and formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/json.hh"
+
+namespace nucache
+{
+namespace
+{
+
+TEST(Json, ScalarLiterals)
+{
+    EXPECT_EQ(Json().str(0), "null");
+    EXPECT_EQ(Json(true).str(0), "true");
+    EXPECT_EQ(Json(false).str(0), "false");
+    EXPECT_EQ(Json(42).str(0), "42");
+    EXPECT_EQ(Json(-7).str(0), "-7");
+    EXPECT_EQ(Json(std::uint64_t{18446744073709551615ull}).str(0),
+              "18446744073709551615");
+    EXPECT_EQ(Json("hi").str(0), "\"hi\"");
+}
+
+TEST(Json, DoublesRoundTripExactly)
+{
+    const double v = 0.1 + 0.2;
+    std::istringstream is(Json(v).str(0));
+    double back = 0.0;
+    is >> back;
+    EXPECT_EQ(back, v);
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull)
+{
+    EXPECT_EQ(Json(std::nan("")).str(0), "null");
+    EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).str(0),
+              "null");
+}
+
+TEST(Json, StringEscaping)
+{
+    EXPECT_EQ(Json("a\"b").str(0), "\"a\\\"b\"");
+    EXPECT_EQ(Json("a\\b").str(0), "\"a\\\\b\"");
+    EXPECT_EQ(Json("a\nb\tc").str(0), "\"a\\nb\\tc\"");
+    EXPECT_EQ(Json(std::string("a\x01z")).str(0), "\"a\\u0001z\"");
+}
+
+TEST(Json, CompactObjectAndArray)
+{
+    Json o = Json::object();
+    o["name"] = "mix_a";
+    o["ws"] = 1.5;
+    Json arr = Json::array();
+    arr.push(1).push(2).push(3);
+    o["ids"] = std::move(arr);
+    EXPECT_EQ(o.str(0),
+              "{\"name\":\"mix_a\",\"ws\":1.5,\"ids\":[1,2,3]}");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder)
+{
+    Json o = Json::object();
+    o["zebra"] = 1;
+    o["alpha"] = 2;
+    o["mid"] = 3;
+    EXPECT_EQ(o.str(0), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+}
+
+TEST(Json, OperatorIndexUpdatesExistingKey)
+{
+    Json o = Json::object();
+    o["k"] = 1;
+    o["k"] = 2;
+    EXPECT_EQ(o.size(), 1u);
+    EXPECT_EQ(o.str(0), "{\"k\":2}");
+}
+
+TEST(Json, EmptyContainers)
+{
+    EXPECT_EQ(Json::object().str(), "{}");
+    EXPECT_EQ(Json::array().str(), "[]");
+}
+
+TEST(Json, PrettyPrintIndents)
+{
+    Json o = Json::object();
+    o["a"] = 1;
+    Json inner = Json::array();
+    inner.push("x");
+    o["b"] = std::move(inner);
+    EXPECT_EQ(o.str(2), "{\n  \"a\": 1,\n  \"b\": [\n    \"x\"\n  ]\n}");
+}
+
+TEST(Json, BackReachesLastArrayElement)
+{
+    Json arr = Json::array();
+    arr.push(Json::object());
+    arr.back()["k"] = 7;
+    EXPECT_EQ(arr.str(0), "[{\"k\":7}]");
+}
+
+TEST(JsonDeathTest, TypeMisuseAborts)
+{
+    Json num(3);
+    EXPECT_DEATH(num["k"] = 1, "not an object");
+    EXPECT_DEATH(num.push(1), "not an array");
+    EXPECT_DEATH(Json::array().back(), "non-empty array");
+}
+
+} // anonymous namespace
+} // namespace nucache

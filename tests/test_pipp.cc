@@ -43,8 +43,9 @@ expectUniqueRanks(const Cache &c, const PippPolicy &pipp,
         ASSERT_TRUE(ranks.insert(r).second) << "duplicate rank " << r;
     }
     // Ranks must be exactly 0..valid-1.
-    if (valid > 0)
+    if (valid > 0) {
         ASSERT_EQ(*ranks.rbegin(), valid - 1);
+    }
 }
 
 TEST(Pipp, RanksStayUniqueUnderRandomTraffic)

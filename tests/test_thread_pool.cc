@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the fixed-size thread pool: completion, ordering with one
+ * worker, concurrency with many, and reuse across batches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace nucache
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEverySubmittedJob)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    std::atomic<int> count{0};
+    pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, SingleWorkerPreservesSubmissionOrder)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&order, i] { order.push_back(i); });
+    pool.wait();
+    ASSERT_EQ(order.size(), 50u);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, JobsActuallyOverlap)
+{
+    ThreadPool pool(4);
+    std::atomic<int> concurrent{0};
+    std::atomic<int> peak{0};
+    pool.parallelFor(16, [&](std::size_t) {
+        const int now = concurrent.fetch_add(1) + 1;
+        int seen = peak.load();
+        while (seen < now && !peak.compare_exchange_weak(seen, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        concurrent.fetch_sub(1);
+    });
+    EXPECT_GT(peak.load(), 1);
+    EXPECT_LE(peak.load(), 4);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(3);
+    std::vector<int> hits(200, 0);
+    pool.parallelFor(hits.size(),
+                     [&hits](std::size_t i) { hits[i] += 1; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 200);
+    for (const int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int batch = 0; batch < 3; ++batch) {
+        pool.parallelFor(10, [&count](std::size_t) {
+            count.fetch_add(1);
+        });
+        EXPECT_EQ(count.load(), (batch + 1) * 10);
+    }
+}
+
+TEST(ThreadPool, WaitWithNoJobsReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.wait();
+    SUCCEED();
+}
+
+TEST(ThreadPool, HardwareConcurrencyAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::hardwareConcurrency(), 1u);
+}
+
+} // anonymous namespace
+} // namespace nucache
