@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check_mode.hh"
 #include "common/chart.hh"
 #include "common/cli.hh"
 #include "common/json.hh"
@@ -54,6 +55,8 @@ struct BenchOptions
     unsigned jobs = 1;
     /** Structured-results path (--json FILE; empty = text only). */
     std::string jsonPath;
+    /** Run under the invariant checker (--check or NUCACHE_CHECK). */
+    bool check = false;
 };
 
 /** Parse the shared flags. */
@@ -67,6 +70,12 @@ parseOptions(const CliArgs &args, std::uint64_t dflt_records)
     if (opt.jobs == 0)
         fatal("--jobs must be at least 1");
     opt.jsonPath = args.get("json", "");
+    // --check raises the process-wide check mode so every System this
+    // bench builds (RunEngine's default flag reads it) gets checked;
+    // a NUCACHE_CHECK=ON build is already on and stays on.
+    opt.check = args.has("check") || check::enabled();
+    if (opt.check)
+        check::setEnabled(true);
     return opt;
 }
 

@@ -1,0 +1,33 @@
+#include "check/check_mode.hh"
+
+#include <atomic>
+
+namespace nucache::check
+{
+
+namespace
+{
+
+#ifdef NUCACHE_CHECK_DEFAULT
+constexpr bool defaultEnabled = true;
+#else
+constexpr bool defaultEnabled = false;
+#endif
+
+std::atomic<bool> checkFlag{defaultEnabled};
+
+} // anonymous namespace
+
+bool
+enabled()
+{
+    return checkFlag.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    checkFlag.store(on, std::memory_order_relaxed);
+}
+
+} // namespace nucache::check

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Process-wide switch for the runtime correctness layer.
+ *
+ * The invariant checkers (see checker.hh) cost a per-access sweep of
+ * the touched set, so they are off by default and enabled either
+ * per-run (`--check` on the engine-driven binaries) or for a whole
+ * build (`-DNUCACHE_CHECK=ON`, which flips the default to on — the
+ * sanitizer CI lanes build this way so every test runs checked).
+ */
+
+#ifndef NUCACHE_CHECK_CHECK_MODE_HH
+#define NUCACHE_CHECK_CHECK_MODE_HH
+
+namespace nucache::check
+{
+
+/** @return whether new Systems should attach invariant checkers. */
+bool enabled();
+
+/** Flip the process-wide default (e.g.\ from a --check flag). */
+void setEnabled(bool on);
+
+} // namespace nucache::check
+
+#endif // NUCACHE_CHECK_CHECK_MODE_HH

@@ -1,0 +1,135 @@
+#include "check/oracle.hh"
+
+#include <algorithm>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace nucache
+{
+
+ReferenceCache::ReferenceCache(std::uint32_t set_count,
+                               std::uint32_t ways,
+                               std::uint32_t block_size,
+                               ReferencePolicy repl)
+    : policy(repl), numWays(ways), setMask(set_count - 1),
+      blockBits(floorLog2(block_size))
+{
+    if (!isPowerOf2(set_count) || !isPowerOf2(block_size) || ways == 0)
+        fatal("reference cache: bad geometry (", set_count, " sets, ",
+              ways, " ways, ", block_size, " B blocks)");
+    sets.resize(set_count);
+    for (auto &s : sets)
+        s.ways.resize(numWays);
+}
+
+void
+ReferenceCache::touchLru(Set &set, std::uint32_t way)
+{
+    const auto it =
+        std::find(set.recency.begin(), set.recency.end(), way);
+    if (it != set.recency.end())
+        set.recency.erase(it);
+    set.recency.insert(set.recency.begin(), way);
+}
+
+void
+ReferenceCache::markNru(Set &set, std::uint32_t way)
+{
+    set.ways[way].referenced = true;
+    for (std::uint32_t w = 0; w < numWays; ++w) {
+        if (!set.ways[w].referenced)
+            return;
+    }
+    for (std::uint32_t w = 0; w < numWays; ++w)
+        set.ways[w].referenced = (w == way);
+}
+
+std::uint32_t
+ReferenceCache::pickVictim(Set &set) const
+{
+    if (policy == ReferencePolicy::Lru)
+        return set.recency.back();
+    // NRU: the first way, in way order, whose bit is clear; the mark
+    // rule keeps one clear except in the ways == 1 corner, where the
+    // single way is the only choice.
+    for (std::uint32_t w = 0; w < numWays; ++w) {
+        if (!set.ways[w].referenced)
+            return w;
+    }
+    return 0;
+}
+
+bool
+ReferenceCache::access(Addr addr)
+{
+    const Addr tag = addr >> blockBits;
+    Set &set = sets[static_cast<std::uint32_t>(tag) & setMask];
+
+    for (std::uint32_t w = 0; w < numWays; ++w) {
+        if (set.ways[w].valid && set.ways[w].tag == tag) {
+            ++hitCount;
+            if (policy == ReferencePolicy::Lru)
+                touchLru(set, w);
+            else
+                markNru(set, w);
+            return true;
+        }
+    }
+
+    ++missCount;
+    // Like the production cache: the lowest-indexed invalid way is
+    // preferred; the policy chooses only among full sets.
+    std::uint32_t victim = numWays;
+    for (std::uint32_t w = 0; w < numWays; ++w) {
+        if (!set.ways[w].valid) {
+            victim = w;
+            break;
+        }
+    }
+    if (victim == numWays)
+        victim = pickVictim(set);
+
+    set.ways[victim].valid = true;
+    set.ways[victim].tag = tag;
+    if (policy == ReferencePolicy::Lru)
+        touchLru(set, victim);
+    else
+        markNru(set, victim);
+    return false;
+}
+
+DifferentialReport
+runDifferential(Cache &production, ReferencePolicy reference_policy,
+                TraceSource &trace, std::uint64_t max_records)
+{
+    const CacheConfig &cfg = production.config();
+    ReferenceCache reference(production.numSets(), cfg.ways,
+                             cfg.blockSize, reference_policy);
+
+    DifferentialReport report;
+    TraceRecord rec;
+    while (trace.next(rec)) {
+        AccessInfo info;
+        info.addr = rec.addr;
+        info.pc = rec.pc;
+        info.coreId = 0;
+        info.isWrite = rec.isWrite;
+
+        const bool prod_hit = production.access(info).hit;
+        const bool ref_hit = reference.access(rec.addr);
+        report.productionHits += prod_hit ? 1 : 0;
+        report.referenceHits += ref_hit ? 1 : 0;
+        if (prod_hit != ref_hit) {
+            if (report.divergences == 0)
+                report.firstDivergence = report.accesses;
+            ++report.divergences;
+        }
+        ++report.accesses;
+        if (max_records != 0 && report.accesses >= max_records)
+            break;
+    }
+    return report;
+}
+
+} // namespace nucache

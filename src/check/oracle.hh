@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The differential oracle: a small, obviously-correct reference
+ * set-associative simulator replayed in lockstep against the
+ * production Cache, asserting that their hit/miss streams agree.
+ *
+ * The reference model is deliberately naive — per-set recency kept as
+ * an explicit MRU->LRU list of way indices, NRU reference bits stored
+ * per way and cleared by a literal transcription of the textbook rule
+ * — and shares no code with src/mem/.  Any disagreement therefore
+ * localises a bug to one side, and the production side's extra
+ * machinery (policy hooks, statistics, write-back plumbing) is what
+ * usually turns out to be wrong.
+ */
+
+#ifndef NUCACHE_CHECK_ORACLE_HH
+#define NUCACHE_CHECK_ORACLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/cache.hh"
+#include "trace/trace.hh"
+
+namespace nucache
+{
+
+/** Reference replacement schemes with production counterparts. */
+enum class ReferencePolicy
+{
+    Lru,
+    Nru,
+};
+
+/**
+ * The reference simulator: tag array + recency/reference metadata and
+ * nothing else.  Hits and misses are its only outputs.
+ */
+class ReferenceCache
+{
+  public:
+    /**
+     * @param sets number of sets (power of two).
+     * @param ways associativity.
+     * @param block_size line size in bytes (power of two).
+     * @param policy replacement scheme.
+     */
+    ReferenceCache(std::uint32_t sets, std::uint32_t ways,
+                   std::uint32_t block_size, ReferencePolicy policy);
+
+    /** Simulate one demand access; @return true on a hit. */
+    bool access(Addr addr);
+
+    /** @return demand hits so far. */
+    std::uint64_t hits() const { return hitCount; }
+
+    /** @return demand misses so far. */
+    std::uint64_t misses() const { return missCount; }
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool referenced = false;
+    };
+
+    struct Set
+    {
+        std::vector<Entry> ways;
+        /** Way indices, most recently used first (LRU mode). */
+        std::vector<std::uint32_t> recency;
+    };
+
+    /** Move @p way to the MRU position of @p set. */
+    void touchLru(Set &set, std::uint32_t way);
+
+    /** Set @p way's bit; clear the others if the set saturated. */
+    void markNru(Set &set, std::uint32_t way);
+
+    /** @return the way to fill on a miss. */
+    std::uint32_t pickVictim(Set &set) const;
+
+    ReferencePolicy policy;
+    std::uint32_t numWays;
+    std::uint32_t setMask;
+    unsigned blockBits;
+    std::vector<Set> sets;
+    std::uint64_t hitCount = 0;
+    std::uint64_t missCount = 0;
+};
+
+/** Outcome of one lockstep replay. */
+struct DifferentialReport
+{
+    /** Records replayed. */
+    std::uint64_t accesses = 0;
+    /** Hits on each side (equal when divergences == 0). */
+    std::uint64_t referenceHits = 0;
+    std::uint64_t productionHits = 0;
+    /** Accesses where the two sides disagreed. */
+    std::uint64_t divergences = 0;
+    /** Record index of the first disagreement (undefined when 0). */
+    std::uint64_t firstDivergence = 0;
+
+    /** @return whether the replay agreed on every access. */
+    bool agreed() const { return divergences == 0; }
+};
+
+/**
+ * Replay @p trace through @p production and a matching ReferenceCache
+ * in lockstep, comparing the hit/miss outcome of every access.
+ *
+ * @param production a Cache whose policy the reference mirrors (LRU
+ *        or NRU); driven as a single-core demand stream.
+ * @param reference_policy which reference scheme to instantiate.
+ * @param trace record source; consumed (up to @p max_records).
+ * @param max_records replay budget; 0 = until the trace ends.
+ */
+DifferentialReport runDifferential(Cache &production,
+                                   ReferencePolicy reference_policy,
+                                   TraceSource &trace,
+                                   std::uint64_t max_records = 0);
+
+} // namespace nucache
+
+#endif // NUCACHE_CHECK_ORACLE_HH

@@ -347,26 +347,81 @@ NUcachePolicy::inDeliWays(std::uint32_t set, std::uint32_t way) const
 }
 
 bool
-NUcachePolicy::checkSetInvariants(const SetView &set) const
+NUcachePolicy::checkInvariants(const SetView &set, std::string &why) const
 {
     std::uint32_t main_n = 0, deli_n = 0, valid_n = 0;
     for (std::uint32_t w = 0; w < set.ways(); ++w) {
         if (!set.line(w).valid)
             continue;
         ++valid_n;
-        if (meta[slot(set.setIndex(), w)].region == Region::Main)
+        const LineMeta &m = meta[slot(set.setIndex(), w)];
+        if (m.region == Region::Main) {
             ++main_n;
-        else
+            if (m.lastTouch == 0) {
+                why = "Main line in way " + std::to_string(w) +
+                      " has no recency stamp";
+                return false;
+            }
+        } else {
             ++deli_n;
+            if (m.fifoSeq == 0 || m.fifoSeq > fifoCounter) {
+                why = "Deli line in way " + std::to_string(w) +
+                      " has FIFO stamp " + std::to_string(m.fifoSeq) +
+                      " outside (0, " + std::to_string(fifoCounter) +
+                      "]";
+                return false;
+            }
+        }
+        // Stamps must be distinct within their region, or the LRU
+        // stack / FIFO order is ambiguous and victim choice diverges.
+        for (std::uint32_t v = w + 1; v < set.ways(); ++v) {
+            if (!set.line(v).valid)
+                continue;
+            const LineMeta &o = meta[slot(set.setIndex(), v)];
+            if (o.region != m.region)
+                continue;
+            const bool clash = m.region == Region::Main
+                ? o.lastTouch == m.lastTouch
+                : o.fifoSeq == m.fifoSeq;
+            if (clash) {
+                why = std::string(m.region == Region::Main
+                                      ? "Main recency"
+                                      : "Deli FIFO") +
+                      " stamp shared by ways " + std::to_string(w) +
+                      " and " + std::to_string(v);
+                return false;
+            }
+        }
     }
-    if (main_n > mainWays())
+    // The occupancy bounds are meaningful only while the split is
+    // fixed; the adaptive extension moves it between epochs and lets
+    // sets re-converge lazily.
+    if (cfg.adaptiveDeli)
+        return true;
+    if (main_n > mainWays()) {
+        why = std::to_string(main_n) + " MainWays lines exceed the " +
+              std::to_string(mainWays()) + "-way bound (W - D)";
         return false;
-    if (deli_n > deliWays)
+    }
+    if (deli_n > deliWays) {
+        why = std::to_string(deli_n) + " DeliWays lines exceed the " +
+              std::to_string(deliWays) + "-way annex";
         return false;
+    }
     // A full set must use all MainWays (fills always land there).
-    if (valid_n == set.ways() && main_n != mainWays())
+    if (valid_n == set.ways() && main_n != mainWays()) {
+        why = "full set holds " + std::to_string(main_n) +
+              " MainWays lines, expected " + std::to_string(mainWays());
         return false;
+    }
     return true;
+}
+
+bool
+NUcachePolicy::checkSetInvariants(const SetView &set) const
+{
+    std::string why;
+    return checkInvariants(set, why);
 }
 
 } // namespace nucache

@@ -105,6 +105,17 @@ class NUcachePolicy : public ReplacementPolicy
     /** @return region label of (set, way): true if DeliWays (tests). */
     bool inDeliWays(std::uint32_t set, std::uint32_t way) const;
 
+    /**
+     * The runtime verifier behind the CacheChecker: |Main| <= W - D
+     * and |Deli| <= D occupancy bounds, all-MainWays-used-when-full,
+     * distinct MainWays recency stamps, and strictly ordered (unique)
+     * DeliWays FIFO stamps.  In adaptive mode the occupancy bounds are
+     * not asserted: the split moves at epoch boundaries and sets
+     * re-converge lazily on their next fill or promotion.
+     */
+    bool checkInvariants(const SetView &set,
+                         std::string &why) const override;
+
     /** Verify the Main/Deli occupancy invariants of @p set (tests). */
     bool checkSetInvariants(const SetView &set) const;
 

@@ -109,43 +109,45 @@ Cache::access(AccessInfo info)
         res.hit = true;
         if (info.isWrite)
             base[hit_way].dirty = true;
-        return res;
-    }
+    } else {
+        if (info.isPrefetch)
+            ++cs.prefetchFills;
+        else
+            ++cs.misses;
+        repl->onMiss(view, info);
 
-    if (info.isPrefetch)
-        ++cs.prefetchFills;
-    else
-        ++cs.misses;
-    repl->onMiss(view, info);
-
-    // Prefer an invalid way; consult the policy only when the set is
-    // full.
-    std::uint32_t victim = view.invalidWay();
-    if (victim == cfg.ways) {
-        victim = repl->victimWay(view, info);
-        if (victim >= cfg.ways)
-            panic("cache '", cfg.name, "': policy '", repl->name(),
-                  "' returned way ", victim, " of ", cfg.ways);
-    }
-
-    CacheLine &line = base[victim];
-    if (line.valid) {
-        res.evicted = true;
-        res.evictedAddr = line.tag << blockBits;
-        if (line.dirty) {
-            res.writeback = true;
-            res.writebackAddr = line.tag << blockBits;
-            ++writebackCount;
+        // Prefer an invalid way; consult the policy only when the set
+        // is full.
+        std::uint32_t victim = view.invalidWay();
+        if (victim == cfg.ways) {
+            victim = repl->victimWay(view, info);
+            if (victim >= cfg.ways)
+                panic("cache '", cfg.name, "': policy '", repl->name(),
+                      "' returned way ", victim, " of ", cfg.ways);
         }
-        repl->onEvict(view, victim, line, info);
+
+        CacheLine &line = base[victim];
+        if (line.valid) {
+            res.evicted = true;
+            res.evictedAddr = line.tag << blockBits;
+            if (line.dirty) {
+                res.writeback = true;
+                res.writebackAddr = line.tag << blockBits;
+                ++writebackCount;
+            }
+            repl->onEvict(view, victim, line, info);
+        }
+
+        line.tag = tag;
+        line.pc = info.pc;
+        line.coreId = info.coreId;
+        line.valid = true;
+        line.dirty = info.isWrite;
+        repl->onFill(view, victim, info);
     }
 
-    line.tag = tag;
-    line.pc = info.pc;
-    line.coreId = info.coreId;
-    line.valid = true;
-    line.dirty = info.isWrite;
-    repl->onFill(view, victim, info);
+    if (observer)
+        observer(set, info, res);
     return res;
 }
 

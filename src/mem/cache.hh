@@ -10,6 +10,7 @@
 #ifndef NUCACHE_MEM_CACHE_HH
 #define NUCACHE_MEM_CACHE_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -93,6 +94,25 @@ class Cache
      */
     Result access(AccessInfo info);
 
+    /**
+     * Called after every completed access with the touched set, the
+     * (tick-stamped) access and its outcome.  The correctness layer
+     * (check/checker.hh) installs its per-access invariant sweep here;
+     * an empty observer costs one branch.
+     */
+    using AccessObserver = std::function<void(
+        std::uint32_t set, const AccessInfo &info, const Result &res)>;
+
+    /** Install (or clear, with an empty function) the observer. */
+    void setAccessObserver(AccessObserver obs) { observer = std::move(obs); }
+
+    /** @return number of cores registered at construction. */
+    std::uint32_t
+    numCores() const
+    {
+        return static_cast<std::uint32_t>(stats.size());
+    }
+
     /** @return true iff @p addr is present (no state change). */
     bool probe(Addr addr) const;
 
@@ -151,6 +171,7 @@ class Cache
     std::unique_ptr<ReplacementPolicy> repl;
     std::vector<CacheLine> lines;
     std::vector<CacheCoreStats> stats;
+    AccessObserver observer;
     std::uint64_t writebackCount = 0;
     Tick tickCounter = 0;
 };

@@ -41,6 +41,31 @@ LruPolicy::onFill(const SetView &set, std::uint32_t way,
     lastTouch[slot(set.setIndex(), way)] = info.tick;
 }
 
+bool
+LruPolicy::checkInvariants(const SetView &set, std::string &why) const
+{
+    for (std::uint32_t a = 0; a < set.ways(); ++a) {
+        if (!set.line(a).valid)
+            continue;
+        const Tick ta = lastTouch[slot(set.setIndex(), a)];
+        if (ta == 0) {
+            why = "valid line in way " + std::to_string(a) +
+                  " has no recency stamp";
+            return false;
+        }
+        for (std::uint32_t b = a + 1; b < set.ways(); ++b) {
+            if (set.line(b).valid &&
+                lastTouch[slot(set.setIndex(), b)] == ta) {
+                why = "ways " + std::to_string(a) + " and " +
+                      std::to_string(b) + " share recency stamp " +
+                      std::to_string(ta);
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
 Tick
 LruPolicy::stamp(std::uint32_t set, std::uint32_t way) const
 {

@@ -35,6 +35,14 @@ class LruPolicy : public ReplacementPolicy
 
     std::string name() const override { return "lru"; }
 
+    /**
+     * Recency-stack coherence: every valid line carries a stamp (it
+     * was filled at some tick >= 1) and no two valid lines share one
+     * (each access stamps at most one line with a fresh tick).
+     */
+    bool checkInvariants(const SetView &set,
+                         std::string &why) const override;
+
     /** @return recency stamp of (set, way); 0 = never touched. */
     Tick stamp(std::uint32_t set, std::uint32_t way) const;
 

@@ -127,6 +127,23 @@ class ReplacementPolicy
     /** @return a short policy name for reports. */
     virtual std::string name() const = 0;
 
+    /**
+     * Verify this policy's own metadata invariants over @p set (e.g.\
+     * recency-stack coherence for LRU, |Main| <= W - D for NUcache,
+     * rank-permutation integrity for PIPP).  Consulted by the runtime
+     * CacheChecker (see check/checker.hh) after every access when
+     * checking is enabled; the default claims nothing.
+     * @param why on failure, filled with a human-readable reason.
+     * @return true iff the invariants hold.
+     */
+    virtual bool
+    checkInvariants(const SetView &set, std::string &why) const
+    {
+        (void)set;
+        (void)why;
+        return true;
+    }
+
   protected:
     /** Geometry captured by init(). */
     PolicyContext context;

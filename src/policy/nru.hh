@@ -59,6 +59,24 @@ class NruPolicy : public ReplacementPolicy
 
     std::string name() const override { return "nru"; }
 
+    /**
+     * NRU coherence: the mark rule clears the set whenever it would
+     * saturate, so outside the single-way corner a victim candidate
+     * (clear bit) always exists.
+     */
+    bool
+    checkInvariants(const SetView &set, std::string &why) const override
+    {
+        if (set.ways() == 1)
+            return true;
+        for (std::uint32_t w = 0; w < set.ways(); ++w) {
+            if (!refBit[slot(set.setIndex(), w)])
+                return true;
+        }
+        why = "all reference bits set (mark rule failed to clear)";
+        return false;
+    }
+
   private:
     std::size_t
     slot(std::uint32_t set, std::uint32_t way) const

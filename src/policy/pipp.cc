@@ -64,6 +64,62 @@ PippPolicy::reallocate()
     alloc = lookaheadPartition(curves, context.numWays, 1);
 }
 
+bool
+PippPolicy::checkInvariants(const SetView &set, std::string &why) const
+{
+    std::uint64_t total = 0;
+    for (std::size_t c = 0; c < alloc.size(); ++c) {
+        if (alloc[c] == 0) {
+            why = "core " + std::to_string(c) + " has a zero allocation";
+            return false;
+        }
+        total += alloc[c];
+    }
+    if (alloc.size() != context.numCores || total != context.numWays) {
+        why = "allocations sum to " + std::to_string(total) + " of " +
+              std::to_string(context.numWays) + " ways";
+        return false;
+    }
+
+    // The valid lines' ranks must be exactly {0 .. n-1}: the victim
+    // path picks the minimum rank and the promotion path swaps with
+    // rank+1, so a duplicate or a hole silently pins lines in place.
+    std::uint32_t valid_n = 0;
+    std::vector<bool> seen(set.ways(), false);
+    for (std::uint32_t w = 0; w < set.ways(); ++w) {
+        const std::uint8_t r = rank[slot(set.setIndex(), w)];
+        if (!set.line(w).valid) {
+            if (r != noRank) {
+                why = "invalid line in way " + std::to_string(w) +
+                      " still ranked " + std::to_string(r);
+                return false;
+            }
+            continue;
+        }
+        ++valid_n;
+        if (r == noRank || r >= set.ways()) {
+            why = "valid line in way " + std::to_string(w) +
+                  " has rank " + std::to_string(r) + " outside [0, " +
+                  std::to_string(set.ways()) + ")";
+            return false;
+        }
+        if (seen[r]) {
+            why = "rank " + std::to_string(r) + " held twice (way " +
+                  std::to_string(w) + ")";
+            return false;
+        }
+        seen[r] = true;
+    }
+    for (std::uint32_t r = 0; r < valid_n; ++r) {
+        if (!seen[r]) {
+            why = "rank " + std::to_string(r) + " missing from the " +
+                  std::to_string(valid_n) + "-line permutation";
+            return false;
+        }
+    }
+    return true;
+}
+
 std::uint32_t
 PippPolicy::victimWay(const SetView &set, const AccessInfo &info)
 {

@@ -54,6 +54,16 @@ class PippPolicy : public ReplacementPolicy
 
     std::string name() const override { return "pipp"; }
 
+    /**
+     * Promotion bounds: insertion, single-step promotion and the
+     * eviction gap-closing must keep the valid lines' ranks an exact
+     * permutation of 0..n-1 (duplicates or holes let lines become
+     * unevictable), invalid lines unranked, and the allocations a
+     * well-formed partition of the ways.
+     */
+    bool checkInvariants(const SetView &set,
+                         std::string &why) const override;
+
     /** @return the current per-core allocations (tests / reports). */
     const std::vector<std::uint32_t> &allocations() const { return alloc; }
 

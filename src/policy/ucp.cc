@@ -114,6 +114,52 @@ UcpPolicy::repartition()
     quota = lookaheadPartition(curves, context.numWays, 1);
 }
 
+bool
+UcpPolicy::checkInvariants(const SetView &set, std::string &why) const
+{
+    if (quota.size() != context.numCores) {
+        why = std::to_string(quota.size()) + " quotas for " +
+              std::to_string(context.numCores) + " cores";
+        return false;
+    }
+    std::uint64_t total = 0;
+    for (std::size_t c = 0; c < quota.size(); ++c) {
+        if (quota[c] == 0) {
+            why = "core " + std::to_string(c) + " has a zero quota";
+            return false;
+        }
+        total += quota[c];
+    }
+    if (total != context.numWays) {
+        why = "quotas sum to " + std::to_string(total) + " of " +
+              std::to_string(context.numWays) + " ways";
+        return false;
+    }
+    for (std::uint32_t a = 0; a < set.ways(); ++a) {
+        if (!set.line(a).valid)
+            continue;
+        const Tick ta =
+            lastTouch[static_cast<std::size_t>(set.setIndex()) *
+                      context.numWays + a];
+        if (ta == 0) {
+            why = "valid line in way " + std::to_string(a) +
+                  " has no recency stamp";
+            return false;
+        }
+        for (std::uint32_t b = a + 1; b < set.ways(); ++b) {
+            if (set.line(b).valid &&
+                lastTouch[static_cast<std::size_t>(set.setIndex()) *
+                          context.numWays + b] == ta) {
+                why = "ways " + std::to_string(a) + " and " +
+                      std::to_string(b) + " share recency stamp " +
+                      std::to_string(ta);
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
 std::uint32_t
 UcpPolicy::victimWay(const SetView &set, const AccessInfo &info)
 {

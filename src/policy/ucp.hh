@@ -64,6 +64,17 @@ class UcpPolicy : public ReplacementPolicy
 
     std::string name() const override { return "ucp"; }
 
+    /**
+     * Quota compliance: the partition must stay well-formed (one
+     * quota per core, each at least one way, summing exactly to the
+     * associativity — anything else and the enforcement paths
+     * deadlock or leak ways), and the per-line recency stamps backing
+     * quota enforcement must be coherent (distinct, non-zero for
+     * valid lines).
+     */
+    bool checkInvariants(const SetView &set,
+                         std::string &why) const override;
+
     /** @return the current per-core way quotas (tests / reports). */
     const std::vector<std::uint32_t> &quotas() const { return quota; }
 

@@ -12,8 +12,9 @@
 namespace nucache
 {
 
-RunEngine::RunEngine(std::uint64_t records_per_core, unsigned jobs)
-    : records(records_per_core), pool(jobs)
+RunEngine::RunEngine(std::uint64_t records_per_core, unsigned jobs,
+                     bool check_invariants)
+    : records(records_per_core), checkFlag(check_invariants), pool(jobs)
 {
     if (records == 0)
         fatal("RunEngine: zero records per core");
@@ -55,7 +56,8 @@ RunEngine::aloneIpc(const std::string &workload,
     alone.numCores = 1;
     std::vector<TraceSourcePtr> traces;
     traces.push_back(makeWorkload(workload));
-    System sys(alone, makePolicy("lru"), std::move(traces), records);
+    System sys(alone, makePolicy("lru"), std::move(traces), records,
+               checkFlag);
     const SystemResult res = sys.run();
     const double ipc = res.cores.at(0).ipc;
     aloneRuns.fetch_add(1, std::memory_order_relaxed);
@@ -76,7 +78,8 @@ RunEngine::runMix(const WorkloadMix &mix, const std::string &policy_spec,
     for (const auto &w : mix.workloads)
         traces.push_back(makeWorkload(w));
 
-    System sys(hier, makePolicy(policy_spec), std::move(traces), records);
+    System sys(hier, makePolicy(policy_spec), std::move(traces), records,
+               checkFlag);
 
     MixResult out;
     out.mixName = mix.name;
@@ -106,7 +109,7 @@ RunEngine::runSingle(const std::string &workload,
     std::vector<TraceSourcePtr> traces;
     traces.push_back(makeWorkload(workload));
     System sys(single, makePolicy(policy_spec), std::move(traces),
-               records);
+               records, checkFlag);
     return sys.run();
 }
 

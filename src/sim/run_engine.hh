@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check_mode.hh"
 #include "common/thread_pool.hh"
 #include "sim/experiment.hh"
 #include "sim/mixes.hh"
@@ -72,8 +73,12 @@ class RunEngine
     /**
      * @param records_per_core measurement window per program.
      * @param jobs worker threads for grid execution (clamped to >= 1).
+     * @param check_invariants run every simulation under the runtime
+     *        invariant checker (--check); defaults to the process-wide
+     *        check mode (see check/check_mode.hh).
      */
-    explicit RunEngine(std::uint64_t records_per_core, unsigned jobs = 1);
+    explicit RunEngine(std::uint64_t records_per_core, unsigned jobs = 1,
+                       bool check_invariants = check::enabled());
 
     /**
      * @return IPC of @p workload running alone under LRU on the LLC of
@@ -124,6 +129,9 @@ class RunEngine
     /** @return the worker-thread count. */
     unsigned jobs() const { return pool.size(); }
 
+    /** @return whether simulations run under the invariant checker. */
+    bool checkMode() const { return checkFlag; }
+
     /** @return how many run-alone baselines were actually simulated. */
     std::uint64_t aloneRunCount() const
     {
@@ -132,6 +140,7 @@ class RunEngine
 
   private:
     std::uint64_t records;
+    bool checkFlag;
     ThreadPool pool;
 
     std::mutex aloneMtx;

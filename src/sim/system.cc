@@ -11,13 +11,24 @@ namespace nucache
 System::System(const HierarchyConfig &hier_config,
                std::unique_ptr<ReplacementPolicy> llc_policy,
                std::vector<TraceSourcePtr> traces,
-               std::uint64_t records_per_core)
+               std::uint64_t records_per_core,
+               bool check_invariants)
 {
     if (traces.size() != hier_config.numCores)
         fatal("system: ", traces.size(), " traces for ",
               hier_config.numCores, " cores");
     hier = std::make_unique<MemoryHierarchy>(hier_config,
                                              std::move(llc_policy));
+    if (check_invariants) {
+        checkers.push_back(std::make_unique<CacheChecker>(hier->llc()));
+        for (std::uint32_t c = 0; c < hier_config.numCores; ++c) {
+            checkers.push_back(
+                std::make_unique<CacheChecker>(hier->l1(c)));
+            if (Cache *l2 = hier->l2(c)) {
+                checkers.push_back(std::make_unique<CacheChecker>(*l2));
+            }
+        }
+    }
     for (std::uint32_t c = 0; c < hier_config.numCores; ++c) {
         cpus.push_back(std::make_unique<TraceCpu>(
             c, std::move(traces[c]), hier.get(), records_per_core));
@@ -60,7 +71,21 @@ System::run()
     result.llcWritebacks = hier->llc().writebacks();
     result.dramReads = hier->dram().reads();
     result.dramQueueCycles = hier->dram().queueingCycles();
+
+    // Closing audit: the per-access sweeps only visit touched sets, so
+    // finish with a pass over every set of every checked cache.
+    for (const auto &checker : checkers)
+        checker->checkAll();
     return result;
+}
+
+std::uint64_t
+System::invariantChecksRun() const
+{
+    std::uint64_t total = 0;
+    for (const auto &checker : checkers)
+        total += checker->checksRun();
+    return total;
 }
 
 void

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "check/check_mode.hh"
+#include "check/checker.hh"
 #include "mem/hierarchy.hh"
 #include "sim/cpu.hh"
 #include "trace/trace.hh"
@@ -51,11 +53,16 @@ class System
      * @param llc_policy  management policy for the shared LLC.
      * @param traces      one workload per core (ownership taken).
      * @param records_per_core measurement window per core.
+     * @param check_invariants attach a CacheChecker to every level so
+     *        each access is followed by an invariant sweep of the
+     *        touched set (and run() ends with a full audit); defaults
+     *        to the process-wide check mode (--check, NUCACHE_CHECK).
      */
     System(const HierarchyConfig &hier_config,
            std::unique_ptr<ReplacementPolicy> llc_policy,
            std::vector<TraceSourcePtr> traces,
-           std::uint64_t records_per_core);
+           std::uint64_t records_per_core,
+           bool check_invariants = check::enabled());
 
     /** Run to completion and @return the results. */
     SystemResult run();
@@ -70,8 +77,13 @@ class System
     MemoryHierarchy &hierarchy() { return *hier; }
     const MemoryHierarchy &hierarchy() const { return *hier; }
 
+    /** @return per-access invariant sweeps performed (0 = unchecked). */
+    std::uint64_t invariantChecksRun() const;
+
   private:
     std::unique_ptr<MemoryHierarchy> hier;
+    /** One checker per cache level when checking is on (else empty). */
+    std::vector<std::unique_ptr<CacheChecker>> checkers;
     std::vector<std::unique_ptr<TraceCpu>> cpus;
 };
 

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the runtime invariant checker (src/check/): clean runs
+ * stay clean across the whole policy zoo, seeded violations are
+ * detected and reported, and the System wiring attaches checkers to
+ * every level when asked.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/check_mode.hh"
+#include "check/checker.hh"
+#include "common/rng.hh"
+#include "mem/cache.hh"
+#include "sim/experiment.hh"
+#include "sim/policies.hh"
+#include "sim/system.hh"
+#include "trace/workloads.hh"
+
+namespace nucache
+{
+namespace
+{
+
+AccessInfo
+access(Addr addr, PC pc, CoreId core, bool write)
+{
+    AccessInfo info;
+    info.addr = addr;
+    info.pc = pc;
+    info.coreId = core;
+    info.isWrite = write;
+    return info;
+}
+
+/**
+ * Every cataloged policy, driven over random traffic with a
+ * Collect-mode checker sweeping the touched set after every access:
+ * zero violations, ever.
+ */
+TEST(CacheChecker, CleanRunsStayCleanAcrossPolicyZoo)
+{
+    for (const auto &policy : allPolicyNames()) {
+        CacheConfig cfg{"chk", 16ull * 8 * 64, 8, 64};
+        Cache cache(cfg, makePolicy(policy), 2);
+        CacheChecker checker(cache, CacheChecker::Mode::Collect);
+
+        Rng rng(0xc43c + std::hash<std::string>{}(policy));
+        for (int i = 0; i < 6000; ++i) {
+            cache.access(access(rng.below(2048) * 64,
+                                0x400000 + rng.below(16) * 4,
+                                static_cast<CoreId>(rng.below(2)),
+                                rng.chance(0.25)));
+        }
+        checker.checkAll();
+        EXPECT_GE(checker.checksRun(), 6000u) << policy;
+        EXPECT_EQ(checker.violationCount(), 0u)
+            << policy << ": " << (checker.violations().empty()
+                                      ? std::string("(none stored)")
+                                      : checker.violations().front().what);
+    }
+}
+
+/** A policy whose metadata invariant is deliberately broken. */
+class BrokenPolicy : public ReplacementPolicy
+{
+  public:
+    std::uint32_t
+    victimWay(const SetView &set, const AccessInfo &) override
+    {
+        (void)set;
+        return 0;
+    }
+    void onHit(const SetView &, std::uint32_t, const AccessInfo &) override
+    {
+    }
+    void onFill(const SetView &, std::uint32_t, const AccessInfo &) override
+    {
+    }
+    std::string name() const override { return "broken"; }
+    bool
+    checkInvariants(const SetView &, std::string &why) const override
+    {
+        why = "deliberately broken metadata";
+        return false;
+    }
+};
+
+TEST(CacheChecker, CollectModeRecordsPolicyViolations)
+{
+    CacheConfig cfg{"chk", 4ull * 4 * 64, 4, 64};
+    Cache cache(cfg, std::make_unique<BrokenPolicy>(), 1);
+    CacheChecker checker(cache, CacheChecker::Mode::Collect);
+
+    cache.access(access(0, 0x400000, 0, false));
+    ASSERT_GE(checker.violationCount(), 1u);
+    ASSERT_FALSE(checker.violations().empty());
+    const CheckViolation &v = checker.violations().front();
+    EXPECT_EQ(v.cache, "chk");
+    EXPECT_NE(v.what.find("deliberately broken"), std::string::npos)
+        << v.what;
+}
+
+TEST(CacheChecker, CheckAllSweepsEverySet)
+{
+    CacheConfig cfg{"chk", 8ull * 4 * 64, 4, 64};
+    Cache cache(cfg, std::make_unique<BrokenPolicy>(), 1);
+    CacheChecker checker(cache, CacheChecker::Mode::Collect);
+    const std::uint64_t before = checker.checksRun();
+    EXPECT_EQ(checker.checkAll(), 8u);  // one violation per set
+    EXPECT_EQ(checker.checksRun(), before + 8);
+}
+
+TEST(CacheChecker, StoredViolationsAreCappedButCounted)
+{
+    CacheConfig cfg{"chk", 4ull * 4 * 64, 4, 64};
+    Cache cache(cfg, std::make_unique<BrokenPolicy>(), 1);
+    CacheChecker checker(cache, CacheChecker::Mode::Collect);
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i)
+        cache.access(access(rng.below(64) * 64, 0x400000, 0, false));
+    EXPECT_GE(checker.violationCount(), 200u);
+    EXPECT_LE(checker.violations().size(), 32u);
+}
+
+TEST(CacheCheckerDeathTest, PanicModeAbortsOnViolation)
+{
+    CacheConfig cfg{"chk", 4ull * 4 * 64, 4, 64};
+    Cache cache(cfg, std::make_unique<BrokenPolicy>(), 1);
+    CacheChecker checker(cache);  // Panic mode
+    EXPECT_DEATH(cache.access(access(0, 0x400000, 0, false)),
+                 "invariant violation");
+}
+
+TEST(CacheChecker, DetachOnDestructionLeavesCacheUsable)
+{
+    CacheConfig cfg{"chk", 4ull * 4 * 64, 4, 64};
+    Cache cache(cfg, std::make_unique<BrokenPolicy>(), 1);
+    {
+        CacheChecker checker(cache, CacheChecker::Mode::Collect);
+        cache.access(access(0, 0x400000, 0, false));
+        EXPECT_GE(checker.violationCount(), 1u);
+    }
+    // Checker gone: accesses proceed unchecked (no dangling observer).
+    const Cache::Result r = cache.access(access(0, 0x400000, 0, false));
+    EXPECT_TRUE(r.hit);
+}
+
+TEST(CheckMode, FlagRoundTrips)
+{
+    const bool initial = check::enabled();
+    check::setEnabled(true);
+    EXPECT_TRUE(check::enabled());
+    check::setEnabled(false);
+    EXPECT_FALSE(check::enabled());
+    check::setEnabled(initial);
+}
+
+/** End-to-end: a checked System sweeps sets at every level. */
+TEST(CheckMode, SystemAttachesCheckersWhenEnabled)
+{
+    HierarchyConfig hier = defaultHierarchy(2);
+    std::vector<TraceSourcePtr> traces;
+    traces.push_back(makeWorkload(workloadNames().front()));
+    traces.push_back(makeWorkload(workloadNames().back()));
+    System sys(hier, makePolicy("nucache"), std::move(traces), 20000,
+               true);
+    sys.run();
+    EXPECT_GT(sys.invariantChecksRun(), 20000u);
+}
+
+TEST(CheckMode, SystemSkipsCheckersWhenDisabled)
+{
+    HierarchyConfig hier = defaultHierarchy(1);
+    std::vector<TraceSourcePtr> traces;
+    traces.push_back(makeWorkload(workloadNames().front()));
+    System sys(hier, makePolicy("lru"), std::move(traces), 5000, false);
+    sys.run();
+    EXPECT_EQ(sys.invariantChecksRun(), 0u);
+}
+
+} // anonymous namespace
+} // namespace nucache

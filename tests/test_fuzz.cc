@@ -2,15 +2,22 @@
  * @file
  * Randomized robustness sweep: every policy driven over randomized
  * cache geometries and access streams, checking only the global
- * invariants (no crash, accounting balances, results deterministic).
- * This is the net under the whole policy zoo.
+ * invariants (no crash, accounting balances, results deterministic) —
+ * plus deterministic input fuzzers for the trace parsers and the CLI
+ * parser (any byte stream must parse or fail cleanly, never crash,
+ * hang, or over-allocate).  This is the net under the whole policy zoo
+ * and every parser that touches untrusted bytes.
  */
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "common/cli.hh"
 #include "common/rng.hh"
 #include "mem/cache.hh"
 #include "sim/policies.hh"
+#include "trace/trace_io.hh"
 
 namespace nucache
 {
@@ -92,6 +99,165 @@ TEST(PolicyFuzz, IdenticalSeedsGiveIdenticalOutcomes)
             ASSERT_EQ(a.access(ia).hit, b.access(ib).hit)
                 << policy << " at " << i;
         }
+    }
+}
+
+/** @return a serialized valid binary trace to mutate. */
+std::string
+baseBinaryTrace(Rng &rng, std::size_t n)
+{
+    std::vector<TraceRecord> recs;
+    recs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        TraceRecord r;
+        r.pc = 0x400000 + rng.below(64) * 4;
+        r.addr = rng.below(1u << 20) * 64;
+        r.nonMemGap = static_cast<std::uint32_t>(rng.below(100));
+        r.isWrite = rng.chance(0.3);
+        recs.push_back(r);
+    }
+    std::stringstream ss;
+    writeBinaryTrace(ss, recs);
+    return ss.str();
+}
+
+/**
+ * Bit-flip fuzzer over the binary reader: every mutation of a valid
+ * trace must either parse (flips in payload values are still valid
+ * records) or fail with a diagnostic — and must never size a buffer
+ * beyond the input it was handed.  >= 10000 seeded iterations.
+ */
+TEST(TraceFuzz, BinaryBitFlipsParseOrFailCleanly)
+{
+    Rng rng(0xb17f11b5);
+    const std::string base = baseBinaryTrace(rng, 32);
+    std::size_t ok_count = 0, fail_count = 0;
+    for (int iter = 0; iter < 12000; ++iter) {
+        std::string buf = base;
+        const int flips = static_cast<int>(rng.between(1, 8));
+        for (int f = 0; f < flips; ++f) {
+            const std::size_t byte = rng.below(buf.size());
+            buf[byte] ^= static_cast<char>(1u << rng.below(8));
+        }
+        std::stringstream ss(buf);
+        const TraceParseResult out = tryReadBinaryTrace(ss);
+        if (out.ok) {
+            ++ok_count;
+            EXPECT_TRUE(out.error.empty());
+        } else {
+            ++fail_count;
+            ASSERT_FALSE(out.error.empty()) << "silent failure";
+            EXPECT_TRUE(out.records.empty());
+        }
+        ASSERT_LE(out.records.capacity() * sizeof(TraceRecord),
+                  4 * buf.size())
+            << "reader over-allocated against a " << buf.size()
+            << "-byte input";
+    }
+    // Both regimes must actually be exercised: flips that land in the
+    // payload parse fine, flips in magic/count are rejected.
+    EXPECT_GT(ok_count, 0u);
+    EXPECT_GT(fail_count, 0u);
+}
+
+/** Random truncation points: never a crash, always a diagnostic. */
+TEST(TraceFuzz, BinaryTruncationsFailCleanly)
+{
+    Rng rng(0x7240ca7e);
+    const std::string base = baseBinaryTrace(rng, 48);
+    for (int iter = 0; iter < 2000; ++iter) {
+        const std::size_t len = rng.below(base.size());
+        std::stringstream ss(base.substr(0, len));
+        const TraceParseResult out = tryReadBinaryTrace(ss);
+        if (!out.ok) {
+            ASSERT_FALSE(out.error.empty()) << "cut at " << len;
+        }
+    }
+}
+
+/** Pure garbage bytes through the binary reader. */
+TEST(TraceFuzz, BinaryGarbageNeverCrashes)
+{
+    Rng rng(0x6a4ba6e5);
+    for (int iter = 0; iter < 2000; ++iter) {
+        std::string buf(rng.below(256), '\0');
+        for (auto &c : buf)
+            c = static_cast<char>(rng.below(256));
+        std::stringstream ss(buf);
+        const TraceParseResult out = tryReadBinaryTrace(ss);
+        if (!out.ok) {
+            ASSERT_FALSE(out.error.empty());
+        }
+        ASSERT_LE(out.records.size() * 24, buf.size());
+    }
+}
+
+/** Byte-level mutations of a valid text trace. */
+TEST(TraceFuzz, TextMutationsParseOrFailCleanly)
+{
+    Rng rng(0x7e77f022);
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 24; ++i) {
+        TraceRecord r;
+        r.pc = 0x400000 + i * 4;
+        r.addr = 0x10000u + static_cast<std::uint64_t>(i) * 64;
+        r.nonMemGap = static_cast<std::uint32_t>(i);
+        r.isWrite = (i % 2) != 0;
+        recs.push_back(r);
+    }
+    std::stringstream base_ss;
+    writeTextTrace(base_ss, recs);
+    const std::string base = base_ss.str();
+    for (int iter = 0; iter < 4000; ++iter) {
+        std::string buf = base;
+        const int edits = static_cast<int>(rng.between(1, 6));
+        for (int e = 0; e < edits; ++e) {
+            const std::size_t at = rng.below(buf.size());
+            buf[at] = static_cast<char>(rng.below(128));
+        }
+        std::stringstream ss(buf);
+        const TraceParseResult out = tryReadTextTrace(ss);
+        if (!out.ok) {
+            ASSERT_FALSE(out.error.empty());
+        } else {
+            ASSERT_LE(out.records.size(), base.size());
+        }
+    }
+}
+
+/**
+ * CLI fuzzer: arbitrary token vectors through CliArgs.  The parser
+ * must classify every token (flags vs positionals) without crashing,
+ * and no positional may retain a flag prefix.
+ */
+TEST(CliFuzz, RandomArgvNeverCrashes)
+{
+    Rng rng(0xc11f0bb5);
+    const char charset[] =
+        "abcdefghijklmnopqrstuvwxyz0123456789-=_. ";
+    for (int iter = 0; iter < 4000; ++iter) {
+        std::vector<std::string> tokens = {"fuzz_prog"};
+        const int n = static_cast<int>(rng.between(0, 8));
+        for (int t = 0; t < n; ++t) {
+            std::string tok;
+            if (rng.chance(0.5))
+                tok = "--";
+            const std::size_t len = rng.below(12);
+            for (std::size_t c = 0; c < len; ++c)
+                tok += charset[rng.below(sizeof(charset) - 1)];
+            tokens.push_back(std::move(tok));
+        }
+        std::vector<const char *> argv;
+        argv.reserve(tokens.size());
+        for (const auto &t : tokens)
+            argv.push_back(t.c_str());
+        const CliArgs args(static_cast<int>(argv.size()), argv.data());
+        for (const auto &p : args.positional())
+            ASSERT_NE(p.rfind("--", 0), 0u)
+                << "positional '" << p << "' kept its flag prefix";
+        // Typed accessors with defaults must be safe on absent keys.
+        EXPECT_EQ(args.get("definitely-not-present", "d"), "d");
+        EXPECT_EQ(args.getInt("definitely-not-present", 7u), 7u);
     }
 }
 

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "check/checker.hh"
 #include "common/bitutil.hh"
 #include "common/rng.hh"
 #include "core/nucache.hh"
@@ -312,6 +313,66 @@ TEST(NUcache, TopKModeSelectsSomething)
     EXPECT_GT(nu->epochsRun(), 0u);
     EXPECT_LE(nu->selectedPcs().size(), 4u);
     EXPECT_GE(nu->selectedPcs().size(), 1u);
+}
+
+/**
+ * The promotion corner case: a DeliWays hit on a *selected* block
+ * whose promotion would demote a *non-selected* Main-LRU must refresh
+ * the block's FIFO lease in place instead of promoting — and the
+ * resulting state must satisfy every structural invariant.
+ */
+TEST(NUcache, DeliHitWithIneligibleMainLruRefreshesLease)
+{
+    constexpr PC PC_SEL = 0x400000;
+    constexpr PC PC_OTHER = 0x500000;
+
+    // 2 sets x 8 ways, 3 Main + 5 Deli; TopK-1 selection driven
+    // manually so exactly PC_SEL is retained.
+    CacheConfig cfg{"n", 2ull * 8 * 64, 8, 64};
+    NUcacheConfig ncfg = testConfig(5, NUcacheConfig::Selection::TopK);
+    ncfg.topK = 1;
+    auto policy = std::make_unique<NUcachePolicy>(ncfg);
+    NUcachePolicy *nu = policy.get();
+    Cache c(cfg, std::move(policy));
+    CacheChecker checker(c, CacheChecker::Mode::Collect);
+
+    // Warmup misses in set 1 make PC_SEL the top delinquent PC.
+    for (std::uint64_t b = 0; b < 40; ++b)
+        c.access(read((2 * b + 1) * 64, PC_SEL));
+    nu->runSelection();
+    ASSERT_EQ(nu->selectedPcs().size(), 1u);
+    ASSERT_TRUE(nu->selectedPcs().count(PC_SEL));
+
+    // Set 0: fill A under the selected PC, then seven non-selected
+    // fills.  A is demoted on the 4th fill (ways fill lowest-first, so
+    // A sits in way 0) and ends up in the DeliWays FIFO with the
+    // MainWays full of non-selected blocks.
+    const Addr A = 0;
+    c.access(read(A, PC_SEL));
+    for (std::uint64_t b = 1; b <= 7; ++b)
+        c.access(read(2 * b * 64, PC_OTHER));
+    ASSERT_TRUE(nu->inDeliWays(0, 0));
+
+    // The corner: hitting A cannot promote (MainWays full, Main-LRU
+    // non-selected, A selected), so it must stay a DeliWays line with
+    // a renewed lease.
+    const std::uint64_t deli_before = nu->deliHits();
+    EXPECT_TRUE(c.access(read(A, PC_SEL)).hit);
+    EXPECT_EQ(nu->deliHits(), deli_before + 1);
+    EXPECT_TRUE(nu->inDeliWays(0, 0));
+    EXPECT_TRUE(nu->checkSetInvariants(c.viewSet(0)));
+
+    // The lease protects A: further non-selected misses reclaim the
+    // stale (non-selected) DeliWays lines first.
+    for (std::uint64_t b = 8; b <= 10; ++b)
+        c.access(read(2 * b * 64, PC_OTHER));
+    EXPECT_TRUE(c.probe(A));
+    EXPECT_TRUE(nu->inDeliWays(0, 0));
+
+    // The per-access sweeps ran and the state never tripped a check.
+    EXPECT_GT(checker.checksRun(), 0u);
+    EXPECT_EQ(checker.violationCount(), 0u)
+        << checker.violations().front().what;
 }
 
 TEST(NUcache, NamesFollowMode)

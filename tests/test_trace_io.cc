@@ -90,8 +90,9 @@ TEST(TraceIoDeathTest, BinaryTruncated)
     writeBinaryTrace(full, sampleRecords());
     const std::string payload = full.str();
     std::stringstream cut(payload.substr(0, payload.size() - 5));
+    // Seekable streams catch the short payload at header validation.
     EXPECT_EXIT(readBinaryTrace(cut), ::testing::ExitedWithCode(1),
-                "truncated");
+                "header claims");
 }
 
 TEST(TraceIoDeathTest, TextMalformedLine)
@@ -99,6 +100,113 @@ TEST(TraceIoDeathTest, TextMalformedLine)
     std::stringstream ss("0x10 0x40 nonsense\n");
     EXPECT_EXIT(readTextTrace(ss), ::testing::ExitedWithCode(1),
                 "malformed");
+}
+
+/** A header count far beyond the payload must be rejected up front. */
+TEST(TraceIo, BinaryCorruptCountRejectedWithoutAllocation)
+{
+    std::stringstream full;
+    writeBinaryTrace(full, sampleRecords());
+    std::string payload = full.str();
+    // Overwrite the u64 count (bytes 8..15, little-endian) with a
+    // number that would demand a ~400 EB reserve if trusted.
+    for (int i = 8; i < 16; ++i)
+        payload[static_cast<std::size_t>(i)] = '\xff';
+    std::stringstream ss(payload);
+    const TraceParseResult out = tryReadBinaryTrace(ss);
+    EXPECT_FALSE(out.ok);
+    EXPECT_NE(out.error.find("header claims"), std::string::npos)
+        << out.error;
+    EXPECT_TRUE(out.records.empty());
+    // The rejected parse must not have sized a buffer off the header.
+    EXPECT_LE(out.records.capacity(), payload.size());
+}
+
+/** A count just one past the payload is equally untrustworthy. */
+TEST(TraceIo, BinaryCountOffByOneRejected)
+{
+    std::stringstream full;
+    writeBinaryTrace(full, sampleRecords());
+    std::string payload = full.str();
+    payload[8] = static_cast<char>(sampleRecords().size() + 1);
+    std::stringstream ss(payload);
+    const TraceParseResult out = tryReadBinaryTrace(ss);
+    EXPECT_FALSE(out.ok);
+    EXPECT_NE(out.error.find("header claims"), std::string::npos)
+        << out.error;
+}
+
+TEST(TraceIoDeathTest, BinaryCorruptCountIsFatalInStrictReader)
+{
+    std::stringstream full;
+    writeBinaryTrace(full, sampleRecords());
+    std::string payload = full.str();
+    for (int i = 8; i < 16; ++i)
+        payload[static_cast<std::size_t>(i)] = '\xff';
+    std::stringstream ss(payload);
+    EXPECT_EXIT(readBinaryTrace(ss), ::testing::ExitedWithCode(1),
+                "header claims");
+}
+
+/** Truncation inside the header itself (before the count completes). */
+TEST(TraceIo, BinaryTruncatedHeaderReportsCleanly)
+{
+    std::stringstream ss(std::string("NUTRACE1\x03\x00", 10));
+    const TraceParseResult out = tryReadBinaryTrace(ss);
+    EXPECT_FALSE(out.ok);
+    EXPECT_NE(out.error.find("truncated header"), std::string::npos)
+        << out.error;
+}
+
+/** Truncation mid-payload via the non-fatal reader. */
+TEST(TraceIo, BinaryTruncatedPayloadReportsCleanly)
+{
+    std::stringstream full;
+    writeBinaryTrace(full, sampleRecords());
+    const std::string payload = full.str();
+    std::stringstream cut(payload.substr(0, payload.size() - 5));
+    const TraceParseResult out = tryReadBinaryTrace(cut);
+    EXPECT_FALSE(out.ok);
+    EXPECT_NE(out.error.find("header claims"), std::string::npos)
+        << out.error;
+}
+
+TEST(TraceIo, TryReadBinaryRoundTrip)
+{
+    const auto recs = sampleRecords();
+    std::stringstream ss;
+    writeBinaryTrace(ss, recs);
+    const TraceParseResult out = tryReadBinaryTrace(ss);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_TRUE(out.error.empty());
+    ASSERT_EQ(out.records.size(), recs.size());
+    EXPECT_EQ(out.records.back().addr, recs.back().addr);
+}
+
+TEST(TraceIo, TryReadTextReportsMalformedLine)
+{
+    std::stringstream ss("0x10 0x40 2 r\n0x10 0x40 nonsense\n");
+    const TraceParseResult out = tryReadTextTrace(ss);
+    EXPECT_FALSE(out.ok);
+    EXPECT_NE(out.error.find("line 2"), std::string::npos) << out.error;
+    EXPECT_TRUE(out.records.empty());
+}
+
+/** Writers must report stream failure instead of dropping bytes. */
+TEST(TraceIoDeathTest, BinaryWriteFailureIsFatal)
+{
+    std::stringstream ss;
+    ss.setstate(std::ios::failbit);
+    EXPECT_EXIT(writeBinaryTrace(ss, sampleRecords()),
+                ::testing::ExitedWithCode(1), "trace write failed");
+}
+
+TEST(TraceIoDeathTest, TextWriteFailureIsFatal)
+{
+    std::stringstream ss;
+    ss.setstate(std::ios::failbit);
+    EXPECT_EXIT(writeTextTrace(ss, sampleRecords()),
+                ::testing::ExitedWithCode(1), "trace write failed");
 }
 
 TEST(VectorTraceSource, ReplaysAndResets)

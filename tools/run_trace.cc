@@ -7,7 +7,7 @@
  *
  * Usage:
  *   run_trace [--policy=nucache] [--records=N] [--llc-kib=1024]
- *             [--llc-ways=16] a.nutrace [b.nutrace ...]
+ *             [--llc-ways=16] [--check] a.nutrace [b.nutrace ...]
  *
  * One trace per core; the LLC defaults to the canonical configuration
  * for that core count unless overridden.
@@ -15,6 +15,7 @@
 
 #include <iostream>
 
+#include "check/check_mode.hh"
 #include "common/cli.hh"
 #include "common/table.hh"
 #include "sim/experiment.hh"
@@ -30,7 +31,7 @@ main(int argc, char **argv)
     const CliArgs args(argc, argv);
     if (args.positional().empty()) {
         std::cerr << "usage: run_trace [--policy=P] [--records=N] "
-                     "[--llc-kib=K] [--llc-ways=W] TRACE...\n";
+                     "[--llc-kib=K] [--llc-ways=W] [--check] TRACE...\n";
         return 1;
     }
 
@@ -64,7 +65,10 @@ main(int argc, char **argv)
             64};
     }
 
-    System sys(hier, makePolicy(policy), std::move(traces), records);
+    if (args.has("check"))
+        check::setEnabled(true);
+    System sys(hier, makePolicy(policy), std::move(traces), records,
+               check::enabled());
     const SystemResult res = sys.run();
 
     std::cout << cores << " core(s), LLC "
