@@ -28,16 +28,12 @@ mkdir -p "$out"
 for b in build/bench/bench_*; do
     name="$(basename "$b")"
     echo "== $name"
-    if [ "$name" = "bench_micro_cache" ]; then
-        "$b" --benchmark_min_time=0.2 > "$out/$name.txt" 2>&1
-    else
-        # Analysis-only benches (fig1, fig2, tables) accept and ignore
-        # --jobs/--json; engine-driven ones parallelize and emit JSON.
-        "$b" $quick --jobs "$jobs" --json "$out/$name.json" \
-            > "$out/$name.txt" 2>&1
-        # Drop empty placeholders from benches that ignore --json.
-        [ -s "$out/$name.json" ] || rm -f "$out/$name.json"
-    fi
+    # Analysis-only benches (fig1, fig2, tables) accept and ignore
+    # --jobs/--json; engine-driven ones parallelize and emit JSON.
+    "$b" $quick --jobs "$jobs" --json "$out/$name.json" \
+        > "$out/$name.txt" 2>&1
+    # Drop empty placeholders from benches that ignore --json.
+    [ -s "$out/$name.json" ] || rm -f "$out/$name.json"
 done
 echo "wrote $(ls "$out" | wc -l) result files to $out/" \
     "($(ls "$out"/*.json 2>/dev/null | wc -l) JSON)"

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernels for the simulation hot path.
+ *
+ * Two scans dominate `Cache::access`: the tag-row equality scan
+ * (findWay) and true-LRU's min-stamp victim scan.  Both are packed
+ * 64-bit lane operations that GCC cannot auto-vectorize from their
+ * scalar form (the bitmask accumulation and first-min-index reductions
+ * have no recognized idiom), and baseline x86-64 (SSE2) lacks 64-bit
+ * lane compares anyway.  So each kernel is written once per ISA level
+ * with intrinsics and selected once at static-initialization time via
+ * `__builtin_cpu_supports` — the binary stays portable and
+ * non-x86/non-GNU builds keep the scalar fallback.
+ *
+ * Semantics are bit-exact with the scalar loops: lowest index wins on
+ * every tie, so replacing a call site never changes simulated results
+ * (enforced end-to-end by test_soa_equivalence.cc).
+ */
+
+#ifndef NUCACHE_COMMON_SIMD_HH
+#define NUCACHE_COMMON_SIMD_HH
+
+#include <cstdint>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define NUCACHE_SIMD_DISPATCH 1
+#include <immintrin.h>
+#else
+#define NUCACHE_SIMD_DISPATCH 0
+#endif
+
+namespace nucache
+{
+namespace simd
+{
+
+/** Bit w of the result is set iff row[w] == key (n <= 64 lanes). */
+inline std::uint64_t
+eqMask64Scalar(const std::uint64_t *row, std::uint32_t n,
+               std::uint64_t key)
+{
+    std::uint64_t eq = 0;
+    for (std::uint32_t w = 0; w < n; ++w)
+        eq |= static_cast<std::uint64_t>(row[w] == key) << w;
+    return eq;
+}
+
+/** Index of the first (lowest-index) minimum of row[0..n), n >= 1. */
+inline std::uint32_t
+minIndex64Scalar(const std::uint64_t *row, std::uint32_t n)
+{
+    std::uint32_t best = 0;
+    std::uint64_t lowest = row[0];
+    for (std::uint32_t w = 1; w < n; ++w) {
+        if (row[w] < lowest) {
+            lowest = row[w];
+            best = w;
+        }
+    }
+    return best;
+}
+
+#if NUCACHE_SIMD_DISPATCH
+
+__attribute__((target("avx512f"))) inline std::uint64_t
+eqMask64Avx512(const std::uint64_t *row, std::uint32_t n,
+               std::uint64_t key)
+{
+    const __m512i k = _mm512_set1_epi64(static_cast<long long>(key));
+    std::uint64_t eq = 0;
+    std::uint32_t w = 0;
+    for (; w + 8 <= n; w += 8) {
+        const __m512i v =
+            _mm512_loadu_si512(reinterpret_cast<const void *>(row + w));
+        eq |= static_cast<std::uint64_t>(_mm512_cmpeq_epi64_mask(v, k))
+              << w;
+    }
+    if (w < n) {
+        // Masked load: lanes past the row fault-suppress to zero and
+        // are excluded from the compare mask.
+        const __mmask8 tail =
+            static_cast<__mmask8>((1u << (n - w)) - 1u);
+        const __m512i v = _mm512_maskz_loadu_epi64(tail, row + w);
+        eq |= static_cast<std::uint64_t>(
+                  _mm512_mask_cmpeq_epi64_mask(tail, v, k))
+              << w;
+    }
+    return eq;
+}
+
+__attribute__((target("avx2"))) inline std::uint64_t
+eqMask64Avx2(const std::uint64_t *row, std::uint32_t n,
+             std::uint64_t key)
+{
+    const __m256i k = _mm256_set1_epi64x(static_cast<long long>(key));
+    std::uint64_t eq = 0;
+    std::uint32_t w = 0;
+    for (; w + 4 <= n; w += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(row + w));
+        const int m =
+            _mm256_movemask_pd(_mm256_castsi256_pd(
+                _mm256_cmpeq_epi64(v, k)));
+        eq |= static_cast<std::uint64_t>(static_cast<unsigned>(m)) << w;
+    }
+    for (; w < n; ++w)
+        eq |= static_cast<std::uint64_t>(row[w] == key) << w;
+    return eq;
+}
+
+__attribute__((target("avx512f"))) inline std::uint32_t
+minIndex64Avx512(const std::uint64_t *row, std::uint32_t n)
+{
+    // Pass 1: the minimum value (missing tail lanes read as all-ones,
+    // the identity of unsigned min).  Pass 2: its first index.  The
+    // explicit-merge masked intrinsics are deliberate: the unmasked
+    // forms route through _mm512_undefined_epi32, whose `__Y = __Y`
+    // idiom trips -Wmaybe-uninitialized under -O2 (GCC PR105593).
+    const __m512i ones = _mm512_set1_epi64(-1);
+    const __mmask8 all = static_cast<__mmask8>(0xff);
+    __m512i acc = ones;
+    std::uint32_t w = 0;
+    for (; w + 8 <= n; w += 8) {
+        const __m512i v =
+            _mm512_loadu_si512(reinterpret_cast<const void *>(row + w));
+        acc = _mm512_mask_min_epu64(acc, all, acc, v);
+    }
+    if (w < n) {
+        const __mmask8 tail =
+            static_cast<__mmask8>((1u << (n - w)) - 1u);
+        const __m512i v = _mm512_mask_loadu_epi64(ones, tail, row + w);
+        acc = _mm512_mask_min_epu64(acc, all, acc, v);
+    }
+    alignas(64) std::uint64_t lanes[8];
+    _mm512_store_si512(reinterpret_cast<void *>(lanes), acc);
+    std::uint64_t lowest = lanes[0];
+    for (int i = 1; i < 8; ++i)
+        lowest = lanes[i] < lowest ? lanes[i] : lowest;
+    const std::uint64_t at = eqMask64Avx512(row, n, lowest);
+    return static_cast<std::uint32_t>(__builtin_ctzll(at));
+}
+
+using EqMask64Fn = std::uint64_t (*)(const std::uint64_t *,
+                                     std::uint32_t, std::uint64_t);
+using MinIndex64Fn = std::uint32_t (*)(const std::uint64_t *,
+                                       std::uint32_t);
+
+inline EqMask64Fn
+pickEqMask64()
+{
+    if (__builtin_cpu_supports("avx512f"))
+        return eqMask64Avx512;
+    if (__builtin_cpu_supports("avx2"))
+        return eqMask64Avx2;
+    return eqMask64Scalar;
+}
+
+inline MinIndex64Fn
+pickMinIndex64()
+{
+    if (__builtin_cpu_supports("avx512f"))
+        return minIndex64Avx512;
+    return minIndex64Scalar;
+}
+
+inline const EqMask64Fn eqMask64Impl = pickEqMask64();
+inline const MinIndex64Fn minIndex64Impl = pickMinIndex64();
+
+/** @return bit w set iff row[w] == key; best ISA for this host. */
+inline std::uint64_t
+eqMask64(const std::uint64_t *row, std::uint32_t n, std::uint64_t key)
+{
+    return eqMask64Impl(row, n, key);
+}
+
+/** @return first index of the minimum; best ISA for this host. */
+inline std::uint32_t
+minIndex64(const std::uint64_t *row, std::uint32_t n)
+{
+    return minIndex64Impl(row, n);
+}
+
+#else // !NUCACHE_SIMD_DISPATCH
+
+inline std::uint64_t
+eqMask64(const std::uint64_t *row, std::uint32_t n, std::uint64_t key)
+{
+    return eqMask64Scalar(row, n, key);
+}
+
+inline std::uint32_t
+minIndex64(const std::uint64_t *row, std::uint32_t n)
+{
+    return minIndex64Scalar(row, n);
+}
+
+#endif // NUCACHE_SIMD_DISPATCH
+
+} // namespace simd
+} // namespace nucache
+
+#endif // NUCACHE_COMMON_SIMD_HH

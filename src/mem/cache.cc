@@ -1,7 +1,12 @@
 #include "mem/cache.hh"
 
+#include <bit>
+#include <typeinfo>
+
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "common/simd.hh"
+#include "mem/lru.hh"
 
 namespace nucache
 {
@@ -25,6 +30,9 @@ Cache::Cache(const CacheConfig &config,
         fatal("cache '", cfg.name, "': block size must be a power of two");
     if (cfg.ways == 0)
         fatal("cache '", cfg.name, "': zero associativity");
+    if (cfg.ways > 64)
+        fatal("cache '", cfg.name, "': associativity ", cfg.ways,
+              " exceeds the 64 ways of the packed tag store's bitmasks");
     const std::uint64_t line_bytes =
         static_cast<std::uint64_t>(cfg.ways) * cfg.blockSize;
     if (cfg.sizeBytes == 0 || cfg.sizeBytes % line_bytes != 0)
@@ -35,8 +43,13 @@ Cache::Cache(const CacheConfig &config,
         fatal("cache '", cfg.name, "': number of sets (", sets,
               ") must be a power of two");
     blockBits = floorLog2(cfg.blockSize);
+    fullWayMask = mask(cfg.ways);
 
-    lines.assign(static_cast<std::size_t>(sets) * cfg.ways, CacheLine{});
+    const std::size_t entries = static_cast<std::size_t>(sets) * cfg.ways;
+    tags.assign(entries, 0);
+    origins.assign(entries, LineOrigin{});
+    validBits.assign(sets, 0);
+    dirtyBits.assign(sets, 0);
     stats.assign(num_cores, CacheCoreStats{});
 
     PolicyContext ctx;
@@ -45,6 +58,11 @@ Cache::Cache(const CacheConfig &config,
     ctx.numCores = num_cores;
     ctx.blockSize = cfg.blockSize;
     repl->init(ctx);
+
+    // Exact-type check: a subclass may override hooks the fast lane
+    // would skip, so it must keep the virtual path.
+    if (typeid(*repl) == typeid(LruPolicy))
+        lruFast = static_cast<LruPolicy *>(repl.get());
 }
 
 std::uint32_t
@@ -62,19 +80,23 @@ Cache::tagOf(Addr addr) const
 SetView
 Cache::viewSet(std::uint32_t set) const
 {
-    return SetView(&lines[static_cast<std::size_t>(set) * cfg.ways],
-                   cfg.ways, set);
+    const std::size_t base = static_cast<std::size_t>(set) * cfg.ways;
+    return SetView(&tags[base], &origins[base], &validBits[set],
+                   &dirtyBits[set], cfg.ways, set);
 }
 
 std::uint32_t
 Cache::findWay(std::uint32_t set, Addr tag) const
 {
-    const CacheLine *base = &lines[static_cast<std::size_t>(set) * cfg.ways];
-    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return w;
-    }
-    return cfg.ways;
+    // Packed-compare the contiguous per-set tag row into an equality
+    // bitmask, mask with the valid word, and count trailing zeros.
+    // Lowest matching way wins, matching the old first-match scan
+    // (duplicates are excluded by the checker's structural invariant).
+    const Addr *row = &tags[static_cast<std::size_t>(set) * cfg.ways];
+    const std::uint64_t eq =
+        simd::eqMask64(row, cfg.ways, tag) & validBits[set];
+    return eq != 0 ? static_cast<std::uint32_t>(std::countr_zero(eq))
+                   : cfg.ways;
 }
 
 Cache::Result
@@ -87,8 +109,9 @@ Cache::access(AccessInfo info)
     info.tick = ++tickCounter;
     const std::uint32_t set = setIndexOf(info.addr);
     const Addr tag = tagOf(info.addr);
-    CacheLine *base = &lines[static_cast<std::size_t>(set) * cfg.ways];
-    const SetView view(base, cfg.ways, set);
+    const std::size_t base = static_cast<std::size_t>(set) * cfg.ways;
+    const SetView view(&tags[base], &origins[base], &validBits[set],
+                       &dirtyBits[set], cfg.ways, set);
 
     auto &cs = stats[info.coreId];
     if (info.isPrefetch)
@@ -104,49 +127,69 @@ Cache::access(AccessInfo info)
             // A prefetch hitting an already-resident line must not
             // refresh its replacement state (it carries no reuse
             // information), so the policy hook fires only for demand.
-            repl->onHit(view, hit_way, info);
+            if (lruFast)
+                lruFast->touch(set, hit_way, info.tick);
+            else
+                repl->onHit(view, hit_way, info);
         }
         res.hit = true;
         if (info.isWrite)
-            base[hit_way].dirty = true;
+            dirtyBits[set] |= std::uint64_t{1} << hit_way;
     } else {
         if (info.isPrefetch)
             ++cs.prefetchFills;
         else
             ++cs.misses;
-        repl->onMiss(view, info);
+        // The LRU fast lane skips onMiss/onEvict entirely: the base
+        // class defines both as no-ops and LruPolicy overrides
+        // neither (checked by the exact-type test in the ctor).
+        if (!lruFast)
+            repl->onMiss(view, info);
 
-        // Prefer an invalid way; consult the policy only when the set
-        // is full.
-        std::uint32_t victim = view.invalidWay();
-        if (victim == cfg.ways) {
+        // Prefer the lowest invalid way; consult the policy only when
+        // the set is full.
+        std::uint32_t victim;
+        const std::uint64_t invalid = ~validBits[set] & fullWayMask;
+        if (invalid != 0) {
+            victim = static_cast<std::uint32_t>(std::countr_zero(invalid));
+        } else if (lruFast) {
+            victim = lruFast->oldestWay(set);
+        } else {
             victim = repl->victimWay(view, info);
             if (victim >= cfg.ways)
                 panic("cache '", cfg.name, "': policy '", repl->name(),
                       "' returned way ", victim, " of ", cfg.ways);
         }
 
-        CacheLine &line = base[victim];
-        if (line.valid) {
+        const std::uint64_t vbit = std::uint64_t{1} << victim;
+        if ((validBits[set] & vbit) != 0) {
             res.evicted = true;
-            res.evictedAddr = line.tag << blockBits;
-            if (line.dirty) {
+            res.evictedAddr = tags[base + victim] << blockBits;
+            if ((dirtyBits[set] & vbit) != 0) {
                 res.writeback = true;
-                res.writebackAddr = line.tag << blockBits;
+                res.writebackAddr = res.evictedAddr;
                 ++writebackCount;
             }
-            repl->onEvict(view, victim, line, info);
+            if (!lruFast) {
+                const CacheLine victim_line = view.line(victim);
+                repl->onEvict(view, victim, victim_line, info);
+            }
         }
 
-        line.tag = tag;
-        line.pc = info.pc;
-        line.coreId = info.coreId;
-        line.valid = true;
-        line.dirty = info.isWrite;
-        repl->onFill(view, victim, info);
+        tags[base + victim] = tag;
+        origins[base + victim] = LineOrigin{info.pc, info.coreId};
+        validBits[set] |= vbit;
+        if (info.isWrite)
+            dirtyBits[set] |= vbit;
+        else
+            dirtyBits[set] &= ~vbit;
+        if (lruFast)
+            lruFast->touch(set, victim, info.tick);
+        else
+            repl->onFill(view, victim, info);
     }
 
-    if (observer)
+    if (hasObserver)
         observer(set, info, res);
     return res;
 }
@@ -164,7 +207,12 @@ Cache::invalidate(Addr addr)
     const std::uint32_t way = findWay(set, tagOf(addr));
     if (way == cfg.ways)
         return false;
-    lines[static_cast<std::size_t>(set) * cfg.ways + way] = CacheLine{};
+    const std::size_t slot = static_cast<std::size_t>(set) * cfg.ways + way;
+    tags[slot] = 0;
+    origins[slot] = LineOrigin{};
+    const std::uint64_t wbit = std::uint64_t{1} << way;
+    validBits[set] &= ~wbit;
+    dirtyBits[set] &= ~wbit;
     return true;
 }
 
@@ -175,7 +223,7 @@ Cache::writebackUpdate(Addr addr)
     const std::uint32_t way = findWay(set, tagOf(addr));
     if (way == cfg.ways)
         return false;
-    lines[static_cast<std::size_t>(set) * cfg.ways + way].dirty = true;
+    dirtyBits[set] |= std::uint64_t{1} << way;
     return true;
 }
 

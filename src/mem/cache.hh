@@ -21,6 +21,8 @@
 namespace nucache
 {
 
+class LruPolicy;
+
 /** Static description of one cache level. */
 struct CacheConfig
 {
@@ -104,7 +106,14 @@ class Cache
         std::uint32_t set, const AccessInfo &info, const Result &res)>;
 
     /** Install (or clear, with an empty function) the observer. */
-    void setAccessObserver(AccessObserver obs) { observer = std::move(obs); }
+    void
+    setAccessObserver(AccessObserver obs)
+    {
+        observer = std::move(obs);
+        // Cached so the hot path tests a plain bool instead of
+        // std::function::operator bool on every access.
+        hasObserver = static_cast<bool>(observer);
+    }
 
     /** @return number of cores registered at construction. */
     std::uint32_t
@@ -168,10 +177,32 @@ class Cache
     CacheConfig cfg;
     std::uint32_t sets;
     unsigned blockBits;
+    /** Bitmask with one bit per way (ways <= 64). */
+    std::uint64_t fullWayMask = 0;
     std::unique_ptr<ReplacementPolicy> repl;
-    std::vector<CacheLine> lines;
+    /**
+     * Non-null iff `repl` is exactly the stock LruPolicy (the L1s of
+     * every configuration and the baseline LLC): access() then skips
+     * the virtual hooks for inlined stamp updates and victim scans.
+     * Subclassed policies keep the virtual path.
+     */
+    LruPolicy *lruFast = nullptr;
+
+    /**
+     * Packed structure-of-arrays tag store.  The lookup scans only
+     * `tags` (contiguous per set) plus one `valid` word; `origins`
+     * (allocating PC/core) is cold — written on fill and invalidate,
+     * read only by policy hooks through SetView.
+     */
+    std::vector<Addr> tags;                ///< sets * ways, per-set rows
+    std::vector<LineOrigin> origins;       ///< sets * ways, cold
+    std::vector<std::uint64_t> validBits;  ///< one word per set
+    std::vector<std::uint64_t> dirtyBits;  ///< one word per set
+
     std::vector<CacheCoreStats> stats;
     AccessObserver observer;
+    /** Mirrors observer's non-emptiness (hot-path test). */
+    bool hasObserver = false;
     std::uint64_t writebackCount = 0;
     Tick tickCounter = 0;
 };

@@ -34,6 +34,18 @@ struct CacheLine
     bool dirty = false;
 };
 
+/**
+ * Cold per-line metadata of the packed tag store: the allocating PC
+ * and core.  Kept in a side array separate from the tag scan path
+ * because it is read only by policy hooks and written only on fill /
+ * invalidate, never during the lookup itself.
+ */
+struct LineOrigin
+{
+    PC pc = invalidPC;
+    CoreId coreId = invalidCore;
+};
+
 /** One memory access as seen by a cache level. */
 struct AccessInfo
 {

@@ -1,5 +1,7 @@
 #include "mem/lru.hh"
 
+#include "common/simd.hh"
+
 namespace nucache
 {
 
@@ -15,16 +17,9 @@ std::uint32_t
 LruPolicy::victimWay(const SetView &set, const AccessInfo &info)
 {
     (void)info;
-    std::uint32_t victim = 0;
-    Tick oldest = ~Tick{0};
-    for (std::uint32_t w = 0; w < set.ways(); ++w) {
-        const Tick t = lastTouch[slot(set.setIndex(), w)];
-        if (t < oldest) {
-            oldest = t;
-            victim = w;
-        }
-    }
-    return victim;
+    // First (lowest-way) minimum stamp, identical to the old strict
+    // less-than scan.
+    return oldestWay(set.setIndex());
 }
 
 void

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "common/simd.hh"
 #include "mem/replacement.hh"
 
 namespace nucache
@@ -45,6 +46,25 @@ class LruPolicy : public ReplacementPolicy
 
     /** @return recency stamp of (set, way); 0 = never touched. */
     Tick stamp(std::uint32_t set, std::uint32_t way) const;
+
+    /**
+     * Hot-path helpers for the cache's devirtualized LRU lane
+     * (identical semantics to onHit/onFill/victimWay, minus the
+     * virtual dispatch; see Cache::access).
+     */
+    void
+    touch(std::uint32_t set, std::uint32_t way, Tick tick)
+    {
+        lastTouch[slot(set, way)] = tick;
+    }
+
+    /** @return the first (lowest) way holding the oldest stamp. */
+    std::uint32_t
+    oldestWay(std::uint32_t set) const
+    {
+        return simd::minIndex64(&lastTouch[slot(set, 0)],
+                                context.numWays);
+    }
 
   private:
     std::size_t

@@ -18,9 +18,11 @@
 #ifndef NUCACHE_MEM_REPLACEMENT_HH
 #define NUCACHE_MEM_REPLACEMENT_HH
 
+#include <bit>
 #include <cstdint>
 #include <string>
 
+#include "common/bitutil.hh"
 #include "mem/cache_line.hh"
 
 namespace nucache
@@ -35,18 +37,41 @@ struct PolicyContext
     std::uint32_t blockSize = 64;
 };
 
-/** Read-only view of one cache set, passed to policy hooks. */
+/**
+ * Read-only view of one cache set, passed to policy hooks.
+ *
+ * The view is *live*: it points into the cache's packed
+ * structure-of-arrays tag store (per-set tag array, valid/dirty
+ * bitmask words and the cold PC/core side array), so hooks fired
+ * after a state change — onFill in particular — observe the updated
+ * set, exactly as they did when the store was an array of CacheLine.
+ * line() assembles a CacheLine value from the packed columns; all
+ * existing call sites (`set.line(w).valid`, `const auto &l =
+ * set.line(w)`) compile and behave unchanged.
+ */
 class SetView
 {
   public:
-    SetView(const CacheLine *lines, std::uint32_t ways,
-            std::uint32_t set_index)
-        : linesPtr(lines), wayCount(ways), setIdx(set_index)
+    SetView(const Addr *tags, const LineOrigin *origins,
+            const std::uint64_t *valid, const std::uint64_t *dirty,
+            std::uint32_t ways, std::uint32_t set_index)
+        : tagsPtr(tags), originsPtr(origins), validPtr(valid),
+          dirtyPtr(dirty), wayCount(ways), setIdx(set_index)
     {
     }
 
-    /** @return line metadata of way @p w. */
-    const CacheLine &line(std::uint32_t w) const { return linesPtr[w]; }
+    /** @return line metadata of way @p w (assembled by value). */
+    CacheLine
+    line(std::uint32_t w) const
+    {
+        CacheLine l;
+        l.tag = tagsPtr[w];
+        l.pc = originsPtr[w].pc;
+        l.coreId = originsPtr[w].coreId;
+        l.valid = ((*validPtr >> w) & 1) != 0;
+        l.dirty = ((*dirtyPtr >> w) & 1) != 0;
+        return l;
+    }
 
     /** @return number of ways in the set. */
     std::uint32_t ways() const { return wayCount; }
@@ -54,19 +79,26 @@ class SetView
     /** @return index of this set within the cache. */
     std::uint32_t setIndex() const { return setIdx; }
 
-    /** @return a way holding an invalid line, or ways() if none. */
+    /** @return bitmask of ways holding a valid line. */
+    std::uint64_t validMask() const { return *validPtr; }
+
+    /** @return bitmask of ways holding a dirty line. */
+    std::uint64_t dirtyMask() const { return *dirtyPtr; }
+
+    /** @return the lowest way holding an invalid line, or ways() if none. */
     std::uint32_t
     invalidWay() const
     {
-        for (std::uint32_t w = 0; w < wayCount; ++w) {
-            if (!linesPtr[w].valid)
-                return w;
-        }
-        return wayCount;
+        const std::uint64_t inv = ~*validPtr & mask(wayCount);
+        return inv != 0 ? static_cast<std::uint32_t>(std::countr_zero(inv))
+                        : wayCount;
     }
 
   private:
-    const CacheLine *linesPtr;
+    const Addr *tagsPtr;
+    const LineOrigin *originsPtr;
+    const std::uint64_t *validPtr;
+    const std::uint64_t *dirtyPtr;
     std::uint32_t wayCount;
     std::uint32_t setIdx;
 };

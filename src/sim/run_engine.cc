@@ -7,7 +7,7 @@
 #include "common/logging.hh"
 #include "sim/metrics.hh"
 #include "sim/policies.hh"
-#include "trace/workloads.hh"
+#include "trace/arena.hh"
 
 namespace nucache
 {
@@ -55,7 +55,7 @@ RunEngine::aloneIpc(const std::string &workload,
     HierarchyConfig alone = hier;
     alone.numCores = 1;
     std::vector<TraceSourcePtr> traces;
-    traces.push_back(makeWorkload(workload));
+    traces.push_back(TraceArena::instance().open(workload));
     System sys(alone, makePolicy("lru"), std::move(traces), records,
                checkFlag);
     const SystemResult res = sys.run();
@@ -73,10 +73,12 @@ RunEngine::runMix(const WorkloadMix &mix, const std::string &policy_spec,
         fatal("mix '", mix.name, "' has ", mix.workloads.size(),
               " programs for ", hier.numCores, " cores");
 
+    // Grid cells replay shared arena buffers through cheap cursors
+    // instead of regenerating the synthetic stream per cell.
     std::vector<TraceSourcePtr> traces;
     traces.reserve(mix.workloads.size());
     for (const auto &w : mix.workloads)
-        traces.push_back(makeWorkload(w));
+        traces.push_back(TraceArena::instance().open(w));
 
     System sys(hier, makePolicy(policy_spec), std::move(traces), records,
                checkFlag);
@@ -87,8 +89,10 @@ RunEngine::runMix(const WorkloadMix &mix, const std::string &policy_spec,
     out.system = sys.run();
 
     std::vector<double> shared;
+    shared.reserve(out.system.cores.size());
     for (const auto &core : out.system.cores)
         shared.push_back(core.ipc);
+    out.ipcAlone.reserve(mix.workloads.size());
     for (const auto &w : mix.workloads)
         out.ipcAlone.push_back(aloneIpc(w, hier));
 
@@ -107,7 +111,7 @@ RunEngine::runSingle(const std::string &workload,
     HierarchyConfig single = hier;
     single.numCores = 1;
     std::vector<TraceSourcePtr> traces;
-    traces.push_back(makeWorkload(workload));
+    traces.push_back(TraceArena::instance().open(workload));
     System sys(single, makePolicy(policy_spec), std::move(traces),
                records, checkFlag);
     return sys.run();
@@ -153,15 +157,22 @@ RunEngine::runGrid(const HierarchyConfig &hier,
     GridRun out;
     out.baseline = baseline;
     out.policies = policies;
+    out.mixNames.reserve(mixes.size());
+    out.baselineRuns.reserve(mixes.size());
     out.cells.resize(mixes.size());
     for (std::size_t m = 0; m < mixes.size(); ++m) {
         out.mixNames.push_back(mixes[m].name);
-        const MixResult &base = results[m][base_idx];
-        const double base_ws = base.weightedSpeedup;
+        const double base_ws = results[m][base_idx].weightedSpeedup;
         if (base_ws <= 0.0)
             fatal("grid baseline '", baseline, "' has non-positive ",
                   "weighted speedup on mix '", mixes[m].name, "'");
-        out.baselineRuns.push_back(base);
+        // The baseline record is exposed twice when it is also a grid
+        // column; copy it out before the column move below.  A
+        // baseline that only ran as the extra per-mix job is moved.
+        if (base_it != policies.end())
+            out.baselineRuns.push_back(results[m][base_idx]);
+        else
+            out.baselineRuns.push_back(std::move(results[m][base_idx]));
         out.cells[m].reserve(policies.size());
         for (std::size_t p = 0; p < policies.size(); ++p) {
             GridCell cell;
