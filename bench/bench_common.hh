@@ -13,6 +13,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -28,6 +29,9 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
+#include "obs/obs_mode.hh"
+#include "obs/telemetry.hh"
+#include "obs/tracer.hh"
 #include "sim/experiment.hh"
 #include "sim/metrics.hh"
 #include "sim/policies.hh"
@@ -46,6 +50,17 @@ recordsFor(const CliArgs &args, std::uint64_t dflt)
     return records;
 }
 
+/**
+ * Parse argv with the bench layer's value-less flags registered, so
+ * "--quick", "--check" and a bare "--telemetry" never swallow the
+ * token after them.
+ */
+inline CliArgs
+benchArgs(int argc, const char *const *argv)
+{
+    return CliArgs(argc, argv, {"quick", "check", "telemetry"});
+}
+
 /** The flags every engine-driven bench shares. */
 struct BenchOptions
 {
@@ -57,6 +72,10 @@ struct BenchOptions
     std::string jsonPath;
     /** Run under the invariant checker (--check or NUCACHE_CHECK). */
     bool check = false;
+    /** Telemetry stride in LLC accesses (--telemetry[=N]; 0 = off). */
+    std::uint64_t telemetry = 0;
+    /** Chrome trace_event output path (--trace-out=FILE; empty = off). */
+    std::string traceOut;
 };
 
 /** Parse the shared flags. */
@@ -76,7 +95,56 @@ parseOptions(const CliArgs &args, std::uint64_t dflt_records)
     opt.check = args.has("check") || check::enabled();
     if (opt.check)
         check::setEnabled(true);
+    // --telemetry raises the process-wide sampling interval the same
+    // way, so every System the bench builds registers its probes.
+    if (args.has("telemetry")) {
+        opt.telemetry =
+            args.getInt("telemetry", obs::kDefaultTelemetryInterval);
+        if (opt.telemetry == 0)
+            fatal("--telemetry interval must be > 0");
+        obs::setTelemetryInterval(opt.telemetry);
+    }
+    opt.traceOut = args.get("trace-out", "");
+    if (!opt.traceOut.empty())
+        obs::Tracer::instance().start(opt.traceOut);
     return opt;
+}
+
+/** @return where the telemetry document of @p json_path goes. */
+inline std::string
+telemetryPathFor(const std::string &json_path)
+{
+    if (json_path.empty())
+        return "telemetry.json";
+    std::string p = json_path;
+    const std::string ext = ".json";
+    if (p.size() > ext.size() &&
+        p.compare(p.size() - ext.size(), ext.size(), ext) == 0) {
+        p.resize(p.size() - ext.size());
+    }
+    return p + "_telemetry.json";
+}
+
+/**
+ * End-of-run observability teardown: drain the TelemetryHub into the
+ * `nucache-telemetry/v1` document alongside the bench JSON, and stop
+ * the tracer (which writes the --trace-out file).  Safe when neither
+ * flag was given.
+ */
+inline void
+finishObservability(const BenchOptions &opt)
+{
+    if (opt.telemetry != 0) {
+        Json doc = obs::TelemetryHub::instance().drainJson();
+        const std::string path = telemetryPathFor(opt.jsonPath);
+        std::ofstream os(path);
+        if (!os)
+            fatal("cannot write telemetry to '", path, "'");
+        doc.dump(os);
+        os << "\n";
+        std::fprintf(stderr, "wrote telemetry to %s\n", path.c_str());
+    }
+    obs::Tracer::instance().stop();
 }
 
 /**
@@ -192,7 +260,7 @@ class JsonReport
 {
   public:
     JsonReport(const BenchOptions &opt, const std::string &figure)
-        : path(opt.jsonPath)
+        : path(opt.jsonPath), options(opt)
     {
         doc = Json::object();
         doc["schema"] = "nucache-bench/v1";
@@ -247,27 +315,73 @@ class JsonReport
         s["geomean_norm_ws"] = std::move(geo);
     }
 
-    /** Write the file (once); no-op without --json. */
+    /**
+     * Write the file (once; a no-op without --json), then finish the
+     * observability outputs (telemetry document, trace file) so every
+     * bench tears them down at its single exit point.
+     */
     void
     write()
     {
-        if (!enabled() || written)
-            return;
-        std::ofstream os(path);
-        if (!os)
-            fatal("cannot write JSON results to '", path, "'");
-        doc.dump(os);
-        os << "\n";
-        written = true;
-        std::fprintf(stderr, "wrote JSON results to %s\n",
-                     path.c_str());
+        if (enabled() && !written) {
+            std::ofstream os(path);
+            if (!os)
+                fatal("cannot write JSON results to '", path, "'");
+            doc.dump(os);
+            os << "\n";
+            written = true;
+            std::fprintf(stderr, "wrote JSON results to %s\n",
+                         path.c_str());
+        }
+        finishObservability(options);
     }
 
   private:
     std::string path;
+    BenchOptions options;
     Json doc;
     bool written = false;
 };
+
+/**
+ * Print the longest-running cells of @p run to @p os (stderr in
+ * practice): wall-clock per cell and the worker that ran it.  Timing
+ * lives only in this diagnostic view — never in the bench JSON, which
+ * stays bit-identical across --jobs widths.
+ */
+inline void
+printSlowestCells(const GridRun &run, std::ostream &os,
+                  std::size_t limit = 5)
+{
+    struct Ref
+    {
+        const GridCell *cell;
+        const std::string *mix;
+    };
+    std::vector<Ref> refs;
+    for (std::size_t m = 0; m < run.cells.size(); ++m)
+        for (const auto &cell : run.cells[m])
+            refs.push_back({&cell, &run.mixNames[m]});
+    if (refs.empty())
+        return;
+    std::sort(refs.begin(), refs.end(), [](const Ref &a, const Ref &b) {
+        return a.cell->durationNs() > b.cell->durationNs();
+    });
+    if (refs.size() > limit)
+        refs.resize(limit);
+
+    os << "slowest cells:\n";
+    TextTable table;
+    table.header({"mix", "policy", "seconds", "worker"});
+    for (const auto &ref : refs) {
+        table.row()
+            .cell(*ref.mix)
+            .cell(ref.cell->result.policy)
+            .cell(static_cast<double>(ref.cell->durationNs()) / 1e9)
+            .cell(std::uint64_t{ref.cell->worker});
+    }
+    table.print(os);
+}
 
 /**
  * Run `policies` x `mixes` on the engine and print normalized weighted
@@ -289,6 +403,7 @@ runPolicyGrid(RunEngine &engine, const HierarchyConfig &hier,
         [&progress](std::size_t done, std::size_t total) {
             progress(done, total);
         });
+    printSlowestCells(run, std::cerr);
 
     TextTable table;
     std::vector<std::string> head = {"mix"};

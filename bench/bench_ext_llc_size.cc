@@ -16,7 +16,7 @@ using namespace nucache;
 int
 main(int argc, char **argv)
 {
-    const CliArgs args(argc, argv);
+    const CliArgs args = bench::benchArgs(argc, argv);
     const auto opt = bench::parseOptions(args, 400'000);
     bench::banner(std::cout, "Extension E6",
                   "LLC size scaling (quad-core, normalized weighted "

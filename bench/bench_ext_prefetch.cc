@@ -19,7 +19,7 @@ using namespace nucache;
 int
 main(int argc, char **argv)
 {
-    const CliArgs args(argc, argv);
+    const CliArgs args = bench::benchArgs(argc, argv);
     const auto opt = bench::parseOptions(args, 500'000);
     bench::banner(std::cout, "Extension E3",
                   "stride prefetching x {LRU, NUcache} (quad-core "

@@ -21,7 +21,7 @@ using namespace nucache;
 int
 main(int argc, char **argv)
 {
-    const CliArgs args(argc, argv);
+    const CliArgs args = bench::benchArgs(argc, argv);
     const auto opt = bench::parseOptions(args, 700'000);
     bench::banner(std::cout, "Extension E1",
                   "NUcache vs SHiP-PC vs DRRIP (normalized weighted "

@@ -24,7 +24,7 @@ using namespace nucache;
 int
 main(int argc, char **argv)
 {
-    const CliArgs args(argc, argv);
+    const CliArgs args = bench::benchArgs(argc, argv);
     const auto opt = bench::parseOptions(args, 500'000);
     bench::banner(std::cout, "Figure 10",
                   "selection ablation (quad-core): normalized "

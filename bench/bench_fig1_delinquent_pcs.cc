@@ -43,7 +43,7 @@ class PcMissCountingLru : public LruPolicy
 int
 main(int argc, char **argv)
 {
-    const CliArgs args(argc, argv);
+    const CliArgs args = bench::benchArgs(argc, argv);
     const std::uint64_t records = bench::recordsFor(args, 1'000'000);
     bench::banner(std::cout, "Figure 1",
                   "cumulative % of LLC misses vs top-k delinquent PCs",

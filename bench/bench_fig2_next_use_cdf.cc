@@ -23,7 +23,7 @@ using namespace nucache;
 int
 main(int argc, char **argv)
 {
-    const CliArgs args(argc, argv);
+    const CliArgs args = bench::benchArgs(argc, argv);
     const std::uint64_t records = bench::recordsFor(args, 1'000'000);
     bench::banner(std::cout, "Figure 2",
                   "Next-Use distance CDF (fraction of observed "

@@ -15,7 +15,7 @@ using namespace nucache;
 int
 main(int argc, char **argv)
 {
-    const CliArgs args(argc, argv);
+    const CliArgs args = bench::benchArgs(argc, argv);
     const auto opt = bench::parseOptions(args, 1'000'000);
     bench::banner(std::cout, "Figure 3",
                   "single-core LLC miss rate and normalized IPC",

@@ -14,7 +14,7 @@ using namespace nucache;
 int
 main(int argc, char **argv)
 {
-    const CliArgs args(argc, argv);
+    const CliArgs args = bench::benchArgs(argc, argv);
     const auto opt = bench::parseOptions(args, 700'000);
     bench::banner(std::cout, "Figure 5",
                   "quad-core weighted speedup normalized to LRU",

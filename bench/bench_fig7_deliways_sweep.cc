@@ -16,7 +16,7 @@ using namespace nucache;
 int
 main(int argc, char **argv)
 {
-    const CliArgs args(argc, argv);
+    const CliArgs args = bench::benchArgs(argc, argv);
     const auto opt = bench::parseOptions(args, 500'000);
     bench::banner(std::cout, "Figure 7",
                   "DeliWays sweep (quad-core, 32-way LLC): normalized "

@@ -37,7 +37,7 @@ struct Overhead
 int
 main(int argc, char **argv)
 {
-    const CliArgs args(argc, argv);
+    const CliArgs args = bench::benchArgs(argc, argv);
     const unsigned cores =
         static_cast<unsigned>(args.getInt("cores", 4));
     const HierarchyConfig hier = defaultHierarchy(cores);

@@ -92,11 +92,26 @@ runCell(const std::string &policy, const Geometry &geo,
         return hits;
     };
 
+    const std::string cell_tag =
+        obs::Tracer::active() ? policy + "/" + geo.label : std::string();
+
     // Warm the tag store and policy metadata before timing.
-    issue(std::min<std::uint64_t>(accesses / 8, 500'000));
+    {
+        obs::TraceSpan warm(obs::Tracer::active() ? "warmup " + cell_tag
+                                                  : std::string(),
+                            "bench");
+        issue(std::min<std::uint64_t>(accesses / 8, 500'000));
+    }
 
     const auto start = std::chrono::steady_clock::now();
-    const std::uint64_t hits = issue(accesses);
+    std::uint64_t hits = 0;
+    {
+        obs::TraceSpan measure(obs::Tracer::active()
+                                   ? "measure " + cell_tag
+                                   : std::string(),
+                               "bench");
+        hits = issue(accesses);
+    }
     const auto stop = std::chrono::steady_clock::now();
 
     CellResult res;
@@ -192,7 +207,7 @@ selectionOpsPerSec(int n, std::uint64_t iterations)
 int
 main(int argc, char **argv)
 {
-    const CliArgs args(argc, argv);
+    const CliArgs args = bench::benchArgs(argc, argv);
     BenchOptions opt = parseOptions(args, 4'000'000);
     // Unlike the figure benches this one defaults its JSON mirror on:
     // BENCH_throughput.json at the cwd (the repo root in normal use)

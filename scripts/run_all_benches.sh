@@ -2,8 +2,10 @@
 # Regenerate every table/figure of the evaluation into results/.
 # Each engine-driven bench runs its (mix x policy) grid on --jobs
 # worker threads and mirrors its tables into results/<name>.json.
+# A failing bench no longer aborts the sweep: the remaining benches
+# still run, the failure is reported, and the script exits non-zero.
 # Usage: scripts/run_all_benches.sh [--quick] [--jobs N] [results_dir]
-set -euo pipefail
+set -uo pipefail
 
 quick=""
 jobs="$(nproc 2>/dev/null || echo 1)"
@@ -23,17 +25,33 @@ while [ $# -gt 0 ]; do
     esac
 done
 out="${1-results}"
-mkdir -p "$out"
+mkdir -p "$out" || exit 1
 
-for b in build/bench/bench_*; do
+shopt -s nullglob
+benches=(build/bench/bench_*)
+if [ "${#benches[@]}" -eq 0 ]; then
+    echo "no benches under build/bench/ — build the project first" >&2
+    exit 1
+fi
+
+failures=0
+for b in "${benches[@]}"; do
+    [ -x "$b" ] || continue
     name="$(basename "$b")"
     echo "== $name"
     # Analysis-only benches (fig1, fig2, tables) accept and ignore
     # --jobs/--json; engine-driven ones parallelize and emit JSON.
-    "$b" $quick --jobs "$jobs" --json "$out/$name.json" \
-        > "$out/$name.txt" 2>&1
+    if ! "$b" $quick --jobs "$jobs" --json "$out/$name.json" \
+        > "$out/$name.txt" 2>&1; then
+        echo "FAILED: $name (see $out/$name.txt)" >&2
+        failures=$((failures + 1))
+    fi
     # Drop empty placeholders from benches that ignore --json.
     [ -s "$out/$name.json" ] || rm -f "$out/$name.json"
 done
-echo "wrote $(ls "$out" | wc -l) result files to $out/" \
-    "($(ls "$out"/*.json 2>/dev/null | wc -l) JSON)"
+json_count=$(find "$out" -maxdepth 1 -name '*.json' | wc -l)
+echo "wrote $(ls "$out" | wc -l) result files to $out/ ($json_count JSON)"
+if [ "$failures" -gt 0 ]; then
+    echo "$failures bench(es) failed" >&2
+    exit 1
+fi

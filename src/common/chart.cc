@@ -10,6 +10,53 @@
 namespace nucache
 {
 
+std::string
+sparkline(const std::vector<double> &values, std::size_t width)
+{
+    static const char *const kLevels[] = {
+        "▁", "▂", "▃", "▄",
+        "▅", "▆", "▇", "█",
+    };
+    if (values.empty() || width == 0)
+        return "";
+
+    // Downsample to at most `width` cells by averaging equal buckets.
+    std::vector<double> cells;
+    if (values.size() <= width) {
+        cells = values;
+    } else {
+        cells.reserve(width);
+        for (std::size_t c = 0; c < width; ++c) {
+            const std::size_t lo = c * values.size() / width;
+            const std::size_t hi =
+                std::max(lo + 1, (c + 1) * values.size() / width);
+            double sum = 0.0;
+            for (std::size_t i = lo; i < hi; ++i)
+                sum += values[i];
+            cells.push_back(sum / static_cast<double>(hi - lo));
+        }
+    }
+
+    double lo = cells[0], hi = cells[0];
+    for (const double v : cells) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    const double span = hi - lo;
+
+    std::string out;
+    out.reserve(cells.size() * 3);
+    for (const double v : cells) {
+        std::size_t level = 0;
+        if (span > 0.0) {
+            level = static_cast<std::size_t>((v - lo) / span * 7.0);
+            level = std::min<std::size_t>(level, 7);
+        }
+        out += kLevels[level];
+    }
+    return out;
+}
+
 BarChart::BarChart(unsigned width, double baseline)
     : width(width), baseline(baseline)
 {

@@ -15,6 +15,16 @@
 namespace nucache
 {
 
+/**
+ * Render @p values as a one-line sparkline using the eight Unicode
+ * block-element glyphs (▁▂▃▄▅▆▇█), min-max scaled; longer series are
+ * bucket-averaged down to @p width cells.  A flat series renders at
+ * the lowest level; empty input gives an empty string.  Used by
+ * tools/nucache_report for telemetry time-series.
+ */
+std::string sparkline(const std::vector<double> &values,
+                      std::size_t width = 48);
+
 /** One labeled horizontal bar chart. */
 class BarChart
 {

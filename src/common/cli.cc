@@ -7,8 +7,11 @@
 namespace nucache
 {
 
-CliArgs::CliArgs(int argc, const char *const *argv)
+CliArgs::CliArgs(int argc, const char *const *argv,
+                 std::initializer_list<const char *> boolean_keys)
 {
+    const std::set<std::string> booleans(boolean_keys.begin(),
+                                         boolean_keys.end());
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--", 0) != 0) {
@@ -19,8 +22,8 @@ CliArgs::CliArgs(int argc, const char *const *argv)
         const auto eq = arg.find('=');
         if (eq != std::string::npos) {
             values[arg.substr(0, eq)] = arg.substr(eq + 1);
-        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0)
-                   != 0) {
+        } else if (booleans.count(arg) == 0 && i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
             values[arg] = argv[++i];
         } else {
             values[arg] = "";

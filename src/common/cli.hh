@@ -9,7 +9,9 @@
 #define NUCACHE_COMMON_CLI_HH
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -20,8 +22,14 @@ namespace nucache
 class CliArgs
 {
   public:
-    /** Parse argv; unrecognized positional arguments are kept in order. */
-    CliArgs(int argc, const char *const *argv);
+    /**
+     * Parse argv; unrecognized positional arguments are kept in order.
+     * @param boolean_keys flags that never consume the next token, so
+     *        "--flag positional" keeps the positional (values can
+     *        still be attached with "--flag=value").
+     */
+    CliArgs(int argc, const char *const *argv,
+            std::initializer_list<const char *> boolean_keys = {});
 
     /** @return true iff --key was present (with or without a value). */
     bool has(const std::string &key) const;

@@ -1,7 +1,10 @@
 #include "common/json.hh"
 
+#include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
 
@@ -64,6 +67,22 @@ Json::size() const
     if (type_ == Type::Object)
         return objectV.size();
     return 0;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    if (type_ != Type::Object)
+        panic("Json::members: not an object");
+    return objectV;
+}
+
+const std::vector<Json> &
+Json::elements() const
+{
+    if (type_ != Type::Array)
+        panic("Json::elements: not an array");
+    return arrayV;
 }
 
 void
@@ -207,6 +226,404 @@ Json::str(int indent) const
     std::ostringstream os;
     dump(os, indent);
     return os.str();
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &kv : objectV) {
+        if (kv.first == key)
+            return &kv.second;
+    }
+    return nullptr;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    const Json *j = find(key);
+    if (j == nullptr)
+        panic("Json::at: no member '", key, "'");
+    return *j;
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    if (type_ != Type::Array || i >= arrayV.size())
+        panic("Json::at: index ", i, " out of range");
+    return arrayV[i];
+}
+
+double
+Json::asDouble() const
+{
+    switch (type_) {
+      case Type::Int:
+        return static_cast<double>(intV);
+      case Type::Uint:
+        return static_cast<double>(uintV);
+      case Type::Double:
+        return doubleV;
+      default:
+        panic("Json::asDouble: not a number");
+    }
+}
+
+std::uint64_t
+Json::asUint() const
+{
+    switch (type_) {
+      case Type::Int:
+        if (intV < 0)
+            panic("Json::asUint: negative value");
+        return static_cast<std::uint64_t>(intV);
+      case Type::Uint:
+        return uintV;
+      case Type::Double:
+        if (doubleV < 0.0)
+            panic("Json::asUint: negative value");
+        return static_cast<std::uint64_t>(doubleV);
+      default:
+        panic("Json::asUint: not a number");
+    }
+}
+
+const std::string &
+Json::asString() const
+{
+    if (type_ != Type::String)
+        panic("Json::asString: not a string");
+    return stringV;
+}
+
+bool
+Json::asBool() const
+{
+    if (type_ != Type::Bool)
+        panic("Json::asBool: not a bool");
+    return boolV;
+}
+
+namespace
+{
+
+/** Strict recursive-descent parser over a complete in-memory text. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string &err)
+        : s(text), error(err)
+    {
+    }
+
+    bool
+    parseDocument(Json &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos != s.size())
+            return fail("trailing characters after value");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        error = what + " at byte " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    bool
+    literal(const char *word, Json value, Json &out)
+    {
+        for (const char *p = word; *p != '\0'; ++p, ++pos) {
+            if (pos >= s.size() || s[pos] != *p)
+                return fail(std::string("bad literal, expected '") +
+                            word + "'");
+        }
+        out = std::move(value);
+        return true;
+    }
+
+    bool
+    parseValue(Json &out)
+    {
+        if (pos >= s.size())
+            return fail("unexpected end of input");
+        switch (s[pos]) {
+          case '{':
+            return parseObject(out);
+          case '[':
+            return parseArray(out);
+          case '"':
+            return parseString(out);
+          case 't':
+            return literal("true", Json(true), out);
+          case 'f':
+            return literal("false", Json(false), out);
+          case 'n':
+            return literal("null", Json(), out);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(Json &out)
+    {
+        ++pos; // '{'
+        Json obj = Json::object();
+        skipWs();
+        if (pos < s.size() && s[pos] == '}') {
+            ++pos;
+            out = std::move(obj);
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos >= s.size() || s[pos] != '"')
+                return fail("expected object key");
+            Json key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos >= s.size() || s[pos] != ':')
+                return fail("expected ':' after key");
+            ++pos;
+            skipWs();
+            Json value;
+            if (!parseValue(value))
+                return false;
+            obj[key.asString()] = std::move(value);
+            skipWs();
+            if (pos >= s.size())
+                return fail("unterminated object");
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == '}') {
+                ++pos;
+                out = std::move(obj);
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(Json &out)
+    {
+        ++pos; // '['
+        Json arr = Json::array();
+        skipWs();
+        if (pos < s.size() && s[pos] == ']') {
+            ++pos;
+            out = std::move(arr);
+            return true;
+        }
+        while (true) {
+            skipWs();
+            Json value;
+            if (!parseValue(value))
+                return false;
+            arr.push(std::move(value));
+            skipWs();
+            if (pos >= s.size())
+                return fail("unterminated array");
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == ']') {
+                ++pos;
+                out = std::move(arr);
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    /** Append code point @p cp to @p text as UTF-8. */
+    static void
+    appendUtf8(std::string &text, unsigned cp)
+    {
+        if (cp < 0x80) {
+            text += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            text += static_cast<char>(0xc0 | (cp >> 6));
+            text += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            text += static_cast<char>(0xe0 | (cp >> 12));
+            text += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            text += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    bool
+    parseString(Json &out)
+    {
+        ++pos; // '"'
+        std::string text;
+        while (pos < s.size() && s[pos] != '"') {
+            const char c = s[pos];
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                text += c;
+                ++pos;
+                continue;
+            }
+            ++pos;
+            if (pos >= s.size())
+                return fail("unterminated escape");
+            switch (s[pos]) {
+              case '"':
+                text += '"';
+                break;
+              case '\\':
+                text += '\\';
+                break;
+              case '/':
+                text += '/';
+                break;
+              case 'b':
+                text += '\b';
+                break;
+              case 'f':
+                text += '\f';
+                break;
+              case 'n':
+                text += '\n';
+                break;
+              case 'r':
+                text += '\r';
+                break;
+              case 't':
+                text += '\t';
+                break;
+              case 'u': {
+                if (pos + 4 >= s.size())
+                    return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 1; i <= 4; ++i) {
+                    const char h = s[pos + static_cast<std::size_t>(i)];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad hex digit in \\u escape");
+                }
+                pos += 4;
+                // Surrogate pairs are not emitted by our writer;
+                // decode lone code points only.
+                appendUtf8(text, cp);
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+            ++pos;
+        }
+        if (pos >= s.size())
+            return fail("unterminated string");
+        ++pos; // closing '"'
+        out = Json(std::move(text));
+        return true;
+    }
+
+    bool
+    parseNumber(Json &out)
+    {
+        const std::size_t start = pos;
+        bool negative = false;
+        bool integral = true;
+        if (pos < s.size() && s[pos] == '-') {
+            negative = true;
+            ++pos;
+        }
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) != 0 ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '+' || s[pos] == '-')) {
+            if (s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E')
+                integral = false;
+            ++pos;
+        }
+        if (pos == start || (negative && pos == start + 1))
+            return fail("bad number");
+        const std::string tok = s.substr(start, pos - start);
+        errno = 0;
+        if (integral) {
+            char *end = nullptr;
+            if (negative) {
+                const long long v = std::strtoll(tok.c_str(), &end, 10);
+                if (end == nullptr || *end != '\0' || errno == ERANGE)
+                    return fail("bad integer");
+                out = Json(v);
+            } else {
+                const unsigned long long v =
+                    std::strtoull(tok.c_str(), &end, 10);
+                if (end == nullptr || *end != '\0' || errno == ERANGE)
+                    return fail("bad integer");
+                out = Json(v);
+            }
+            return true;
+        }
+        char *end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            return fail("bad number");
+        out = Json(v);
+        return true;
+    }
+
+    const std::string &s;
+    std::string &error;
+    std::size_t pos = 0;
+};
+
+} // anonymous namespace
+
+bool
+Json::parse(const std::string &text, Json &out, std::string &err)
+{
+    Json value;
+    Parser parser(text, err);
+    if (!parser.parseDocument(value))
+        return false;
+    out = std::move(value);
+    return true;
+}
+
+Json
+Json::parseOrDie(const std::string &text, const std::string &what)
+{
+    Json out;
+    std::string err;
+    if (!parse(text, out, err))
+        fatal("malformed ", what, ": ", err);
+    return out;
 }
 
 } // namespace nucache

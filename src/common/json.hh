@@ -1,12 +1,15 @@
 /**
  * @file
- * A dependency-free JSON value and writer for structured bench
- * results.  Build a tree with object()/array(), set members with
- * operator[] / push(), then dump() it.  Object members keep insertion
- * order so emitted files are deterministic and diffable.
+ * A dependency-free JSON value, writer and parser for structured
+ * bench results.  Build a tree with object()/array(), set members
+ * with operator[] / push(), then dump() it.  Object members keep
+ * insertion order so emitted files are deterministic and diffable.
  *
- * Writing only — the repo consumes its own output with external
- * tooling (jq, python), so no parser is provided.
+ * parse() is a strict recursive-descent reader covering the subset
+ * this repo emits (it is fed back our own bench/telemetry/trace
+ * files by tools/nucache_report and the schema tests): all JSON
+ * value types, \uXXXX escapes decoded to UTF-8, no comments, no
+ * trailing commas.
  */
 
 #ifndef NUCACHE_COMMON_JSON_HH
@@ -57,7 +60,55 @@ class Json
     /** @return an empty object value. */
     static Json object();
 
+    /**
+     * Parse @p text into @p out.  Trailing non-whitespace after the
+     * top-level value is an error.
+     * @param err on failure, a message with the byte offset.
+     * @return whether parsing succeeded (out untouched on failure).
+     */
+    static bool parse(const std::string &text, Json &out,
+                      std::string &err);
+
+    /** parse() that fatal()s on malformed input (tools). */
+    static Json parseOrDie(const std::string &text,
+                           const std::string &what = "JSON");
+
     Type type() const { return type_; }
+
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** @return whether this is any numeric value. */
+    bool
+    isNumber() const
+    {
+        return type_ == Type::Int || type_ == Type::Uint ||
+               type_ == Type::Double;
+    }
+
+    /** @return member @p key of an object, or nullptr. */
+    const Json *find(const std::string &key) const;
+
+    /** @return member @p key; panic()s when absent or non-object. */
+    const Json &at(const std::string &key) const;
+
+    /** @return element @p i of an array; panic()s out of range. */
+    const Json &at(std::size_t i) const;
+
+    /** @return numeric value as double; panic()s on non-numbers. */
+    double asDouble() const;
+
+    /** @return numeric value as uint64; panic()s on non-numbers. */
+    std::uint64_t asUint() const;
+
+    /** @return the string payload; panic()s on non-strings. */
+    const std::string &asString() const;
+
+    /** @return the bool payload; panic()s on non-bools. */
+    bool asBool() const;
 
     /**
      * Member access on an object: returns the member named @p key,
@@ -74,6 +125,12 @@ class Json
 
     /** @return element count of an array or object (0 otherwise). */
     std::size_t size() const;
+
+    /** @return ordered (key, value) members; panic()s on non-objects. */
+    const std::vector<std::pair<std::string, Json>> &members() const;
+
+    /** @return the elements of an array; panic()s on non-arrays. */
+    const std::vector<Json> &elements() const;
 
     /**
      * Serialize.  @p indent > 0 pretty-prints with that many spaces

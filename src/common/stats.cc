@@ -2,8 +2,44 @@
 
 #include <iomanip>
 
+#include "common/json.hh"
+
 namespace nucache
 {
+
+namespace
+{
+
+/**
+ * Walk two already-sorted maps in one merged key-ordered pass (both
+ * std::map, so no re-sorting into a scratch vector) and hand each
+ * entry to @p emit_counter / @p emit_scalar.  A key present in both
+ * maps emits the counter first, matching counter()'s create-at-0
+ * precedence.
+ */
+template <typename CounterFn, typename ScalarFn>
+void
+mergeSorted(const std::map<std::string, std::uint64_t> &counters,
+            const std::map<std::string, double> &scalars,
+            CounterFn &&emit_counter, ScalarFn &&emit_scalar)
+{
+    auto c = counters.begin();
+    auto s = scalars.begin();
+    while (c != counters.end() || s != scalars.end()) {
+        const bool counter_next =
+            s == scalars.end() ||
+            (c != counters.end() && c->first <= s->first);
+        if (counter_next) {
+            emit_counter(c->first, c->second);
+            ++c;
+        } else {
+            emit_scalar(s->first, s->second);
+            ++s;
+        }
+    }
+}
+
+} // anonymous namespace
 
 StatGroup::StatGroup(std::string name)
     : groupName(std::move(name))
@@ -49,12 +85,28 @@ void
 StatGroup::dump(std::ostream &os) const
 {
     const std::string prefix = groupName.empty() ? "" : groupName + ".";
-    for (const auto &kv : counters)
-        os << prefix << kv.first << " " << kv.second << "\n";
-    for (const auto &kv : scalars) {
-        os << prefix << kv.first << " " << std::setprecision(6)
-           << kv.second << "\n";
-    }
+    mergeSorted(
+        counters, scalars,
+        [&](const std::string &key, std::uint64_t v) {
+            os << prefix << key << " " << v << "\n";
+        },
+        [&](const std::string &key, double v) {
+            os << prefix << key << " " << std::setprecision(6) << v
+               << "\n";
+        });
+}
+
+void
+StatGroup::dumpJson(Json &parent) const
+{
+    Json &target =
+        groupName.empty() ? parent : (parent[groupName] = Json::object());
+    mergeSorted(
+        counters, scalars,
+        [&](const std::string &key, std::uint64_t v) {
+            target[key] = v;
+        },
+        [&](const std::string &key, double v) { target[key] = v; });
 }
 
 std::vector<std::string>

@@ -19,6 +19,8 @@
 namespace nucache
 {
 
+class Json;
+
 /**
  * A named group of scalar statistics.
  *
@@ -51,6 +53,15 @@ class StatGroup
 
     /** Print "name.key value" lines, sorted by key. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Add this group to @p parent (an object) as one member named
+     * after the group ("" groups merge into the parent directly),
+     * counters and scalars interleaved in the same sorted key order
+     * as dump() — so a stat block embeds in bench/telemetry JSON
+     * instead of being text-only.
+     */
+    void dumpJson(Json &parent) const;
 
     /** @return all counter keys, sorted. */
     std::vector<std::string> counterKeys() const;

@@ -1,5 +1,6 @@
 #include "common/thread_pool.hh"
 
+#include <atomic>
 #include <utility>
 
 namespace nucache
@@ -55,6 +56,15 @@ ThreadPool::hardwareConcurrency()
 {
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : hw;
+}
+
+unsigned
+ThreadPool::currentThreadId()
+{
+    static std::atomic<unsigned> next{0};
+    thread_local const unsigned id =
+        next.fetch_add(1, std::memory_order_relaxed) + 1;
+    return id;
 }
 
 void

@@ -57,6 +57,13 @@ class ThreadPool
     /** @return std::thread::hardware_concurrency(), at least 1. */
     static unsigned hardwareConcurrency();
 
+    /**
+     * @return a small stable 1-based id for the calling thread,
+     * assigned on first call (any thread, worker or not).  Used to
+     * label run records and trace events with the executing worker.
+     */
+    static unsigned currentThreadId();
+
   private:
     void workerLoop();
 

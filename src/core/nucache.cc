@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/tracer.hh"
 
 namespace nucache
 {
@@ -49,7 +50,9 @@ NUcachePolicy::init(const PolicyContext &ctx)
     fifoCounter = 0;
     missCount = 0;
     deliHitCount = 0;
+    leaseRefreshCount = 0;
     epochCount = 0;
+    churnCount = 0;
 }
 
 std::string
@@ -224,6 +227,7 @@ NUcachePolicy::onHit(const SetView &set, std::uint32_t way,
             // be accounted in the insertion-rate estimate or the
             // selection drifts low at high hit rates and overshoots.
             m.fifoSeq = ++fifoCounter;
+            ++leaseRefreshCount;
             numon.onLease(set.setIndex(), set.line(way).pc);
         }
         return;
@@ -279,6 +283,7 @@ void
 NUcachePolicy::runSelection()
 {
     ++epochCount;
+    const std::unordered_set<PC> before = selected;
     if (cfg.selection == NUcacheConfig::Selection::CostBenefit) {
         const auto candidates =
             numon.topDelinquent(effSelector.candidatePcs);
@@ -338,6 +343,28 @@ NUcachePolicy::runSelection()
         selected.insert(result.selected.begin(), result.selected.end());
     }
     numon.epochDecay();
+
+    // Membership churn: symmetric difference of the admission list
+    // across the epoch boundary (0 when the selection is stable).
+    std::uint64_t churn = 0;
+    for (const PC pc : selected)
+        churn += before.count(pc) == 0 ? 1 : 0;
+    for (const PC pc : before)
+        churn += selected.count(pc) == 0 ? 1 : 0;
+    churnCount += churn;
+
+    if (obs::Tracer::active()) {
+        obs::Tracer &tracer = obs::Tracer::instance();
+        tracer.instant("nucache.epoch #" + std::to_string(epochCount),
+                       "policy");
+        if (churn != 0) {
+            tracer.instant("nucache.reselect (+/-" +
+                               std::to_string(churn) + " PCs, " +
+                               std::to_string(selected.size()) +
+                               " selected)",
+                           "policy");
+        }
+    }
 }
 
 bool

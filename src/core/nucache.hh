@@ -96,8 +96,18 @@ class NUcachePolicy : public ReplacementPolicy
     /** @return hits served from DeliWays-resident lines. */
     std::uint64_t deliHits() const { return deliHitCount; }
 
+    /** @return in-place DeliWays FIFO lease refreshes performed. */
+    std::uint64_t leaseRefreshes() const { return leaseRefreshCount; }
+
     /** @return selection epochs completed. */
     std::uint64_t epochsRun() const { return epochCount; }
+
+    /**
+     * @return cumulative PC-pool membership churn: PCs added plus PCs
+     * dropped across all selection epochs (telemetry probe; a stable
+     * selection contributes 0 per epoch).
+     */
+    std::uint64_t selectionChurn() const { return churnCount; }
 
     /** @return the Next-Use monitor (reports / tests). */
     const NextUseMonitor &monitor() const { return numon; }
@@ -178,7 +188,9 @@ class NUcachePolicy : public ReplacementPolicy
     std::uint64_t fifoCounter = 0;
     std::uint64_t missCount = 0;
     std::uint64_t deliHitCount = 0;
+    std::uint64_t leaseRefreshCount = 0;
     std::uint64_t epochCount = 0;
+    std::uint64_t churnCount = 0;
 };
 
 } // namespace nucache

@@ -108,6 +108,8 @@ Cache::access(AccessInfo info)
 
     info.tick = ++tickCounter;
     const std::uint32_t set = setIndexOf(info.addr);
+    if (heatOn)
+        ++setHeat_[set];
     const Addr tag = tagOf(info.addr);
     const std::size_t base = static_cast<std::size_t>(set) * cfg.ways;
     const SetView view(&tags[base], &origins[base], &validBits[set],
@@ -164,6 +166,7 @@ Cache::access(AccessInfo info)
         const std::uint64_t vbit = std::uint64_t{1} << victim;
         if ((validBits[set] & vbit) != 0) {
             res.evicted = true;
+            ++cs.evictions;
             res.evictedAddr = tags[base + victim] << blockBits;
             if ((dirtyBits[set] & vbit) != 0) {
                 res.writeback = true;
@@ -243,6 +246,7 @@ Cache::totalStats() const
         total.accesses += s.accesses;
         total.hits += s.hits;
         total.misses += s.misses;
+        total.evictions += s.evictions;
         total.prefetches += s.prefetches;
         total.prefetchFills += s.prefetchFills;
     }
@@ -254,6 +258,8 @@ Cache::resetStats()
 {
     for (auto &s : stats)
         s = CacheCoreStats{};
+    if (heatOn)
+        setHeat_.assign(sets, 0);
     writebackCount = 0;
 }
 

@@ -45,6 +45,8 @@ struct CacheCoreStats
     std::uint64_t accesses = 0;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    /** Valid lines this core's fills displaced (telemetry probes). */
+    std::uint64_t evictions = 0;
     /** Prefetch lookups and the subset that filled a new line. */
     std::uint64_t prefetches = 0;
     std::uint64_t prefetchFills = 0;
@@ -145,6 +147,24 @@ class Cache
     /** @return number of write-backs issued. */
     std::uint64_t writebacks() const { return writebackCount; }
 
+    /** @return accesses performed so far (the internal tick clock). */
+    std::uint64_t accessCount() const { return tickCounter; }
+
+    /**
+     * Start counting per-set access heat (telemetry opt-in).  Costs
+     * one branch on a cached bool plus an increment per access once
+     * enabled; nothing at all before.
+     */
+    void
+    enableSetHeat()
+    {
+        setHeat_.assign(sets, 0);
+        heatOn = true;
+    }
+
+    /** @return per-set access counts; empty unless enableSetHeat(). */
+    const std::vector<std::uint64_t> &setHeat() const { return setHeat_; }
+
     /** @return the configured geometry. */
     const CacheConfig &config() const { return cfg; }
 
@@ -200,9 +220,13 @@ class Cache
     std::vector<std::uint64_t> dirtyBits;  ///< one word per set
 
     std::vector<CacheCoreStats> stats;
+    /** Per-set access counters; allocated only by enableSetHeat(). */
+    std::vector<std::uint64_t> setHeat_;
     AccessObserver observer;
     /** Mirrors observer's non-emptiness (hot-path test). */
     bool hasObserver = false;
+    /** Mirrors setHeat_'s presence (hot-path test). */
+    bool heatOn = false;
     std::uint64_t writebackCount = 0;
     Tick tickCounter = 0;
 };

@@ -1,0 +1,27 @@
+#include "obs/obs_mode.hh"
+
+#include <atomic>
+
+namespace nucache::obs
+{
+
+namespace
+{
+
+std::atomic<std::uint64_t> intervalFlag{0};
+
+} // anonymous namespace
+
+std::uint64_t
+telemetryInterval()
+{
+    return intervalFlag.load(std::memory_order_relaxed);
+}
+
+void
+setTelemetryInterval(std::uint64_t interval)
+{
+    intervalFlag.store(interval, std::memory_order_relaxed);
+}
+
+} // namespace nucache::obs

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Process-wide switches for the observability layer (src/obs/).
+ *
+ * Mirrors check/check_mode.hh: telemetry sampling and event tracing
+ * are off by default and enabled per run from the `--telemetry` /
+ * `--trace-out` flags of the engine-driven binaries.  The simulation
+ * code only ever pays a branch on a cached bool when they are off
+ * (the same observer-gating pattern the check layer uses).
+ */
+
+#ifndef NUCACHE_OBS_OBS_MODE_HH
+#define NUCACHE_OBS_OBS_MODE_HH
+
+#include <cstdint>
+
+namespace nucache::obs
+{
+
+/** Default sampling stride: one telemetry row per this many LLC accesses. */
+constexpr std::uint64_t kDefaultTelemetryInterval = 50'000;
+
+/**
+ * @return the LLC-access sampling stride; 0 means telemetry is off
+ * and new Systems attach no sampler at all.
+ */
+std::uint64_t telemetryInterval();
+
+/** Set the sampling stride (0 disables; from --telemetry[=interval]). */
+void setTelemetryInterval(std::uint64_t interval);
+
+} // namespace nucache::obs
+
+#endif // NUCACHE_OBS_OBS_MODE_HH

@@ -1,0 +1,186 @@
+#include "obs/tracer.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace nucache::obs
+{
+
+std::atomic<bool> Tracer::activeFlag{false};
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::start(std::string path)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    epoch = std::chrono::steady_clock::now();
+    outPath = std::move(path);
+    activeFlag = true;
+}
+
+void
+Tracer::stop()
+{
+    if (!activeFlag)
+        return;
+    activeFlag = false;
+    if (outPath.empty())
+        return;
+    std::ofstream os(outPath);
+    if (!os)
+        fatal("Tracer: cannot write trace to '", outPath, "'");
+    writeJson(os);
+    std::fprintf(stderr, "wrote trace events to %s\n", outPath.c_str());
+    outPath.clear();
+}
+
+void
+Tracer::ThreadBuffer::push(TraceEvent ev)
+{
+    if (ring.size() < Tracer::kRingCapacity) {
+        ring.push_back(std::move(ev));
+        return;
+    }
+    ring[head] = std::move(ev);
+    head = (head + 1) % ring.size();
+    ++dropped;
+}
+
+Tracer::ThreadBuffer &
+Tracer::localBuffer()
+{
+    thread_local ThreadBuffer *tls = nullptr;
+    if (tls == nullptr) {
+        std::lock_guard<std::mutex> lock(mtx);
+        buffers.push_back(std::make_unique<ThreadBuffer>(
+            static_cast<std::uint32_t>(buffers.size() + 1)));
+        tls = buffers.back().get();
+    }
+    return *tls;
+}
+
+void
+Tracer::complete(std::string name, const char *category,
+                 std::uint64_t start_ns, std::uint64_t dur_ns)
+{
+    if (!activeFlag)
+        return;
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.category = category;
+    ev.phase = 'X';
+    ev.startNs = start_ns;
+    ev.durNs = dur_ns;
+    localBuffer().push(std::move(ev));
+}
+
+void
+Tracer::instant(std::string name, const char *category)
+{
+    if (!activeFlag)
+        return;
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.category = category;
+    ev.phase = 'i';
+    ev.startNs = nowNs();
+    localBuffer().push(std::move(ev));
+}
+
+std::size_t
+Tracer::pendingEvents() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::size_t n = 0;
+    for (const auto &b : buffers)
+        n += b->ring.size();
+    return n;
+}
+
+std::uint64_t
+Tracer::droppedEvents() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::uint64_t n = 0;
+    for (const auto &b : buffers)
+        n += b->dropped;
+    return n;
+}
+
+std::size_t
+Tracer::threadBuffers() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return buffers.size();
+}
+
+void
+Tracer::writeJson(std::ostream &os) const
+{
+    struct Flat
+    {
+        const TraceEvent *ev;
+        std::uint32_t tid;
+    };
+    std::vector<Flat> all;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        for (const auto &b : buffers) {
+            for (const auto &ev : b->ring)
+                all.push_back(Flat{&ev, b->tid});
+        }
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Flat &a, const Flat &b) {
+                         return a.ev->startNs < b.ev->startNs;
+                     });
+
+    Json doc = Json::object();
+    Json events = Json::array();
+    for (const Flat &f : all) {
+        Json e = Json::object();
+        e["name"] = f.ev->name;
+        e["cat"] = std::string(f.ev->category[0] != '\0'
+                                   ? f.ev->category
+                                   : "nucache");
+        e["ph"] = std::string(1, f.ev->phase);
+        // chrome://tracing consumes microseconds.
+        e["ts"] = static_cast<double>(f.ev->startNs) / 1e3;
+        if (f.ev->phase == 'X')
+            e["dur"] = static_cast<double>(f.ev->durNs) / 1e3;
+        e["pid"] = 1;
+        e["tid"] = f.tid;
+        events.push(std::move(e));
+    }
+    doc["traceEvents"] = std::move(events);
+    doc["displayTimeUnit"] = "ms";
+    doc.dump(os);
+    os << "\n";
+}
+
+void
+Tracer::reset()
+{
+    // Old thread-local pointers would dangle if the buffers were
+    // destroyed, so reset only empties them; registration survives.
+    std::lock_guard<std::mutex> lock(mtx);
+    for (auto &b : buffers) {
+        b->ring.clear();
+        b->head = 0;
+        b->dropped = 0;
+    }
+    outPath.clear();
+}
+
+} // namespace nucache::obs

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "obs/tracer.hh"
 #include "sim/metrics.hh"
 #include "sim/policies.hh"
 #include "trace/arena.hh"
@@ -51,6 +52,10 @@ RunEngine::aloneIpc(const std::string &workload,
     if (!owner)
         return future.get();
 
+    obs::TraceSpan span(obs::Tracer::active() ? "alone " + workload
+                                              : std::string(),
+                        "engine");
+
     // Run-alone baseline: the whole LLC, LRU management, one core.
     HierarchyConfig alone = hier;
     alone.numCores = 1;
@@ -58,6 +63,7 @@ RunEngine::aloneIpc(const std::string &workload,
     traces.push_back(TraceArena::instance().open(workload));
     System sys(alone, makePolicy("lru"), std::move(traces), records,
                checkFlag);
+    sys.setTelemetryLabel("alone/" + workload);
     const SystemResult res = sys.run();
     const double ipc = res.cores.at(0).ipc;
     aloneRuns.fetch_add(1, std::memory_order_relaxed);
@@ -73,6 +79,11 @@ RunEngine::runMix(const WorkloadMix &mix, const std::string &policy_spec,
         fatal("mix '", mix.name, "' has ", mix.workloads.size(),
               " programs for ", hier.numCores, " cores");
 
+    obs::TraceSpan span(obs::Tracer::active()
+                            ? "cell " + mix.name + "/" + policy_spec
+                            : std::string(),
+                        "engine");
+
     // Grid cells replay shared arena buffers through cheap cursors
     // instead of regenerating the synthetic stream per cell.
     std::vector<TraceSourcePtr> traces;
@@ -82,6 +93,7 @@ RunEngine::runMix(const WorkloadMix &mix, const std::string &policy_spec,
 
     System sys(hier, makePolicy(policy_spec), std::move(traces), records,
                checkFlag);
+    sys.setTelemetryLabel(mix.name + "/" + policy_spec);
 
     MixResult out;
     out.mixName = mix.name;
@@ -108,12 +120,18 @@ RunEngine::runSingle(const std::string &workload,
                      const std::string &policy_spec,
                      const HierarchyConfig &hier)
 {
+    obs::TraceSpan span(obs::Tracer::active()
+                            ? "single " + workload + "/" + policy_spec
+                            : std::string(),
+                        "engine");
+
     HierarchyConfig single = hier;
     single.numCores = 1;
     std::vector<TraceSourcePtr> traces;
     traces.push_back(TraceArena::instance().open(workload));
     System sys(single, makePolicy(policy_spec), std::move(traces),
                records, checkFlag);
+    sys.setTelemetryLabel("single/" + workload + "/" + policy_spec);
     return sys.run();
 }
 
@@ -137,14 +155,30 @@ RunEngine::runGrid(const HierarchyConfig &hier,
     std::vector<std::vector<MixResult>> results(
         mixes.size(), std::vector<MixResult>(specs.size()));
 
+    // Wall-clock per cell job, kept apart from the MixResults so the
+    // deterministic payload never carries timing.
+    struct JobClock
+    {
+        std::uint64_t startNs = 0;
+        std::uint64_t endNs = 0;
+        unsigned worker = 0;
+    };
+    std::vector<std::vector<JobClock>> clocks(
+        mixes.size(), std::vector<JobClock>(specs.size()));
+
     const std::size_t total = mixes.size() * specs.size();
     std::mutex progressMtx;
     std::size_t done = 0;
     for (std::size_t m = 0; m < mixes.size(); ++m) {
         for (std::size_t s = 0; s < specs.size(); ++s) {
-            pool.submit([this, &results, &mixes, &specs, &hier,
+            pool.submit([this, &results, &clocks, &mixes, &specs, &hier,
                          &progress, &progressMtx, &done, total, m, s] {
+                const obs::Tracer &tracer = obs::Tracer::instance();
+                JobClock &clock = clocks[m][s];
+                clock.worker = ThreadPool::currentThreadId();
+                clock.startNs = tracer.nowNs();
                 results[m][s] = runMix(mixes[m], specs[s], hier);
+                clock.endNs = tracer.nowNs();
                 if (progress) {
                     std::lock_guard<std::mutex> lock(progressMtx);
                     progress(++done, total);
@@ -178,6 +212,9 @@ RunEngine::runGrid(const HierarchyConfig &hier,
             GridCell cell;
             cell.result = std::move(results[m][p]);
             cell.normWs = cell.result.weightedSpeedup / base_ws;
+            cell.startNs = clocks[m][p].startNs;
+            cell.endNs = clocks[m][p].endNs;
+            cell.worker = clocks[m][p].worker;
             out.cells[m].push_back(std::move(cell));
         }
     }

@@ -40,6 +40,19 @@ struct GridCell
     /** Weighted speedup normalized to the grid baseline on this mix. */
     double normWs = 0.0;
     MixResult result;
+    /**
+     * Wall-clock of the cell's simulation job, in ns on the tracer's
+     * clock.  Timing is observability-only: it is surfaced on stderr
+     * and in the event trace but never enters the bench JSON, which
+     * must stay bit-identical across --jobs widths.
+     */
+    std::uint64_t startNs = 0;
+    std::uint64_t endNs = 0;
+    /** Stable 1-based id of the worker thread that ran the job. */
+    unsigned worker = 0;
+
+    /** @return the job's wall-clock duration in nanoseconds. */
+    std::uint64_t durationNs() const { return endNs - startNs; }
 };
 
 /** A finished (mix x policy) grid, rows and columns in request order. */

@@ -1,9 +1,13 @@
 #include "sim/system.hh"
 
+#include <algorithm>
 #include <ostream>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "core/nucache.hh"
+#include "obs/obs_mode.hh"
+#include "policy/dip.hh"
 
 namespace nucache
 {
@@ -33,6 +37,128 @@ System::System(const HierarchyConfig &hier_config,
         cpus.push_back(std::make_unique<TraceCpu>(
             c, std::move(traces[c]), hier.get(), records_per_core));
     }
+    if (const std::uint64_t interval = obs::telemetryInterval();
+        interval > 0) {
+        setupTelemetry(interval);
+    }
+}
+
+void
+System::setTelemetryLabel(std::string label)
+{
+    telemetryTag = std::move(label);
+}
+
+void
+System::setupTelemetry(std::uint64_t interval)
+{
+    sampler = std::make_unique<obs::Sampler>(interval);
+    Cache *llc = &hier->llc();
+    llc->enableSetHeat();
+
+    // Per-core demand behaviour at the shared level.  Probes read the
+    // same deterministic counters the end-of-run stats report, so the
+    // series is bit-identical at every --jobs width.
+    for (std::uint32_t c = 0; c < llc->numCores(); ++c) {
+        const std::string prefix = "core" + std::to_string(c) + ".llc.";
+        sampler->addProbe(prefix + "accesses", [llc, c] {
+            return static_cast<double>(llc->coreStats(c).accesses);
+        });
+        sampler->addProbe(prefix + "misses", [llc, c] {
+            return static_cast<double>(llc->coreStats(c).misses);
+        });
+        sampler->addProbe(prefix + "miss_rate",
+                          [llc, c] { return llc->coreStats(c).missRate(); });
+        sampler->addProbe(prefix + "evictions", [llc, c] {
+            return static_cast<double>(llc->coreStats(c).evictions);
+        });
+    }
+
+    sampler->addProbe("llc.accesses", [llc] {
+        return static_cast<double>(llc->totalStats().accesses);
+    });
+    sampler->addProbe("llc.misses", [llc] {
+        return static_cast<double>(llc->totalStats().misses);
+    });
+    sampler->addProbe("llc.miss_rate",
+                      [llc] { return llc->totalStats().missRate(); });
+    sampler->addProbe("llc.evictions", [llc] {
+        return static_cast<double>(llc->totalStats().evictions);
+    });
+    sampler->addProbe("llc.writebacks", [llc] {
+        return static_cast<double>(llc->writebacks());
+    });
+
+    // Set-heat summaries: how skewed the LLC's set utilization is.
+    sampler->addProbe("llc.heat.max", [llc] {
+        const auto &heat = llc->setHeat();
+        return heat.empty()
+            ? 0.0
+            : static_cast<double>(
+                  *std::max_element(heat.begin(), heat.end()));
+    });
+    sampler->addProbe("llc.heat.mean", [llc] {
+        const auto &heat = llc->setHeat();
+        if (heat.empty())
+            return 0.0;
+        double sum = 0.0;
+        for (const std::uint64_t h : heat)
+            sum += static_cast<double>(h);
+        return sum / static_cast<double>(heat.size());
+    });
+    sampler->addProbe("llc.heat.cold_sets", [llc] {
+        const auto &heat = llc->setHeat();
+        return static_cast<double>(
+            std::count(heat.begin(), heat.end(), std::uint64_t{0}));
+    });
+
+    // Policy-specific probes, keyed off the concrete LLC policy.
+    ReplacementPolicy &pol = llc->policy();
+    if (const auto *nu = dynamic_cast<const NUcachePolicy *>(&pol)) {
+        sampler->addProbe("nucache.selected_pcs", [nu] {
+            return static_cast<double>(nu->selectedPcs().size());
+        });
+        sampler->addProbe("nucache.deli_hits", [nu] {
+            return static_cast<double>(nu->deliHits());
+        });
+        sampler->addProbe("nucache.lease_refreshes", [nu] {
+            return static_cast<double>(nu->leaseRefreshes());
+        });
+        sampler->addProbe("nucache.epochs", [nu] {
+            return static_cast<double>(nu->epochsRun());
+        });
+        sampler->addProbe("nucache.selection_churn", [nu] {
+            return static_cast<double>(nu->selectionChurn());
+        });
+        sampler->addProbe("nucache.deli_occupancy", [llc, nu] {
+            if (nu->numDeliWays() == 0)
+                return 0.0;
+            std::uint64_t occupied = 0;
+            for (std::uint32_t s = 0; s < llc->numSets(); ++s) {
+                const SetView view = llc->viewSet(s);
+                const std::uint64_t valid = view.validMask();
+                for (std::uint32_t w = 0; w < view.ways(); ++w) {
+                    if (((valid >> w) & 1) != 0 && nu->inDeliWays(s, w))
+                        ++occupied;
+                }
+            }
+            return static_cast<double>(occupied) /
+                (static_cast<double>(llc->numSets()) * nu->numDeliWays());
+        });
+    }
+    if (const auto *dip = dynamic_cast<const DipPolicy *>(&pol)) {
+        sampler->addProbe("dip.psel", [dip] {
+            return static_cast<double>(dip->pselValue());
+        });
+    }
+    if (const auto *tadip = dynamic_cast<const TadipPolicy *>(&pol)) {
+        for (std::uint32_t c = 0; c < llc->numCores(); ++c) {
+            sampler->addProbe("tadip.psel.core" + std::to_string(c),
+                              [tadip, c] {
+                return static_cast<double>(tadip->pselValue(c));
+            });
+        }
+    }
 }
 
 SystemResult
@@ -42,6 +168,7 @@ System::run()
     // next, which serializes shared-LLC accesses in causal order.
     std::size_t pending = cpus.size();
     std::vector<bool> counted(cpus.size(), false);
+    obs::Sampler *smp = sampler.get();
     while (pending > 0) {
         TraceCpu *next = nullptr;
         for (auto &cpu : cpus) {
@@ -51,6 +178,8 @@ System::run()
                 next = cpu.get();
         }
         next->step();
+        if (smp)
+            smp->maybeSample(hier->llc().accessCount());
         if (next->done() && !counted[next->id()]) {
             counted[next->id()] = true;
             --pending;
@@ -76,6 +205,26 @@ System::run()
     // finish with a pass over every set of every checked cache.
     for (const auto &checker : checkers)
         checker->checkAll();
+
+    if (smp) {
+        // Final snapshot (unless a stride boundary just took one),
+        // then publish the finished series with the full stats tree.
+        const std::uint64_t accesses = hier->llc().accessCount();
+        if (smp->rows() == 0 || smp->lastAt() != accesses)
+            smp->sampleNow(accesses);
+        std::string label = telemetryTag;
+        if (label.empty()) {
+            label = hier->llc().policy().name() + "/";
+            for (std::size_t i = 0; i < cpus.size(); ++i) {
+                if (i != 0)
+                    label += "+";
+                label += cpus[i]->workloadName();
+            }
+        }
+        obs::TelemetrySeries series = smp->series(label);
+        series.finalStats = statsJson();
+        obs::TelemetryHub::instance().publish(std::move(series));
+    }
     return result;
 }
 
@@ -89,7 +238,8 @@ System::invariantChecksRun() const
 }
 
 void
-System::dumpStats(std::ostream &os) const
+System::forEachStatGroup(
+    const std::function<void(StatGroup &)> &emit) const
 {
     const auto fill_cache = [](StatGroup &g, const CacheCoreStats &s) {
         g.counter("accesses") = s.accesses;
@@ -109,27 +259,41 @@ System::dumpStats(std::ostream &os) const
         core.counter("records") = cpu->recordsReplayed();
         core.counter("trace_wraps") = cpu->wraps();
         core.setScalar("ipc", cpu->ipc());
-        core.dump(os);
+        emit(core);
 
         StatGroup l1("cpu" + std::to_string(cpu->id()) + ".l1");
         fill_cache(l1, hier->l1(cpu->id()).coreStats(cpu->id()));
-        l1.dump(os);
+        emit(l1);
 
         StatGroup llc("cpu" + std::to_string(cpu->id()) + ".llc");
         fill_cache(llc, hier->llc().coreStats(cpu->id()));
-        llc.dump(os);
+        emit(llc);
     }
 
     StatGroup llc("llc");
     fill_cache(llc, hier->llc().totalStats());
     llc.counter("writebacks") = hier->llc().writebacks();
-    llc.dump(os);
+    emit(llc);
 
     StatGroup dram("dram");
     dram.counter("reads") = hier->dram().reads();
     dram.counter("writes") = hier->dram().writes();
     dram.counter("queueing_cycles") = hier->dram().queueingCycles();
-    dram.dump(os);
+    emit(dram);
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    forEachStatGroup([&os](StatGroup &g) { g.dump(os); });
+}
+
+Json
+System::statsJson() const
+{
+    Json root = Json::object();
+    forEachStatGroup([&root](StatGroup &g) { g.dumpJson(root); });
+    return root;
 }
 
 } // namespace nucache

@@ -10,13 +10,17 @@
 #ifndef NUCACHE_SIM_SYSTEM_HH
 #define NUCACHE_SIM_SYSTEM_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "check/check_mode.hh"
 #include "check/checker.hh"
+#include "common/json.hh"
+#include "common/stats.hh"
 #include "mem/hierarchy.hh"
+#include "obs/telemetry.hh"
 #include "sim/cpu.hh"
 #include "trace/trace.hh"
 
@@ -73,6 +77,17 @@ class System
      */
     void dumpStats(std::ostream &os) const;
 
+    /** @return the same statistics tree as nested JSON objects. */
+    Json statsJson() const;
+
+    /**
+     * Label the telemetry series this run publishes (e.g.\
+     * "mix03/nucache").  Defaults to "<policy>/<w0>+<w1>+..." when
+     * unset.  No effect unless telemetry is enabled (see
+     * obs/obs_mode.hh).
+     */
+    void setTelemetryLabel(std::string label);
+
     /** @return the hierarchy (introspection before/after run()). */
     MemoryHierarchy &hierarchy() { return *hier; }
     const MemoryHierarchy &hierarchy() const { return *hier; }
@@ -81,10 +96,20 @@ class System
     std::uint64_t invariantChecksRun() const;
 
   private:
+    /** Build every StatGroup of the tree and hand it to @p emit. */
+    void forEachStatGroup(const std::function<void(StatGroup &)> &emit)
+        const;
+
+    /** Create the sampler and register every applicable probe. */
+    void setupTelemetry(std::uint64_t interval);
+
     std::unique_ptr<MemoryHierarchy> hier;
     /** One checker per cache level when checking is on (else empty). */
     std::vector<std::unique_ptr<CacheChecker>> checkers;
     std::vector<std::unique_ptr<TraceCpu>> cpus;
+    /** Present iff telemetry was enabled at construction. */
+    std::unique_ptr<obs::Sampler> sampler;
+    std::string telemetryTag;
 };
 
 } // namespace nucache

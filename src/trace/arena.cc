@@ -3,6 +3,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/tracer.hh"
 #include "trace/workloads.hh"
 
 namespace nucache
@@ -41,6 +42,10 @@ TraceArena::get(const std::string &name, std::uint64_t length_override)
     }
     if (!owner)
         return future.get();
+
+    obs::TraceSpan span(obs::Tracer::active() ? "materialize " + key
+                                              : std::string(),
+                        "arena");
 
     // workloadSpec() fatal()s on unknown names before any state is
     // published beyond the pending future, matching makeWorkload().

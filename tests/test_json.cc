@@ -115,5 +115,85 @@ TEST(JsonDeathTest, TypeMisuseAborts)
     EXPECT_DEATH(Json::array().back(), "non-empty array");
 }
 
+TEST(JsonParse, RoundTripsEveryValueType)
+{
+    Json doc = Json::object();
+    doc["null"] = Json();
+    doc["flag"] = true;
+    doc["neg"] = -42;
+    doc["big"] = std::uint64_t{18446744073709551615ull};
+    doc["pi"] = 3.140625; // exactly representable
+    doc["text"] = "a \"quoted\" line\nwith\tescapes";
+    Json arr = Json::array();
+    arr.push(1);
+    arr.push("two");
+    doc["arr"] = std::move(arr);
+    Json nested = Json::object();
+    nested["k"] = "v";
+    doc["obj"] = std::move(nested);
+
+    Json parsed;
+    std::string err;
+    ASSERT_TRUE(Json::parse(doc.str(), parsed, err)) << err;
+    // Re-dumping the parse reproduces the original byte-for-byte,
+    // including member order.
+    EXPECT_EQ(parsed.str(), doc.str());
+    EXPECT_TRUE(parsed.at("null").isNull());
+    EXPECT_TRUE(parsed.at("flag").asBool());
+    EXPECT_EQ(parsed.at("neg").asDouble(), -42.0);
+    EXPECT_EQ(parsed.at("big").asUint(),
+              std::uint64_t{18446744073709551615ull});
+    EXPECT_EQ(parsed.at("pi").asDouble(), 3.140625);
+    EXPECT_EQ(parsed.at("arr").at(std::size_t{1}).asString(), "two");
+    EXPECT_EQ(parsed.at("obj").at("k").asString(), "v");
+}
+
+TEST(JsonParse, DecodesStringEscapes)
+{
+    Json parsed;
+    std::string err;
+    ASSERT_TRUE(Json::parse("\"a\\u0041\\n\\t\\\\\\\"\\u00e9\"",
+                            parsed, err))
+        << err;
+    EXPECT_EQ(parsed.asString(), "aA\n\t\\\"\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformedInput)
+{
+    Json out;
+    std::string err;
+    EXPECT_FALSE(Json::parse("", out, err));
+    EXPECT_FALSE(Json::parse("{", out, err));
+    EXPECT_FALSE(Json::parse("[1,]", out, err));
+    EXPECT_FALSE(Json::parse("{\"a\":1,}", out, err));
+    EXPECT_FALSE(Json::parse("nul", out, err));
+    EXPECT_FALSE(Json::parse("1 2", out, err)); // trailing value
+    EXPECT_FALSE(Json::parse("\"unterminated", out, err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonParse, ReadAccessors)
+{
+    Json parsed;
+    std::string err;
+    ASSERT_TRUE(
+        Json::parse("{\"a\": [1, 2], \"b\": {\"c\": 3}}", parsed, err))
+        << err;
+    EXPECT_TRUE(parsed.isObject());
+    EXPECT_EQ(parsed.find("missing"), nullptr);
+    ASSERT_NE(parsed.find("a"), nullptr);
+    EXPECT_TRUE(parsed.at("a").isArray());
+    EXPECT_EQ(parsed.at("a").elements().size(), 2u);
+    const auto &members = parsed.members();
+    ASSERT_EQ(members.size(), 2u);
+    EXPECT_EQ(members[0].first, "a");
+    EXPECT_EQ(members[1].first, "b");
+}
+
+TEST(JsonParseDeathTest, ParseOrDieAbortsOnGarbage)
+{
+    EXPECT_DEATH(Json::parseOrDie("{oops", "test doc"), "test doc");
+}
+
 } // anonymous namespace
 } // namespace nucache

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Tests for the observability layer (src/obs/): sampler determinism
+ * across pool widths, Chrome trace_event schema conformance of the
+ * tracer output, zero cost/output in disabled mode, and a golden
+ * telemetry run of NUcache on a fixed workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs_mode.hh"
+#include "obs/telemetry.hh"
+#include "obs/tracer.hh"
+#include "sim/policies.hh"
+#include "sim/run_engine.hh"
+#include "sim/system.hh"
+#include "trace/arena.hh"
+
+namespace nucache
+{
+namespace
+{
+
+/** Scoped telemetry enable: restores off + empty hub on exit. */
+class TelemetryScope
+{
+  public:
+    explicit TelemetryScope(std::uint64_t interval)
+    {
+        obs::TelemetryHub::instance().clear();
+        obs::setTelemetryInterval(interval);
+    }
+
+    ~TelemetryScope()
+    {
+        obs::setTelemetryInterval(0);
+        obs::TelemetryHub::instance().clear();
+    }
+};
+
+const std::vector<WorkloadMix> &
+obsMixes()
+{
+    static const std::vector<WorkloadMix> mixes = {
+        {"hot+ws", {"tiny_hot", "small_ws"}},
+        {"ws+hot", {"small_ws", "tiny_hot"}},
+    };
+    return mixes;
+}
+
+/** One full telemetry-enabled grid; @return the drained JSON text. */
+std::string
+telemetryGridDump(unsigned jobs)
+{
+    TelemetryScope telemetry(500);
+    RunEngine engine(2000, jobs, false);
+    engine.runGrid(defaultHierarchy(2), obsMixes(), {"lru", "nucache"});
+    return obs::TelemetryHub::instance().drainJson().str();
+}
+
+TEST(Sampler, RowsFollowStrideCrossings)
+{
+    obs::Sampler sampler(100);
+    std::uint64_t calls = 0;
+    sampler.addProbe("calls", [&calls] {
+        return static_cast<double>(++calls);
+    });
+    EXPECT_EQ(sampler.probeCount(), 1u);
+    sampler.maybeSample(50); // below the first boundary
+    EXPECT_EQ(sampler.rows(), 0u);
+    sampler.maybeSample(100);
+    EXPECT_EQ(sampler.rows(), 1u);
+    EXPECT_EQ(sampler.lastAt(), 100u);
+    // A burst past several boundaries still appends exactly one row.
+    sampler.maybeSample(570);
+    EXPECT_EQ(sampler.rows(), 2u);
+    EXPECT_EQ(sampler.lastAt(), 570u);
+    sampler.maybeSample(599); // inside the caught-up stride
+    EXPECT_EQ(sampler.rows(), 2u);
+    sampler.maybeSample(600);
+    EXPECT_EQ(sampler.rows(), 3u);
+
+    const obs::TelemetrySeries series = sampler.series("t");
+    ASSERT_EQ(series.columns.size(), 1u);
+    EXPECT_EQ(series.columns[0], "calls");
+    ASSERT_EQ(series.data.size(), 1u);
+    EXPECT_EQ(series.data[0], (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(Sampler, SeriesJsonShape)
+{
+    obs::Sampler sampler(10);
+    sampler.addProbe("x", [] { return 4.0; });
+    sampler.sampleNow(10);
+    const Json j = sampler.series("lbl").toJson();
+    EXPECT_EQ(j.at("label").asString(), "lbl");
+    EXPECT_EQ(j.at("interval").asUint(), 10u);
+    EXPECT_EQ(j.at("rows").asUint(), 1u);
+    EXPECT_EQ(j.at("llc_accesses").at(std::size_t{0}).asUint(), 10u);
+    EXPECT_EQ(j.at("probes").at("x").at(std::size_t{0}).asDouble(), 4.0);
+}
+
+TEST(Telemetry, DeterministicAcrossPoolWidths)
+{
+    // The headline property: the telemetry document of a grid run is
+    // bit-identical at every --jobs width, because rows are keyed by
+    // LLC access count and the hub drains sorted by label.
+    const std::string serial = telemetryGridDump(1);
+    EXPECT_EQ(serial, telemetryGridDump(2));
+    EXPECT_EQ(serial, telemetryGridDump(8));
+}
+
+TEST(Telemetry, GridPublishesEverySystemRun)
+{
+    TelemetryScope telemetry(500);
+    RunEngine engine(2000, 2, false);
+    engine.runGrid(defaultHierarchy(2), obsMixes(), {"lru", "nucache"});
+    const Json doc = obs::TelemetryHub::instance().drainJson();
+    EXPECT_EQ(doc.at("schema").asString(), "nucache-telemetry/v1");
+    // 2 mixes x 2 policies plus the two run-alone baselines.
+    ASSERT_EQ(doc.at("series").size(), 6u);
+    bool sawNUcacheProbes = false;
+    for (const Json &s : doc.at("series").elements()) {
+        EXPECT_GT(s.at("rows").asUint(), 0u);
+        EXPECT_EQ(s.at("llc_accesses").size(), s.at("rows").asUint());
+        if (s.at("probes").find("nucache.deli_occupancy") != nullptr)
+            sawNUcacheProbes = true;
+        // The final stats tree rides along for every run.
+        EXPECT_NE(s.at("final_stats").find("llc"), nullptr);
+    }
+    EXPECT_TRUE(sawNUcacheProbes);
+}
+
+TEST(Telemetry, GoldenNUcacheRun)
+{
+    // Fixed workload, fixed window, fixed interval: the series is a
+    // pure function of these inputs, so two runs dump identically and
+    // the probe values obey the policy's own accounting.
+    const auto run = [] {
+        TelemetryScope telemetry(200);
+        std::vector<TraceSourcePtr> traces;
+        traces.push_back(TraceArena::instance().open("small_ws"));
+        System sys(defaultHierarchy(1), makePolicy("nucache"),
+                   std::move(traces), 4000, false);
+        sys.setTelemetryLabel("golden/nucache");
+        sys.run();
+        return obs::TelemetryHub::instance().drainJson();
+    };
+    const Json doc = run();
+    EXPECT_EQ(doc.str(), run().str());
+
+    ASSERT_EQ(doc.at("series").size(), 1u);
+    const Json &s = doc.at("series").at(std::size_t{0});
+    EXPECT_EQ(s.at("label").asString(), "golden/nucache");
+    EXPECT_EQ(s.at("interval").asUint(), 200u);
+    const std::uint64_t rows = s.at("rows").asUint();
+    ASSERT_GE(rows, 2u);
+
+    const Json &probes = s.at("probes");
+    for (const char *name :
+         {"llc.accesses", "llc.misses", "llc.miss_rate",
+          "llc.evictions", "llc.writebacks", "llc.heat.max",
+          "llc.heat.mean", "llc.heat.cold_sets",
+          "nucache.selected_pcs", "nucache.deli_hits",
+          "nucache.lease_refreshes", "nucache.epochs",
+          "nucache.selection_churn", "nucache.deli_occupancy"}) {
+        ASSERT_NE(probes.find(name), nullptr) << name;
+    }
+
+    // Monotone counters stay monotone along the series, and the row
+    // keys strictly increase.
+    const Json &acc = probes.at("llc.accesses");
+    const Json &at = s.at("llc_accesses");
+    for (std::uint64_t r = 1; r < rows; ++r) {
+        EXPECT_LT(at.at(r - 1).asUint(), at.at(r).asUint());
+        EXPECT_LE(acc.at(r - 1).asDouble(), acc.at(r).asDouble());
+    }
+    // The sampled access counter and the row key agree: both read the
+    // LLC's access clock.
+    EXPECT_EQ(static_cast<std::uint64_t>(
+                  acc.at(rows - 1).asDouble()),
+              at.at(rows - 1).asUint());
+    // Occupancy is a fraction.
+    const Json &occ = probes.at("nucache.deli_occupancy");
+    for (std::uint64_t r = 0; r < rows; ++r) {
+        EXPECT_GE(occ.at(r).asDouble(), 0.0);
+        EXPECT_LE(occ.at(r).asDouble(), 1.0);
+    }
+}
+
+TEST(Tracer, DisabledModeIsSilent)
+{
+    obs::Tracer &tracer = obs::Tracer::instance();
+    tracer.reset();
+    ASSERT_FALSE(obs::Tracer::active());
+    {
+        obs::TraceSpan span("should not record", "test");
+        tracer.instant("neither should this", "test");
+    }
+    EXPECT_EQ(tracer.pendingEvents(), 0u);
+    EXPECT_EQ(tracer.droppedEvents(), 0u);
+}
+
+TEST(Tracer, DisabledTelemetryBuildsNoSampler)
+{
+    ASSERT_EQ(obs::telemetryInterval(), 0u);
+    obs::TelemetryHub::instance().clear();
+    std::vector<TraceSourcePtr> traces;
+    traces.push_back(TraceArena::instance().open("tiny_hot"));
+    System sys(defaultHierarchy(1), makePolicy("lru"),
+               std::move(traces), 1000, false);
+    sys.run();
+    EXPECT_EQ(obs::TelemetryHub::instance().size(), 0u);
+}
+
+TEST(Tracer, EmitsChromeTraceEventSchema)
+{
+    obs::Tracer &tracer = obs::Tracer::instance();
+    tracer.reset();
+    tracer.start("");
+    ASSERT_TRUE(obs::Tracer::active());
+    {
+        obs::TraceSpan span(std::string("span one"), "test");
+    }
+    tracer.instant("point", "test");
+    std::thread other([] {
+        obs::TraceSpan span("from another thread", "test");
+    });
+    other.join();
+    tracer.stop();
+    EXPECT_FALSE(obs::Tracer::active());
+    EXPECT_EQ(tracer.pendingEvents(), 3u);
+
+    std::ostringstream os;
+    tracer.writeJson(os);
+    Json doc;
+    std::string err;
+    ASSERT_TRUE(Json::parse(os.str(), doc, err)) << err;
+    const Json &events = doc.at("traceEvents");
+    ASSERT_EQ(events.size(), 3u);
+    std::set<std::uint64_t> tids;
+    for (const Json &e : events.elements()) {
+        // The keys chrome://tracing requires on every record.
+        for (const char *key : {"name", "ph", "ts", "pid", "tid"})
+            ASSERT_NE(e.find(key), nullptr) << key;
+        const std::string &ph = e.at("ph").asString();
+        EXPECT_TRUE(ph == "X" || ph == "i") << ph;
+        if (ph == "X")
+            EXPECT_NE(e.find("dur"), nullptr);
+        tids.insert(e.at("tid").asUint());
+    }
+    // The cross-thread span landed in its own buffer.
+    EXPECT_EQ(tids.size(), 2u);
+    EXPECT_EQ(doc.at("displayTimeUnit").asString(), "ms");
+    tracer.reset();
+}
+
+TEST(Tracer, StopWritesTheStartPathOnce)
+{
+    obs::Tracer &tracer = obs::Tracer::instance();
+    tracer.reset();
+    const std::string path =
+        ::testing::TempDir() + "nucache_tracer_test.json";
+    tracer.start(path);
+    { obs::TraceSpan span("one", "test"); }
+    tracer.stop();
+    tracer.stop(); // idempotent
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good());
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    Json doc;
+    std::string err;
+    ASSERT_TRUE(Json::parse(ss.str(), doc, err)) << err;
+    EXPECT_EQ(doc.at("traceEvents").size(), 1u);
+    std::remove(path.c_str());
+    tracer.reset();
+}
+
+TEST(Tracer, RingOverwritesOldestWhenFull)
+{
+    obs::Tracer &tracer = obs::Tracer::instance();
+    tracer.reset();
+    tracer.start("");
+    for (std::size_t i = 0; i < obs::Tracer::kRingCapacity + 10; ++i)
+        tracer.instant("e" + std::to_string(i), "test");
+    tracer.stop();
+    EXPECT_EQ(tracer.pendingEvents(), obs::Tracer::kRingCapacity);
+    EXPECT_EQ(tracer.droppedEvents(), 10u);
+    tracer.reset();
+}
+
+} // anonymous namespace
+} // namespace nucache

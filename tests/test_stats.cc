@@ -7,6 +7,7 @@
 
 #include <sstream>
 
+#include "common/json.hh"
 #include "common/stats.hh"
 
 namespace nucache
@@ -60,6 +61,46 @@ TEST(StatGroup, CounterKeysSorted)
     ASSERT_EQ(keys.size(), 2u);
     EXPECT_EQ(keys[0], "alpha");
     EXPECT_EQ(keys[1], "zeta");
+}
+
+TEST(StatGroup, DumpInterleavesCountersAndScalarsInKeyOrder)
+{
+    // One merged pass over both (already sorted) maps: scalars no
+    // longer trail the counters as a second block.
+    StatGroup g("x");
+    g.counter("beta") = 1;
+    g.setScalar("alpha", 0.5);
+    g.counter("delta") = 2;
+    g.setScalar("gamma", 1.5);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(),
+              "x.alpha 0.5\nx.beta 1\nx.delta 2\nx.gamma 1.5\n");
+}
+
+TEST(StatGroup, DumpJsonNestsUnderGroupName)
+{
+    StatGroup g("core0");
+    g.counter("accesses") = 10;
+    g.setScalar("ipc", 1.25);
+    Json root = Json::object();
+    g.dumpJson(root);
+    EXPECT_EQ(root.at("core0").at("accesses").asUint(), 10u);
+    EXPECT_DOUBLE_EQ(root.at("core0").at("ipc").asDouble(), 1.25);
+    // Merged key order inside the group, like dump().
+    const auto &members = root.at("core0").members();
+    ASSERT_EQ(members.size(), 2u);
+    EXPECT_EQ(members[0].first, "accesses");
+    EXPECT_EQ(members[1].first, "ipc");
+}
+
+TEST(StatGroup, DumpJsonUnnamedGroupFillsParentDirectly)
+{
+    StatGroup g;
+    g.counter("hits") = 3;
+    Json root = Json::object();
+    g.dumpJson(root);
+    EXPECT_EQ(root.at("hits").asUint(), 3u);
 }
 
 } // anonymous namespace

@@ -1,0 +1,534 @@
+/**
+ * @file
+ * nucache_report: offline viewer for the observability artifacts the
+ * benches emit — bench results (nucache-bench/v1), telemetry
+ * time-series (nucache-telemetry/v1), run_trace stat dumps
+ * (nucache-run/v1) and Chrome trace_event timelines.
+ *
+ * Modes:
+ *   nucache_report FILE...
+ *       Summarize each file (type auto-detected): grid geomeans and
+ *       throughput tables for bench docs, per-series probe tables
+ *       with sparkline time-series for telemetry, span counts by
+ *       category for traces.
+ *   nucache_report --check FILE...
+ *       Validate each file against its schema; exit 1 on the first
+ *       malformed document (CI gate for emitted artifacts).
+ *   nucache_report --diff OLD NEW [--threshold=0.05]
+ *       Compare two BENCH_throughput.json snapshots cell by cell and
+ *       fail (exit 2) when the LRU lookup throughput regressed by
+ *       more than the threshold fraction.
+ *   --series=SUBSTR limits telemetry detail to matching labels.
+ */
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/chart.hh"
+#include "common/cli.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace
+{
+
+using namespace nucache;
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot read '", path, "'");
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+enum class DocType { Bench, Telemetry, RunStats, Trace, Unknown };
+
+DocType
+docTypeOf(const Json &doc)
+{
+    if (!doc.isObject())
+        return DocType::Unknown;
+    if (const Json *schema = doc.find("schema"); schema != nullptr &&
+        schema->isString()) {
+        const std::string &s = schema->asString();
+        if (s == "nucache-bench/v1")
+            return DocType::Bench;
+        if (s == "nucache-telemetry/v1")
+            return DocType::Telemetry;
+        if (s == "nucache-run/v1")
+            return DocType::RunStats;
+    }
+    if (const Json *ev = doc.find("traceEvents");
+        ev != nullptr && ev->isArray()) {
+        return DocType::Trace;
+    }
+    return DocType::Unknown;
+}
+
+const char *
+docTypeName(DocType t)
+{
+    switch (t) {
+      case DocType::Bench:
+        return "bench results";
+      case DocType::Telemetry:
+        return "telemetry";
+      case DocType::RunStats:
+        return "run stats";
+      case DocType::Trace:
+        return "trace_event timeline";
+      default:
+        return "unknown";
+    }
+}
+
+// ---------------------------------------------------------------- check
+
+/** Append "path: why" to @p errs when @p ok is false. */
+bool
+require(bool ok, const std::string &why, std::vector<std::string> &errs)
+{
+    if (!ok)
+        errs.push_back(why);
+    return ok;
+}
+
+void
+checkBench(const Json &doc, std::vector<std::string> &errs)
+{
+    const Json *sections = doc.find("sections");
+    if (!require(sections != nullptr && sections->isArray(),
+                 "missing sections array", errs))
+        return;
+    for (std::size_t i = 0; i < sections->size(); ++i) {
+        const Json &s = sections->at(i);
+        const std::string where = "section " + std::to_string(i);
+        require(s.isObject(), where + " is not an object", errs);
+        if (!s.isObject())
+            continue;
+        const Json *label = s.find("label");
+        require(label != nullptr && label->isString(),
+                where + " lacks a string label", errs);
+        const Json *kind = s.find("kind");
+        require(kind != nullptr && kind->isString(),
+                where + " lacks a string kind", errs);
+    }
+}
+
+void
+checkTelemetry(const Json &doc, std::vector<std::string> &errs)
+{
+    const Json *series = doc.find("series");
+    if (!require(series != nullptr && series->isArray(),
+                 "missing series array", errs))
+        return;
+    for (std::size_t i = 0; i < series->size(); ++i) {
+        const Json &s = series->at(i);
+        const std::string where = "series " + std::to_string(i);
+        if (!require(s.isObject(), where + " is not an object", errs))
+            continue;
+        const Json *label = s.find("label");
+        require(label != nullptr && label->isString(),
+                where + " lacks a string label", errs);
+        const Json *interval = s.find("interval");
+        require(interval != nullptr && interval->isNumber(),
+                where + " lacks a numeric interval", errs);
+        const Json *rows = s.find("rows");
+        const Json *at = s.find("llc_accesses");
+        const Json *probes = s.find("probes");
+        if (!require(rows != nullptr && rows->isNumber(),
+                     where + " lacks a numeric rows count", errs) ||
+            !require(at != nullptr && at->isArray(),
+                     where + " lacks an llc_accesses array", errs) ||
+            !require(probes != nullptr && probes->isObject(),
+                     where + " lacks a probes object", errs)) {
+            continue;
+        }
+        const std::uint64_t n = rows->asUint();
+        require(at->size() == n,
+                where + " llc_accesses length != rows", errs);
+        for (const auto &kv : probes->members()) {
+            require(kv.second.isArray() && kv.second.size() == n,
+                    where + " probe '" + kv.first +
+                        "' column length != rows",
+                    errs);
+        }
+    }
+}
+
+void
+checkTrace(const Json &doc, std::vector<std::string> &errs)
+{
+    const Json &events = doc.at("traceEvents");
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const Json &e = events.at(i);
+        const std::string where = "event " + std::to_string(i);
+        if (!require(e.isObject(), where + " is not an object", errs))
+            continue;
+        // The keys chrome://tracing / Perfetto require on every record.
+        for (const char *key : {"name", "ph", "ts", "pid", "tid"}) {
+            require(e.find(key) != nullptr,
+                    where + " lacks required key '" + key + "'", errs);
+        }
+        if (errs.size() > 8)
+            return; // enough evidence; don't spam thousands of lines
+    }
+}
+
+void
+checkRunStats(const Json &doc, std::vector<std::string> &errs)
+{
+    const Json *stats = doc.find("stats");
+    require(stats != nullptr && stats->isObject(),
+            "missing stats object", errs);
+}
+
+int
+checkFiles(const std::vector<std::string> &paths)
+{
+    int bad = 0;
+    for (const auto &path : paths) {
+        Json doc;
+        std::string err;
+        if (!Json::parse(readFile(path), doc, err)) {
+            std::cout << path << ": FAIL (" << err << ")\n";
+            ++bad;
+            continue;
+        }
+        const DocType type = docTypeOf(doc);
+        std::vector<std::string> errs;
+        switch (type) {
+          case DocType::Bench:
+            checkBench(doc, errs);
+            break;
+          case DocType::Telemetry:
+            checkTelemetry(doc, errs);
+            break;
+          case DocType::Trace:
+            checkTrace(doc, errs);
+            break;
+          case DocType::RunStats:
+            checkRunStats(doc, errs);
+            break;
+          default:
+            errs.push_back("unrecognized document schema");
+            break;
+        }
+        if (errs.empty()) {
+            std::cout << path << ": OK (" << docTypeName(type) << ")\n";
+        } else {
+            ++bad;
+            std::cout << path << ": FAIL (" << docTypeName(type)
+                      << ")\n";
+            for (const auto &e : errs)
+                std::cout << "  - " << e << "\n";
+        }
+    }
+    return bad == 0 ? 0 : 1;
+}
+
+// ------------------------------------------------------------- summarize
+
+void
+summarizeBench(const Json &doc)
+{
+    if (const Json *fig = doc.find("figure"))
+        std::cout << "figure: " << fig->asString() << "\n";
+    if (const Json *rec = doc.find("records_per_core"))
+        std::cout << "records/core: " << rec->asUint() << "\n";
+    const Json *sections = doc.find("sections");
+    if (sections == nullptr)
+        return;
+    for (const Json &s : sections->elements()) {
+        const std::string kind =
+            s.find("kind") != nullptr ? s.at("kind").asString() : "?";
+        const std::string label =
+            s.find("label") != nullptr ? s.at("label").asString() : "?";
+        std::cout << "\n[" << label << "] (" << kind << ")\n";
+        if (kind == "policy_grid" &&
+            s.find("geomean_norm_ws") != nullptr) {
+            TextTable t;
+            t.header({"policy", "geomean_norm_ws"});
+            BarChart chart(48, 1.0);
+            for (const auto &kv : s.at("geomean_norm_ws").members()) {
+                t.row().cell(kv.first).cell(kv.second.asDouble());
+                chart.add(kv.first, kv.second.asDouble());
+            }
+            t.print(std::cout);
+            chart.print(std::cout);
+        } else if (kind == "throughput" && s.find("cells") != nullptr) {
+            TextTable t;
+            t.header({"policy", "geometry", "Macc/s", "hit_rate"});
+            for (const Json &c : s.at("cells").elements()) {
+                t.row()
+                    .cell(c.at("policy").asString())
+                    .cell(c.at("geometry").asString())
+                    .cell(c.at("accesses_per_sec").asDouble() / 1e6)
+                    .cell(c.at("hit_rate").asDouble());
+            }
+            t.print(std::cout);
+        } else if (kind == "lookups_per_sec") {
+            std::cout << "lookups/sec: "
+                      << static_cast<std::uint64_t>(
+                             s.at("lookups_per_sec").asDouble())
+                      << "\n";
+        } else if (s.find("cells") != nullptr) {
+            std::cout << s.at("cells").size() << " cells\n";
+        }
+    }
+}
+
+void
+summarizeTelemetry(const Json &doc, const std::string &series_filter)
+{
+    const Json &series = doc.at("series");
+    std::cout << series.size() << " series\n\n";
+    TextTable index;
+    index.header({"label", "rows", "interval", "probes"});
+    for (const Json &s : series.elements()) {
+        index.row()
+            .cell(s.at("label").asString())
+            .cell(s.at("rows").asUint())
+            .cell(s.at("interval").asUint())
+            .cell(std::uint64_t{s.at("probes").size()});
+    }
+    index.print(std::cout);
+
+    for (const Json &s : series.elements()) {
+        const std::string &label = s.at("label").asString();
+        const bool selected =
+            !series_filter.empty() &&
+            label.find(series_filter) != std::string::npos;
+        // Detail every series when there are few; otherwise only the
+        // --series selection (73 series x 12 probes is not a summary).
+        if (!selected && (series.size() > 4 || !series_filter.empty()))
+            continue;
+        std::cout << "\n" << label << " (every "
+                  << s.at("interval").asUint() << " LLC accesses, "
+                  << s.at("rows").asUint() << " rows)\n";
+        TextTable t;
+        t.header({"probe", "last", "series"});
+        for (const auto &kv : s.at("probes").members()) {
+            std::vector<double> vals;
+            vals.reserve(kv.second.size());
+            for (const Json &v : kv.second.elements())
+                vals.push_back(v.asDouble());
+            t.row()
+                .cell(kv.first)
+                .cell(vals.empty() ? 0.0 : vals.back())
+                .cell(sparkline(vals, 32));
+        }
+        t.print(std::cout);
+    }
+}
+
+void
+summarizeTrace(const Json &doc)
+{
+    const Json &events = doc.at("traceEvents");
+    std::map<std::string, std::pair<std::uint64_t, double>> byCat;
+    double maxTs = 0.0;
+    for (const Json &e : events.elements()) {
+        const Json *cat = e.find("cat");
+        const std::string c =
+            cat != nullptr ? cat->asString() : "(none)";
+        auto &slot = byCat[c];
+        ++slot.first;
+        if (const Json *dur = e.find("dur"))
+            slot.second += dur->asDouble();
+        maxTs = std::max(maxTs, e.at("ts").asDouble());
+    }
+    std::cout << events.size() << " events over " << maxTs / 1e6
+              << " s\n\n";
+    TextTable t;
+    t.header({"category", "events", "total_s"});
+    for (const auto &kv : byCat) {
+        t.row()
+            .cell(kv.first)
+            .cell(kv.second.first)
+            .cell(kv.second.second / 1e6);
+    }
+    t.print(std::cout);
+}
+
+void
+summarizeRunStats(const Json &doc)
+{
+    if (const Json *policy = doc.find("policy"))
+        std::cout << "policy: " << policy->asString() << "\n";
+    if (const Json *rec = doc.find("records_per_core"))
+        std::cout << "records/core: " << rec->asUint() << "\n";
+    const Json &stats = doc.at("stats");
+    TextTable t;
+    t.header({"group", "stat", "value"});
+    for (const auto &group : stats.members()) {
+        for (const auto &kv : group.second.members()) {
+            t.row().cell(group.first).cell(kv.first).cell(
+                kv.second.asDouble());
+        }
+    }
+    t.print(std::cout);
+}
+
+int
+summarizeFiles(const std::vector<std::string> &paths,
+               const std::string &series_filter)
+{
+    for (const auto &path : paths) {
+        Json doc = Json::parseOrDie(readFile(path), path);
+        const DocType type = docTypeOf(doc);
+        std::cout << "== " << path << " (" << docTypeName(type)
+                  << ") ==\n";
+        switch (type) {
+          case DocType::Bench:
+            summarizeBench(doc);
+            break;
+          case DocType::Telemetry:
+            summarizeTelemetry(doc, series_filter);
+            break;
+          case DocType::Trace:
+            summarizeTrace(doc);
+            break;
+          case DocType::RunStats:
+            summarizeRunStats(doc);
+            break;
+          default:
+            std::cout << "unrecognized document; nothing to report\n";
+            break;
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}
+
+// ------------------------------------------------------------------ diff
+
+/** @return section of @p doc with the given label, or nullptr. */
+const Json *
+findSection(const Json &doc, const std::string &label)
+{
+    const Json *sections = doc.find("sections");
+    if (sections == nullptr || !sections->isArray())
+        return nullptr;
+    for (const Json &s : sections->elements()) {
+        const Json *l = s.find("label");
+        if (l != nullptr && l->isString() && l->asString() == label)
+            return &s;
+    }
+    return nullptr;
+}
+
+int
+diffBench(const std::string &old_path, const std::string &new_path,
+          double threshold)
+{
+    const Json oldDoc =
+        Json::parseOrDie(readFile(old_path), old_path);
+    const Json newDoc =
+        Json::parseOrDie(readFile(new_path), new_path);
+
+    std::cout << "diff " << old_path << " -> " << new_path
+              << " (threshold " << threshold * 100.0 << "%)\n\n";
+
+    // Throughput cells, matched by (policy, geometry).
+    const Json *oldTp = findSection(oldDoc, "throughput");
+    const Json *newTp = findSection(newDoc, "throughput");
+    if (oldTp != nullptr && newTp != nullptr) {
+        std::map<std::string, double> oldCells;
+        for (const Json &c : oldTp->at("cells").elements()) {
+            oldCells[c.at("policy").asString() + "/" +
+                     c.at("geometry").asString()] =
+                c.at("accesses_per_sec").asDouble();
+        }
+        TextTable t;
+        t.header({"cell", "old_Macc/s", "new_Macc/s", "change_%"});
+        for (const Json &c : newTp->at("cells").elements()) {
+            const std::string key = c.at("policy").asString() + "/" +
+                c.at("geometry").asString();
+            const auto it = oldCells.find(key);
+            if (it == oldCells.end())
+                continue;
+            const double nv = c.at("accesses_per_sec").asDouble();
+            const double ov = it->second;
+            const double change =
+                ov > 0.0 ? (nv - ov) / ov * 100.0 : 0.0;
+            t.row()
+                .cell(key)
+                .cell(ov / 1e6)
+                .cell(nv / 1e6)
+                .cell(change);
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // The gate: LRU lookup throughput.
+    const Json *oldLook = findSection(oldDoc, "lru_lookup");
+    const Json *newLook = findSection(newDoc, "lru_lookup");
+    if (oldLook == nullptr || newLook == nullptr) {
+        std::cout << "no lru_lookup section on both sides; "
+                     "nothing to gate\n";
+        return 0;
+    }
+    const double ov = oldLook->at("lookups_per_sec").asDouble();
+    const double nv = newLook->at("lookups_per_sec").asDouble();
+    const double change = ov > 0.0 ? (nv - ov) / ov : 0.0;
+    std::cout << "lru_lookup lookups/sec: "
+              << static_cast<std::uint64_t>(ov) << " -> "
+              << static_cast<std::uint64_t>(nv) << " ("
+              << (change >= 0 ? "+" : "") << change * 100.0 << "%)\n";
+    if (change < -threshold) {
+        std::cout << "REGRESSION: lookup throughput dropped more than "
+                  << threshold * 100.0 << "%\n";
+        return 2;
+    }
+    std::cout << "OK\n";
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv, {"check"});
+    const std::vector<std::string> &files = args.positional();
+
+    if (args.has("diff")) {
+        // --diff OLD NEW: OLD is the flag value in "--diff OLD NEW"
+        // form, or the first positional in "--diff=OLD NEW" form.
+        std::vector<std::string> sides;
+        const std::string attached = args.get("diff", "");
+        if (!attached.empty())
+            sides.push_back(attached);
+        sides.insert(sides.end(), files.begin(), files.end());
+        if (sides.size() != 2)
+            fatal("--diff needs exactly two files, got ",
+                  sides.size());
+        return diffBench(sides[0], sides[1],
+                         args.getDouble("threshold", 0.05));
+    }
+
+    if (files.empty()) {
+        std::cerr
+            << "usage: nucache_report [--check] [--series=SUBSTR] "
+               "FILE...\n"
+               "       nucache_report --diff OLD NEW "
+               "[--threshold=0.05]\n";
+        return 1;
+    }
+
+    if (args.has("check"))
+        return checkFiles(files);
+    return summarizeFiles(files, args.get("series", ""));
+}

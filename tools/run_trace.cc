@@ -7,17 +7,28 @@
  *
  * Usage:
  *   run_trace [--policy=nucache] [--records=N] [--llc-kib=1024]
- *             [--llc-ways=16] [--check] a.nutrace [b.nutrace ...]
+ *             [--llc-ways=16] [--check] [--json=FILE]
+ *             [--telemetry[=N]] [--trace-out=FILE]
+ *             a.nutrace [b.nutrace ...]
  *
  * One trace per core; the LLC defaults to the canonical configuration
- * for that core count unless overridden.
+ * for that core count unless overridden.  --telemetry samples the
+ * observability probes every N LLC accesses and writes the
+ * `nucache-telemetry/v1` document next to --json (or telemetry.json);
+ * --trace-out captures a Chrome trace_event timeline of the run.
  */
 
+#include <fstream>
 #include <iostream>
 
 #include "check/check_mode.hh"
 #include "common/cli.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
+#include "obs/obs_mode.hh"
+#include "obs/telemetry.hh"
+#include "obs/tracer.hh"
 #include "sim/experiment.hh"
 #include "sim/policies.hh"
 #include "sim/system.hh"
@@ -28,10 +39,12 @@ using namespace nucache;
 int
 main(int argc, char **argv)
 {
-    const CliArgs args(argc, argv);
+    const CliArgs args(argc, argv, {"check", "telemetry"});
     if (args.positional().empty()) {
         std::cerr << "usage: run_trace [--policy=P] [--records=N] "
-                     "[--llc-kib=K] [--llc-ways=W] [--check] TRACE...\n";
+                     "[--llc-kib=K] [--llc-ways=W] [--check] "
+                     "[--json=FILE] [--telemetry[=N]] "
+                     "[--trace-out=FILE] TRACE...\n";
         return 1;
     }
 
@@ -67,6 +80,19 @@ main(int argc, char **argv)
 
     if (args.has("check"))
         check::setEnabled(true);
+
+    std::uint64_t telemetry = 0;
+    if (args.has("telemetry")) {
+        telemetry =
+            args.getInt("telemetry", obs::kDefaultTelemetryInterval);
+        if (telemetry == 0)
+            fatal("--telemetry interval must be > 0");
+        obs::setTelemetryInterval(telemetry);
+    }
+    const std::string trace_out = args.get("trace-out", "");
+    if (!trace_out.empty())
+        obs::Tracer::instance().start(trace_out);
+
     System sys(hier, makePolicy(policy), std::move(traces), records,
                check::enabled());
     const SystemResult res = sys.run();
@@ -90,5 +116,42 @@ main(int argc, char **argv)
               << ", DRAM reads: " << res.dramReads
               << ", DRAM queueing cycles: " << res.dramQueueCycles
               << "\n";
+
+    const std::string json_path = args.get("json", "");
+    if (!json_path.empty()) {
+        Json doc = Json::object();
+        doc["schema"] = "nucache-run/v1";
+        doc["policy"] = policy;
+        doc["records_per_core"] = records;
+        doc["cores"] = static_cast<std::uint64_t>(cores);
+        doc["stats"] = sys.statsJson();
+        std::ofstream os(json_path);
+        if (!os)
+            fatal("cannot write JSON results to '", json_path, "'");
+        doc.dump(os);
+        os << "\n";
+        std::fprintf(stderr, "wrote JSON results to %s\n",
+                     json_path.c_str());
+    }
+
+    if (telemetry != 0) {
+        std::string tpath = json_path;
+        const std::string ext = ".json";
+        if (tpath.size() > ext.size() &&
+            tpath.compare(tpath.size() - ext.size(), ext.size(), ext) ==
+                0) {
+            tpath.resize(tpath.size() - ext.size());
+        }
+        tpath = tpath.empty() ? "telemetry.json"
+                              : tpath + "_telemetry.json";
+        Json tdoc = obs::TelemetryHub::instance().drainJson();
+        std::ofstream os(tpath);
+        if (!os)
+            fatal("cannot write telemetry to '", tpath, "'");
+        tdoc.dump(os);
+        os << "\n";
+        std::fprintf(stderr, "wrote telemetry to %s\n", tpath.c_str());
+    }
+    obs::Tracer::instance().stop();
     return 0;
 }
