@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# End-to-end loopback smoke of the nucached simulation server: boot
+# on an ephemeral port, probe health, run a mix twice (the repeat
+# must come back from the result cache), drive the concurrent load
+# bench, and shut down gracefully.  The client exits non-zero on any
+# error response or dropped connection, and this script forwards it.
+# Usage: scripts/serve_smoke.sh [build_dir]
+#   MIN_RPS=<n>  optionally gate the bench on a throughput floor
+#                (leave unset on noisy or sanitizer-built runners).
+set -euo pipefail
+
+build="${1-build}"
+nucached="$build/tools/nucached"
+client="$build/tools/nucache_client"
+[ -x "$nucached" ] && [ -x "$client" ] || {
+    echo "serve smoke: build tools/nucached and tools/nucache_client" \
+        "first" >&2
+    exit 1
+}
+
+workdir="$(mktemp -d)"
+port_file="$workdir/port"
+log="$workdir/nucached.log"
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+"$nucached" --port=0 --port-file="$port_file" --records=10000 \
+    --jobs="$(nproc 2>/dev/null || echo 2)" >"$log" 2>&1 &
+server_pid=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$port_file" ] && break
+    kill -0 "$server_pid" 2>/dev/null || break
+    sleep 0.1
+done
+[ -s "$port_file" ] || {
+    echo "serve smoke: server never became ready" >&2
+    cat "$log" >&2
+    exit 1
+}
+port="$(cat "$port_file")"
+echo "== nucached up on port $port"
+
+echo "== health"
+"$client" --port="$port" --op=health --compact
+
+echo "== run_mix (cold, then cached repeat)"
+"$client" --port="$port" --op=run_mix --mix=mix2_01 \
+    --records=10000 --repeat=2 --compact >/dev/null
+
+echo "== hostile input keeps the server alive"
+if "$client" --port="$port" --raw='this is not json' --compact; then
+    echo "serve smoke: garbage line should answer an error" >&2
+    exit 1
+fi
+
+echo "== concurrent load bench"
+bench_out="$workdir/bench.txt"
+"$client" --port="$port" --op=run_mix --mix=mix2_01 \
+    --records=10000 --bench=8 --requests=25 | tee "$bench_out"
+if [ -n "${MIN_RPS-}" ]; then
+    awk -v floor="$MIN_RPS" '/^throughput:/ {
+        if ($2 + 0 < floor + 0) {
+            printf "serve smoke: %s req/s below floor %s\n", $2, floor
+            exit 1
+        }
+    }' "$bench_out"
+fi
+
+echo "== graceful shutdown drains"
+"$client" --port="$port" --raw='{"op":"shutdown"}' --compact
+wait "$server_pid"
+server_pid=""
+grep -q "drained and stopped" "$log" || {
+    echo "serve smoke: server did not report a clean drain" >&2
+    cat "$log" >&2
+    exit 1
+}
+echo "serve smoke OK"

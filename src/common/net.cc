@@ -1,0 +1,218 @@
+#include "common/net.hh"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace nucache::net
+{
+
+namespace
+{
+
+/** @return "what: strerror(errno)". */
+std::string
+errnoMessage(const std::string &what)
+{
+    return what + ": " + std::strerror(errno);
+}
+
+/** Parse an IPv4 dotted quad into @p addr. */
+bool
+parseAddr(const std::string &host, in_addr &addr)
+{
+    return inet_pton(AF_INET, host.c_str(), &addr) == 1;
+}
+
+} // anonymous namespace
+
+int
+listenTcp(const std::string &host, std::uint16_t port, std::string &err)
+{
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(port);
+    if (!parseAddr(host, sa.sin_addr)) {
+        err = "bad IPv4 address '" + host + "'";
+        return -1;
+    }
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = errnoMessage("socket");
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&sa), sizeof(sa)) != 0) {
+        err = errnoMessage("bind " + host);
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 128) != 0) {
+        err = errnoMessage("listen");
+        ::close(fd);
+        return -1;
+    }
+    if (!setNonBlocking(fd)) {
+        err = errnoMessage("fcntl(O_NONBLOCK)");
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+std::uint16_t
+localPort(int fd)
+{
+    sockaddr_in sa{};
+    socklen_t len = sizeof(sa);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&sa), &len) != 0)
+        return 0;
+    return ntohs(sa.sin_port);
+}
+
+int
+connectTcp(const std::string &host, std::uint16_t port, std::string &err)
+{
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(port);
+    if (!parseAddr(host, sa.sin_addr)) {
+        err = "bad IPv4 address '" + host + "'";
+        return -1;
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = errnoMessage("socket");
+        return -1;
+    }
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<sockaddr *>(&sa), sizeof(sa));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        err = errnoMessage("connect " + host);
+        ::close(fd);
+        return -1;
+    }
+    setNoDelay(fd);
+    return fd;
+}
+
+int
+acceptConnection(int listen_fd)
+{
+    int fd;
+    do {
+        fd = ::accept(listen_fd, nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
+    return fd;
+}
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void
+setNoDelay(int fd)
+{
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+bool
+writeAll(int fd, const void *data, std::size_t n)
+{
+    const char *p = static_cast<const char *>(data);
+    while (n > 0) {
+        const ssize_t w = ::write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+WakePipe::WakePipe()
+{
+    fds[0] = fds[1] = -1;
+    int raw[2];
+    if (::pipe(raw) != 0)
+        return;
+    if (!setNonBlocking(raw[0]) || !setNonBlocking(raw[1])) {
+        ::close(raw[0]);
+        ::close(raw[1]);
+        return;
+    }
+    fds[0] = raw[0];
+    fds[1] = raw[1];
+}
+
+WakePipe::~WakePipe()
+{
+    if (fds[0] >= 0)
+        ::close(fds[0]);
+    if (fds[1] >= 0)
+        ::close(fds[1]);
+}
+
+void
+WakePipe::notify()
+{
+    if (fds[1] < 0)
+        return;
+    const char byte = 1;
+    // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
+    [[maybe_unused]] const ssize_t rc = ::write(fds[1], &byte, 1);
+}
+
+void
+WakePipe::drain()
+{
+    if (fds[0] < 0)
+        return;
+    char buf[256];
+    while (::read(fds[0], buf, sizeof(buf)) > 0) {
+    }
+}
+
+bool
+LineReader::readLine(std::string &line)
+{
+    while (true) {
+        const auto nl = buf.find('\n');
+        if (nl != std::string::npos) {
+            line = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            return true;
+        }
+        if (buf.size() > maxLine)
+            return false;
+        char chunk[4096];
+        ssize_t r;
+        do {
+            r = ::read(sock, chunk, sizeof(chunk));
+        } while (r < 0 && errno == EINTR);
+        if (r <= 0)
+            return false;
+        buf.append(chunk, static_cast<std::size_t>(r));
+    }
+}
+
+} // namespace nucache::net

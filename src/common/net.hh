@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Thin POSIX socket helpers for the serve layer and its clients:
+ * IPv4 TCP listeners and connections, non-blocking mode, a self-pipe
+ * for poll-loop wakeups, a write-everything helper for blocking fds,
+ * and a buffered newline-delimited line reader.
+ *
+ * Everything reports errors by return value + message (never
+ * fatal()): the server must survive any network condition, and the
+ * client wants to print its own diagnostics.
+ */
+
+#ifndef NUCACHE_COMMON_NET_HH
+#define NUCACHE_COMMON_NET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace nucache::net
+{
+
+/**
+ * Create an IPv4 TCP listener bound to @p host:@p port (SO_REUSEADDR,
+ * non-blocking).  @p port 0 binds an ephemeral port; read it back
+ * with localPort().
+ * @param err filled with a reason on failure.
+ * @return the listening fd, or -1.
+ */
+int listenTcp(const std::string &host, std::uint16_t port,
+              std::string &err);
+
+/** @return the locally bound port of @p fd, or 0 on error. */
+std::uint16_t localPort(int fd);
+
+/**
+ * Blocking IPv4 TCP connect to @p host:@p port with TCP_NODELAY set
+ * (the protocol is small request/response lines; Nagle would add
+ * 40 ms stalls to every exchange).
+ * @return the connected fd, or -1 with @p err filled.
+ */
+int connectTcp(const std::string &host, std::uint16_t port,
+               std::string &err);
+
+/** Accept one pending connection; non-blocking @p listen_fd.
+ *  @return the fd, or -1 (EAGAIN and real errors alike). */
+int acceptConnection(int listen_fd);
+
+/** Switch @p fd to non-blocking mode. @return success. */
+bool setNonBlocking(int fd);
+
+/** Set TCP_NODELAY on @p fd (no-op on failure; latency tuning). */
+void setNoDelay(int fd);
+
+/**
+ * Write all @p n bytes of @p data to blocking fd @p fd, retrying
+ * short writes and EINTR.  @return whether every byte was written.
+ */
+bool writeAll(int fd, const void *data, std::size_t n);
+
+/**
+ * A pipe whose read end can sit in a poll set: worker threads (or a
+ * signal handler — write() is async-signal-safe) notify the poll
+ * loop by writing a byte.  Both ends are non-blocking.
+ */
+class WakePipe
+{
+  public:
+    /** Creates the pipe; valid() reports failure. */
+    WakePipe();
+    ~WakePipe();
+
+    WakePipe(const WakePipe &) = delete;
+    WakePipe &operator=(const WakePipe &) = delete;
+
+    bool valid() const { return fds[0] >= 0; }
+
+    /** @return the read end, for the poll set. */
+    int readFd() const { return fds[0]; }
+
+    /** Wake the poll loop (thread- and signal-safe, never blocks). */
+    void notify();
+
+    /** Drain every pending wake byte (call when readFd() is ready). */
+    void drain();
+
+  private:
+    int fds[2];
+};
+
+/**
+ * Buffered reader of newline-delimited lines from a blocking fd
+ * (clients and tests; the server does its own non-blocking
+ * buffering).  Lines longer than @p max_line fail the read.
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd, std::size_t max_line = 1 << 20)
+        : sock(fd), maxLine(max_line)
+    {
+    }
+
+    /**
+     * Read the next '\n'-terminated line (terminator stripped).
+     * Blocks until a full line, EOF or error.
+     * @return whether a line was produced.
+     */
+    bool readLine(std::string &line);
+
+  private:
+    int sock;
+    std::size_t maxLine;
+    std::string buf;
+};
+
+} // namespace nucache::net
+
+#endif // NUCACHE_COMMON_NET_HH

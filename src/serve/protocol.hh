@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The `nucache-rpc/v1` wire protocol: newline-delimited JSON
+ * request/response framing for the nucached simulation server.
+ *
+ * Request line:
+ *   {"v": "nucache-rpc/v1",      // optional, v1 assumed
+ *    "id": 7,                    // optional u64, echoed back
+ *    "op": "run_mix" | "run_trace" | "stats" | "health" | "shutdown",
+ *    "deadline_ms": 30000,       // optional queue deadline override
+ *    "params": { ... }}          // op-specific, see below
+ *
+ * run_mix params:  {"workloads": ["loop_medium", "stream_pure"]} or
+ *                  {"mix": "mix2_01"} (a canonical 2/4/8-core mix),
+ *                  plus optional "policy" (spec grammar of
+ *                  sim/policies.hh, default "nucache"), "records",
+ *                  "llc_kib", "llc_ways", "telemetry" (sampling
+ *                  stride; attaches the nucache-telemetry/v1 doc),
+ *                  "no_cache" (skip the server's result cache).
+ * run_trace params: {"traces": ["/path/a.nutrace", ...]} plus the
+ *                  same "policy"/"records"/"llc_kib"/"llc_ways".
+ *
+ * Response line:
+ *   {"v": "nucache-rpc/v1", "id": 7, "ok": true,  "result": {...}}
+ *   {"v": "nucache-rpc/v1", "id": 7, "ok": false,
+ *    "error": {"code": "overload", "message": "..."}}
+ *
+ * Error codes: bad_request, too_large, overload, deadline_exceeded,
+ * shutting_down, internal.
+ *
+ * Parsing is strict and never fatal()s: every malformed line maps to
+ * a bad_request response, so untrusted bytes cannot take the server
+ * down (the same posture as trace_io's try-parsers).
+ */
+
+#ifndef NUCACHE_SERVE_PROTOCOL_HH
+#define NUCACHE_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "sim/experiment.hh"
+#include "sim/mixes.hh"
+
+namespace nucache::serve
+{
+
+/** Protocol identifier, echoed in every response. */
+inline constexpr const char *kProtocolVersion = "nucache-rpc/v1";
+
+/** Hard cap on one request line (framing guard, not a JSON limit). */
+inline constexpr std::size_t kMaxRequestBytes = 1 << 20;
+
+/** Caps on the simulation work one request may ask for. */
+inline constexpr std::uint64_t kMinRecords = 1'000;
+inline constexpr std::uint64_t kMaxRecords = 64'000'000;
+
+/** Machine-readable error codes of failed responses. */
+namespace error
+{
+inline constexpr const char *kBadRequest = "bad_request";
+inline constexpr const char *kTooLarge = "too_large";
+inline constexpr const char *kOverload = "overload";
+inline constexpr const char *kDeadlineExceeded = "deadline_exceeded";
+inline constexpr const char *kShuttingDown = "shutting_down";
+inline constexpr const char *kInternal = "internal";
+} // namespace error
+
+/** The request verbs of nucache-rpc/v1. */
+enum class Op
+{
+    RunMix,
+    RunTrace,
+    Stats,
+    Health,
+    Shutdown,
+};
+
+/** @return the wire name of @p op. */
+const char *opName(Op op);
+
+/** A validated request, ready for admission. */
+struct Request
+{
+    Op op = Op::Health;
+    /** Client correlation id ("id"); echoed when present. */
+    std::uint64_t id = 0;
+    bool hasId = false;
+    /** Queue deadline in ms; 0 = use the server default. */
+    std::uint64_t deadlineMs = 0;
+
+    /** run_mix: the resolved mix (named or ad-hoc workload list). */
+    WorkloadMix mix;
+    /** run_trace: server-side trace file paths, one per core. */
+    std::vector<std::string> tracePaths;
+    /** run_mix / run_trace: policy spec (validated, non-fatal). */
+    std::string policy = "nucache";
+    /** Measurement window per core; 0 = server default. */
+    std::uint64_t records = 0;
+    /** LLC geometry overrides; 0 = canonical for the core count. */
+    std::uint64_t llcKib = 0;
+    std::uint32_t llcWays = 0;
+    /** Telemetry sampling stride; 0 = no telemetry attachment. */
+    std::uint64_t telemetry = 0;
+    /** Skip the server's result cache for this request. */
+    bool noCache = false;
+};
+
+/**
+ * Parse and validate one request line.  Strict: unknown ops, unknown
+ * workload/mix names, malformed policy specs, out-of-range records
+ * and impossible LLC geometries are all rejected here, before any
+ * simulation object is built — makePolicy()/System would fatal() on
+ * them.
+ * @param err on failure, a human-readable reason.
+ * @return whether @p out holds a valid request.
+ */
+bool parseRequest(const std::string &line, Request &out,
+                  std::string &err);
+
+/**
+ * @return the hierarchy a validated request simulates: the canonical
+ * configuration for its core count with the LLC overrides applied.
+ */
+HierarchyConfig requestHierarchy(const Request &req);
+
+/**
+ * @return the admission-batching compatibility key of @p req: two
+ * requests with equal keys may be dispatched as one engine batch
+ * (same measurement window and hierarchy, both telemetry-free).
+ * Empty when @p req must run exclusively (telemetry attachment).
+ */
+std::string batchKey(const Request &req, std::uint64_t default_records);
+
+/**
+ * @return the result-cache key of @p req — a canonical rendering of
+ * every simulation-relevant parameter.  Deterministic simulation
+ * makes caching sound: equal keys imply byte-equal results.  Empty
+ * when the request is uncacheable (telemetry, no_cache, non-run ops).
+ */
+std::string cacheKey(const Request &req, std::uint64_t default_records);
+
+/** @return a success envelope carrying @p result. */
+Json okResponse(const Request &req, Json result);
+
+/** @return a failure envelope (@p req supplies the echoed id). */
+Json errorResponse(const Request &req, const std::string &code,
+                   const std::string &message);
+
+/** @return a failure envelope for a line that never parsed (no id). */
+Json errorResponse(const std::string &code, const std::string &message);
+
+} // namespace nucache::serve
+
+#endif // NUCACHE_SERVE_PROTOCOL_HH

@@ -1,0 +1,496 @@
+#include "serve/server.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace nucache::serve
+{
+
+namespace
+{
+
+/** @return elapsed ms between @p start and @p end. */
+double
+elapsedMs(std::chrono::steady_clock::time_point start,
+          std::chrono::steady_clock::time_point end)
+{
+    return std::chrono::duration<double, std::milli>(end - start)
+        .count();
+}
+
+} // anonymous namespace
+
+Server::Server(ServerConfig config)
+    : cfg(std::move(config)), service(cfg.service)
+{
+    if (cfg.queueDepth == 0)
+        cfg.queueDepth = 1;
+    if (cfg.batchMax == 0)
+        cfg.batchMax = 1;
+}
+
+Server::~Server()
+{
+    requestShutdown();
+    join();
+}
+
+bool
+Server::start(std::string &err)
+{
+    if (!wake.valid()) {
+        err = "cannot create the wake pipe";
+        return false;
+    }
+    listenFd = net::listenTcp(cfg.host, cfg.port, err);
+    if (listenFd < 0)
+        return false;
+    boundPort = net::localPort(listenFd);
+    started = Clock::now();
+    pollThread = std::thread(&Server::pollLoop, this);
+    dispatchThread = std::thread(&Server::dispatchLoop, this);
+    return true;
+}
+
+void
+Server::requestShutdown()
+{
+    stopping.store(true, std::memory_order_release);
+    queueCv.notify_all();
+    wake.notify();
+}
+
+void
+Server::signalShutdown()
+{
+    // Only async-signal-safe operations: an atomic store and one
+    // write() on the wake pipe.  The poll thread promotes this to a
+    // full requestShutdown() (condition_variable::notify is not
+    // signal-safe).
+    signalled.store(true, std::memory_order_release);
+    wake.notify();
+}
+
+void
+Server::join()
+{
+    std::lock_guard<std::mutex> lock(lifecycleMtx);
+    if (threadsJoined)
+        return;
+    if (pollThread.joinable())
+        pollThread.join();
+    if (dispatchThread.joinable())
+        dispatchThread.join();
+    threadsJoined = true;
+}
+
+void
+Server::pollLoop()
+{
+    while (true) {
+        if (signalled.exchange(false, std::memory_order_acq_rel))
+            requestShutdown();
+
+        const bool stop = stopping.load(std::memory_order_acquire);
+        if (stop && drained.load(std::memory_order_acquire)) {
+            std::lock_guard<std::mutex> lock(connsMtx);
+            bool flushed = true;
+            for (const auto &[id, conn] : conns) {
+                (void)id;
+                if (!conn.out.empty())
+                    flushed = false;
+            }
+            if (flushed)
+                break;
+        }
+
+        std::vector<pollfd> fds;
+        std::vector<std::uint64_t> ids;
+        pollfd wk{};
+        wk.fd = wake.readFd();
+        wk.events = POLLIN;
+        fds.push_back(wk);
+        pollfd ls{};
+        // A negative fd makes poll() skip the entry: once shutdown
+        // starts the listener goes quiet without a rebuild.
+        ls.fd = stop ? -1 : listenFd;
+        ls.events = POLLIN;
+        fds.push_back(ls);
+        {
+            std::lock_guard<std::mutex> lock(connsMtx);
+            for (const auto &[id, conn] : conns) {
+                pollfd p{};
+                p.fd = conn.fd;
+                p.events = POLLIN;
+                if (!conn.out.empty())
+                    p.events |= POLLOUT;
+                fds.push_back(p);
+                ids.push_back(id);
+            }
+        }
+
+        // The timeout bounds how long a drained-but-unflushed state
+        // can linger when no event arrives.
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 100);
+
+        if ((fds[0].revents & POLLIN) != 0)
+            wake.drain();
+        if (!stop && (fds[1].revents & POLLIN) != 0)
+            acceptPending();
+
+        for (std::size_t i = 2; i < fds.size(); ++i) {
+            const std::uint64_t id = ids[i - 2];
+            // Only this thread mutates the map, so the lookup itself
+            // needs no lock; `out` is still guarded by connsMtx.
+            const auto it = conns.find(id);
+            if (it == conns.end())
+                continue;
+            Connection &conn = it->second;
+            const short ev = fds[i].revents;
+            if ((ev & POLLIN) != 0) {
+                if (!readFrom(id, conn)) {
+                    closeConn(id);
+                    continue;
+                }
+            } else if ((ev & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+                closeConn(id);
+                continue;
+            }
+            if ((ev & POLLOUT) != 0) {
+                bool alive, done;
+                {
+                    std::lock_guard<std::mutex> lock(connsMtx);
+                    alive = flushOut(conn);
+                    done = conn.out.empty() && conn.closeAfterFlush;
+                }
+                if (!alive || done)
+                    closeConn(id);
+            }
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(connsMtx);
+        for (auto &[id, conn] : conns) {
+            (void)id;
+            ::close(conn.fd);
+        }
+        conns.clear();
+    }
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+    }
+}
+
+void
+Server::acceptPending()
+{
+    while (true) {
+        const int fd = net::acceptConnection(listenFd);
+        if (fd < 0)
+            return;
+        std::size_t count;
+        {
+            std::lock_guard<std::mutex> lock(connsMtx);
+            count = conns.size();
+        }
+        if (count >= cfg.maxConnections) {
+            ++rejectedConns;
+            std::string line =
+                errorResponse(error::kOverload,
+                              "connection limit reached")
+                    .str(0);
+            line += '\n';
+            net::writeAll(fd, line.data(), line.size());
+            ::close(fd);
+            continue;
+        }
+        net::setNonBlocking(fd);
+        net::setNoDelay(fd);
+        {
+            std::lock_guard<std::mutex> lock(connsMtx);
+            Connection conn;
+            conn.fd = fd;
+            conns.emplace(nextConnId++, std::move(conn));
+        }
+        ++accepted;
+    }
+}
+
+bool
+Server::readFrom(std::uint64_t conn_id, Connection &conn)
+{
+    char buf[65536];
+    while (true) {
+        const ssize_t r = ::recv(conn.fd, buf, sizeof(buf), 0);
+        if (r == 0)
+            return false;
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return errno == EAGAIN || errno == EWOULDBLOCK;
+        }
+        if (conn.closeAfterFlush)
+            continue; // discard bytes after a framing violation
+        conn.in.append(buf, static_cast<std::size_t>(r));
+        std::size_t nl;
+        while ((nl = conn.in.find('\n')) != std::string::npos) {
+            std::string line = conn.in.substr(0, nl);
+            conn.in.erase(0, nl + 1);
+            if (line.size() > cfg.maxLineBytes) {
+                ++tooLarge;
+                queueResponse(
+                    conn_id,
+                    errorResponse(error::kTooLarge,
+                                  "request line exceeds " +
+                                      std::to_string(cfg.maxLineBytes) +
+                                      " bytes"));
+                conn.closeAfterFlush = true;
+                conn.in.clear();
+                return true;
+            }
+            handleLine(conn_id, line);
+        }
+        if (conn.in.size() > cfg.maxLineBytes) {
+            ++tooLarge;
+            queueResponse(
+                conn_id,
+                errorResponse(error::kTooLarge,
+                              "request line exceeds " +
+                                  std::to_string(cfg.maxLineBytes) +
+                                  " bytes without a newline"));
+            conn.closeAfterFlush = true;
+            conn.in.clear();
+            return true;
+        }
+    }
+}
+
+void
+Server::handleLine(std::uint64_t conn_id, const std::string &line)
+{
+    if (line.find_first_not_of(" \t\r") == std::string::npos)
+        return;
+    ++requests;
+
+    Request req;
+    std::string err;
+    if (!parseRequest(line, req, err)) {
+        ++badRequests;
+        queueResponse(conn_id, errorResponse(error::kBadRequest, err));
+        return;
+    }
+
+    switch (req.op) {
+      case Op::Health:
+        queueResponse(conn_id, okResponse(req, healthResult()));
+        return;
+      case Op::Stats:
+        queueResponse(conn_id, okResponse(req, statsJson()));
+        return;
+      case Op::Shutdown: {
+        Json result = Json::object();
+        result["draining"] = true;
+        queueResponse(conn_id, okResponse(req, std::move(result)));
+        requestShutdown();
+        return;
+      }
+      case Op::RunMix:
+      case Op::RunTrace:
+        break;
+    }
+
+    if (shuttingDown()) {
+        ++rejectedShutdown;
+        queueResponse(conn_id,
+                      errorResponse(req, error::kShuttingDown,
+                                    "server is draining"));
+        return;
+    }
+
+    Pending pending;
+    pending.conn = conn_id;
+    pending.enqueued = Clock::now();
+    pending.deadlineMs = req.deadlineMs != 0 ? req.deadlineMs
+                                             : cfg.defaultDeadlineMs;
+    pending.req = std::move(req);
+    {
+        std::lock_guard<std::mutex> lock(queueMtx);
+        if (queue.size() >= cfg.queueDepth) {
+            ++overloads;
+            queueResponse(
+                conn_id,
+                errorResponse(pending.req, error::kOverload,
+                              "admission queue full (depth " +
+                                  std::to_string(cfg.queueDepth) +
+                                  ")"));
+            return;
+        }
+        queue.push_back(std::move(pending));
+    }
+    queueCv.notify_one();
+}
+
+void
+Server::dispatchLoop()
+{
+    while (true) {
+        std::vector<Pending> batch;
+        {
+            std::unique_lock<std::mutex> lock(queueMtx);
+            queueCv.wait(lock, [&] {
+                return !queue.empty() ||
+                       stopping.load(std::memory_order_acquire);
+            });
+            if (queue.empty()) {
+                // Shutdown with nothing left: the queue is drained.
+                drained.store(true, std::memory_order_release);
+                wake.notify();
+                return;
+            }
+            batch.push_back(std::move(queue.front()));
+            queue.pop_front();
+            // Group immediately-compatible admitted requests into
+            // one engine batch (same measurement window, no
+            // telemetry): they run as parallel jobs on one engine
+            // and share its arena cursors and run-alone cache.
+            const std::string key =
+                batchKey(batch.front().req, service.defaultRecords());
+            if (!key.empty()) {
+                for (auto it = queue.begin();
+                     it != queue.end() && batch.size() < cfg.batchMax;) {
+                    if (batchKey(it->req, service.defaultRecords()) ==
+                        key) {
+                        batch.push_back(std::move(*it));
+                        it = queue.erase(it);
+                    } else {
+                        ++it;
+                    }
+                }
+            }
+        }
+
+        // Queue deadlines are enforced here, at dispatch: a request
+        // that already waited past its deadline gets an immediate
+        // deadline_exceeded instead of burning simulation time.
+        std::vector<Request> reqs;
+        std::vector<std::uint64_t> conn_ids;
+        const Clock::time_point now = Clock::now();
+        for (Pending &p : batch) {
+            const double waited = elapsedMs(p.enqueued, now);
+            if (waited > static_cast<double>(p.deadlineMs)) {
+                ++deadlineExpired;
+                queueResponse(
+                    p.conn,
+                    errorResponse(p.req, error::kDeadlineExceeded,
+                                  "queued " + std::to_string(waited) +
+                                      " ms, past the " +
+                                      std::to_string(p.deadlineMs) +
+                                      " ms deadline"));
+                continue;
+            }
+            reqs.push_back(std::move(p.req));
+            conn_ids.push_back(p.conn);
+        }
+        if (reqs.empty())
+            continue;
+        service.executeBatch(reqs, [&](std::size_t i, Json response) {
+            queueResponse(conn_ids[i], response);
+        });
+    }
+}
+
+void
+Server::queueResponse(std::uint64_t conn_id, const Json &response)
+{
+    std::string line = response.str(0);
+    line += '\n';
+    {
+        std::lock_guard<std::mutex> lock(connsMtx);
+        const auto it = conns.find(conn_id);
+        if (it == conns.end()) {
+            ++droppedResponses;
+            return;
+        }
+        it->second.out += line;
+    }
+    ++responses;
+    wake.notify();
+}
+
+bool
+Server::flushOut(Connection &conn)
+{
+    while (!conn.out.empty()) {
+        const ssize_t w = ::send(conn.fd, conn.out.data(),
+                                 conn.out.size(), MSG_NOSIGNAL);
+        if (w > 0) {
+            conn.out.erase(0, static_cast<std::size_t>(w));
+            continue;
+        }
+        if (w < 0 && errno == EINTR)
+            continue;
+        return w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+    }
+    return true;
+}
+
+void
+Server::closeConn(std::uint64_t conn_id)
+{
+    std::lock_guard<std::mutex> lock(connsMtx);
+    const auto it = conns.find(conn_id);
+    if (it == conns.end())
+        return;
+    ::close(it->second.fd);
+    conns.erase(it);
+}
+
+Json
+Server::healthResult() const
+{
+    Json r = Json::object();
+    r["status"] = shuttingDown() ? "draining" : "ok";
+    r["version"] = kProtocolVersion;
+    r["uptime_ms"] = elapsedMs(started, Clock::now());
+    return r;
+}
+
+Json
+Server::statsJson() const
+{
+    Json s = Json::object();
+    s["uptime_ms"] = elapsedMs(started, Clock::now());
+    {
+        std::lock_guard<std::mutex> lock(connsMtx);
+        s["connections"] = std::uint64_t{conns.size()};
+    }
+    {
+        std::lock_guard<std::mutex> lock(queueMtx);
+        s["queue_len"] = std::uint64_t{queue.size()};
+    }
+    s["queue_depth"] = std::uint64_t{cfg.queueDepth};
+    s["batch_max"] = std::uint64_t{cfg.batchMax};
+    s["max_connections"] = std::uint64_t{cfg.maxConnections};
+    s["accepted"] = accepted.load();
+    s["rejected_connections"] = rejectedConns.load();
+    s["requests"] = requests.load();
+    s["responses"] = responses.load();
+    s["bad_requests"] = badRequests.load();
+    s["too_large"] = tooLarge.load();
+    s["overloads"] = overloads.load();
+    s["deadline_expired"] = deadlineExpired.load();
+    s["rejected_shutting_down"] = rejectedShutdown.load();
+    s["dropped_responses"] = droppedResponses.load();
+    s["service"] = service.statsJson();
+    return s;
+}
+
+} // namespace nucache::serve

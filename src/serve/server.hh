@@ -1,0 +1,207 @@
+/**
+ * @file
+ * nucached's network front end: an IPv4 TCP listener speaking the
+ * newline-delimited `nucache-rpc/v1` protocol (serve/protocol.hh),
+ * with explicit admission control in front of the simulation
+ * service.
+ *
+ * Threading model — three kinds of threads, two owned here:
+ *  - the poll thread owns every socket: it accepts connections,
+ *    splits the byte stream into request lines, answers the cheap
+ *    control ops (health, stats, shutdown) inline, admits run
+ *    requests to the bounded queue, and flushes response buffers;
+ *  - the dispatcher thread pops admitted requests, groups
+ *    consecutive compatible ones (equal batchKey(), up to batchMax)
+ *    into one engine batch, enforces queue deadlines, and hands the
+ *    batch to the SimulationService;
+ *  - the service's engine workers run the simulations and emit
+ *    responses back through queueResponse(), which appends to the
+ *    connection's output buffer and wakes the poll thread.
+ *
+ * Backpressure is explicit: a full admission queue answers
+ * `overload` immediately instead of stalling the socket, a request
+ * older than its deadline answers `deadline_exceeded` instead of
+ * burning simulation time, and past the connection cap new sockets
+ * get one `overload` line and a close.  Graceful shutdown (SIGINT /
+ * SIGTERM / the shutdown op) stops admitting, drains everything
+ * already admitted, flushes every response, then exits.
+ */
+
+#ifndef NUCACHE_SERVE_SERVER_HH
+#define NUCACHE_SERVE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/net.hh"
+#include "serve/protocol.hh"
+#include "serve/service.hh"
+
+namespace nucache::serve
+{
+
+/** Listener + admission knobs (service knobs ride along). */
+struct ServerConfig
+{
+    std::string host = "127.0.0.1";
+    /** TCP port; 0 binds an ephemeral port (tests), see port(). */
+    std::uint16_t port = 7411;
+    /** Admission-queue depth; a full queue answers `overload`. */
+    std::size_t queueDepth = 64;
+    /** Queue deadline for requests that do not set "deadline_ms". */
+    std::uint64_t defaultDeadlineMs = 30'000;
+    /** Most requests dispatched as one engine batch. */
+    std::size_t batchMax = 8;
+    /** Connection cap; extra sockets get `overload` and a close. */
+    std::size_t maxConnections = 256;
+    /** Per-line framing cap; longer lines get `too_large`. */
+    std::size_t maxLineBytes = kMaxRequestBytes;
+    /** Simulation-side configuration (jobs, caches, windows). */
+    ServiceConfig service;
+};
+
+/** The nucached server; one instance per process. */
+class Server
+{
+  public:
+    explicit Server(ServerConfig config);
+
+    /** Stops and joins if still running. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind the listener and start the poll + dispatcher threads.
+     * @param err filled with the reason on failure.
+     * @return whether the server is now serving.
+     */
+    bool start(std::string &err);
+
+    /** @return the bound port (resolves port 0), 0 before start(). */
+    std::uint16_t port() const { return boundPort; }
+
+    /**
+     * Begin graceful shutdown: stop admitting, drain admitted work,
+     * flush responses, exit both threads.  Thread-safe; not
+     * async-signal-safe (see signalShutdown()).
+     */
+    void requestShutdown();
+
+    /**
+     * Async-signal-safe shutdown trigger for SIGINT/SIGTERM
+     * handlers: an atomic flag plus one write() to the wake pipe.
+     * The poll thread converts it into requestShutdown().
+     */
+    void signalShutdown();
+
+    /** Block until both server threads have exited. */
+    void join();
+
+    /** @return whether shutdown has been requested. */
+    bool shuttingDown() const
+    {
+        return stopping.load(std::memory_order_acquire);
+    }
+
+    /** @return server + service counters (op "stats"). */
+    Json statsJson() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** One client connection (sockets owned by the poll thread). */
+    struct Connection
+    {
+        int fd = -1;
+        /** Partial input line (poll thread only). */
+        std::string in;
+        /** Pending output bytes (guarded by connsMtx). */
+        std::string out;
+        /** Close once `out` drains. */
+        bool closeAfterFlush = false;
+    };
+
+    /** One admitted run request waiting for dispatch. */
+    struct Pending
+    {
+        Request req;
+        std::uint64_t conn = 0;
+        Clock::time_point enqueued;
+        std::uint64_t deadlineMs = 0;
+    };
+
+    void pollLoop();
+    void dispatchLoop();
+
+    /** Accept until EAGAIN, enforcing the connection cap. */
+    void acceptPending();
+
+    /** Read until EAGAIN; split and handle complete lines.
+     *  @return whether the connection survives. */
+    bool readFrom(std::uint64_t conn_id, Connection &conn);
+
+    /** Route one complete request line from @p conn_id. */
+    void handleLine(std::uint64_t conn_id, const std::string &line);
+
+    /** Serialize @p response onto @p conn_id's output buffer. */
+    void queueResponse(std::uint64_t conn_id, const Json &response);
+
+    /** Flush @p conn's output buffer. @return connection survives. */
+    bool flushOut(Connection &conn);
+
+    void closeConn(std::uint64_t conn_id);
+
+    Json healthResult() const;
+
+    ServerConfig cfg;
+    SimulationService service;
+    net::WakePipe wake;
+    int listenFd = -1;
+    std::uint16_t boundPort = 0;
+    Clock::time_point started;
+
+    std::thread pollThread;
+    std::thread dispatchThread;
+    std::mutex lifecycleMtx;
+    bool threadsJoined = false;
+
+    std::atomic<bool> stopping{false};
+    std::atomic<bool> signalled{false};
+    /** Dispatcher has drained the queue after a shutdown request. */
+    std::atomic<bool> drained{false};
+
+    mutable std::mutex connsMtx;
+    std::map<std::uint64_t, Connection> conns;
+    std::uint64_t nextConnId = 1;
+
+    mutable std::mutex queueMtx;
+    std::condition_variable queueCv;
+    std::deque<Pending> queue;
+
+    /** Counters (atomics: bumped on poll/dispatch/worker threads). */
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> rejectedConns{0};
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> responses{0};
+    std::atomic<std::uint64_t> badRequests{0};
+    std::atomic<std::uint64_t> tooLarge{0};
+    std::atomic<std::uint64_t> overloads{0};
+    std::atomic<std::uint64_t> deadlineExpired{0};
+    std::atomic<std::uint64_t> rejectedShutdown{0};
+    std::atomic<std::uint64_t> droppedResponses{0};
+};
+
+} // namespace nucache::serve
+
+#endif // NUCACHE_SERVE_SERVER_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The simulation service behind nucached: executes validated
+ * nucache-rpc/v1 run requests on shared RunEngines, so served
+ * traffic gets the same reuse machinery the bench layer has —
+ * arena-materialized workload traces, the memoized run-alone IPC
+ * cache, and pool-parallel batch execution — plus a server-side
+ * result cache that deterministic simulation makes sound (equal
+ * request keys imply byte-equal results).
+ *
+ * The service is transport-free (no sockets): the Server's
+ * dispatcher feeds it admitted batches, and tests can drive it
+ * directly.  executeBatch() must not be called concurrently with
+ * itself (one dispatcher); the stats accessors are thread-safe.
+ */
+
+#ifndef NUCACHE_SERVE_SERVICE_HH
+#define NUCACHE_SERVE_SERVICE_HH
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "serve/protocol.hh"
+#include "sim/run_engine.hh"
+
+namespace nucache::serve
+{
+
+/** Tuning knobs of the simulation service. */
+struct ServiceConfig
+{
+    /** Worker threads per engine (request-level batch parallelism). */
+    unsigned jobs = 1;
+    /** Measurement window when a request omits "records". */
+    std::uint64_t defaultRecords = 250'000;
+    /** Result-cache capacity in responses (0 disables). */
+    std::size_t resultCacheEntries = 256;
+    /**
+     * Distinct measurement windows kept warm at once.  Each window
+     * gets its own RunEngine (the engine's run-alone cache is keyed
+     * per engine); least-recently-used engines beyond the cap are
+     * torn down between batches.
+     */
+    std::size_t maxEngines = 4;
+    /** Run every served simulation under the invariant checker. */
+    bool check = false;
+};
+
+/** Executes admitted request batches; see file comment. */
+class SimulationService
+{
+  public:
+    explicit SimulationService(ServiceConfig cfg);
+
+    /**
+     * Response sink: invoked exactly once per batch element with its
+     * index and the complete response envelope.  Calls may arrive
+     * from engine worker threads, in any order.
+     */
+    using Emit = std::function<void(std::size_t, Json)>;
+
+    /**
+     * Execute one admitted batch.  Every element must be a run_mix /
+     * run_trace request, and all elements must share a batchKey()
+     * (the dispatcher's grouping invariant); telemetry-attaching
+     * requests arrive as singleton batches and run exclusively.
+     * Blocks until every response has been emitted.
+     */
+    void executeBatch(const std::vector<Request> &batch,
+                      const Emit &emit);
+
+    /** @return service counters as a JSON object (for op "stats"). */
+    Json statsJson() const;
+
+    /** @return the measurement window for requests that omit it. */
+    std::uint64_t defaultRecords() const { return cfg.defaultRecords; }
+
+  private:
+    /** @return the warm engine for @p records, creating/evicting. */
+    RunEngine &engineFor(std::uint64_t records);
+
+    /** Execute one run_mix request synchronously on @p engine. */
+    Json runMixResult(RunEngine &engine, const Request &req);
+
+    /** Execute one run_trace request on the calling thread. */
+    Json runTraceResult(const Request &req, std::string &err);
+
+    /** Append the "server" block (cache/batch/reuse hints). */
+    void attachServerInfo(Json &result, bool cached,
+                          std::size_t batch_size, double wall_ms);
+
+    /** Look up @p key in the result cache (empty key misses). */
+    bool cacheLookup(const std::string &key, Json &result);
+
+    /** Insert @p result under @p key (LRU eviction at capacity). */
+    void cacheStore(const std::string &key, const Json &result);
+
+    ServiceConfig cfg;
+
+    mutable std::mutex mtx;
+    /** Engines keyed by measurement window, newest-used first. */
+    std::list<std::pair<std::uint64_t, std::unique_ptr<RunEngine>>>
+        engines;
+    /** Result cache: canonical request key -> result payload. */
+    std::map<std::string, Json> cache;
+    /** Cache keys, most recently used first (LRU order). */
+    std::list<std::string> cacheOrder;
+
+    /** Counters (guarded by mtx). */
+    struct Counters
+    {
+        std::uint64_t runMix = 0;
+        std::uint64_t runTrace = 0;
+        std::uint64_t cacheHits = 0;
+        std::uint64_t cacheMisses = 0;
+        std::uint64_t batches = 0;
+        std::uint64_t batchedCells = 0;
+        std::uint64_t maxBatch = 0;
+        std::uint64_t telemetryRuns = 0;
+        std::uint64_t enginesBuilt = 0;
+        std::uint64_t enginesEvicted = 0;
+        std::uint64_t failures = 0;
+    } stats;
+};
+
+} // namespace nucache::serve
+
+#endif // NUCACHE_SERVE_SERVICE_HH

@@ -1,5 +1,6 @@
 #include "sim/policies.hh"
 
+#include <algorithm>
 #include <map>
 
 #include "common/logging.hh"
@@ -150,6 +151,44 @@ makePolicy(const std::string &spec)
             nucacheConfigFrom(opts, NUcacheConfig::Selection::None));
     }
     fatal("unknown policy '", name, "'");
+}
+
+bool
+validatePolicySpec(const std::string &spec, std::string &err)
+{
+    const auto colon = spec.find(':');
+    const std::string name = spec.substr(0, colon);
+    const auto &names = allPolicyNames();
+    if (std::find(names.begin(), names.end(), name) == names.end()) {
+        err = "unknown policy '" + name + "'";
+        return false;
+    }
+    if (colon == std::string::npos)
+        return true;
+    const std::string rest = spec.substr(colon + 1);
+    std::size_t pos = 0;
+    while (pos <= rest.size()) {
+        const auto comma = rest.find(',', pos);
+        const std::string item =
+            rest.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        const auto eq = item.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            err = "policy spec '" + spec + "': bad option '" + item + "'";
+            return false;
+        }
+        const std::string value = item.substr(eq + 1);
+        // Digits only, and short enough that std::stoull cannot throw.
+        if (value.empty() || value.size() > 15 ||
+            value.find_first_not_of("0123456789") != std::string::npos) {
+            err = "policy spec '" + spec + "': bad value '" + value + "'";
+            return false;
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return true;
 }
 
 const std::vector<std::string> &

@@ -27,6 +27,17 @@ namespace nucache
 /** @return a fresh policy instance for @p spec; fatal() on bad specs. */
 std::unique_ptr<ReplacementPolicy> makePolicy(const std::string &spec);
 
+/**
+ * Validate @p spec without ever exiting the process: the base name
+ * must be a recognized policy and every option must be "key=digits"
+ * with a value that fits in 64 bits.  A spec that passes is safe to
+ * hand to makePolicy() from a server that must not fatal() on
+ * untrusted input.
+ * @param err on failure, filled with what was wrong.
+ * @return whether @p spec is well-formed.
+ */
+bool validatePolicySpec(const std::string &spec, std::string &err);
+
 /** @return the specs the evaluation compares (paper's Figure 4-6 set). */
 const std::vector<std::string> &evaluationPolicySet();
 

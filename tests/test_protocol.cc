@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the nucache-rpc/v1 protocol layer: strict request
+ * parsing and validation, batching/caching keys, and the response
+ * envelopes.  Everything here must reject bad input with an error
+ * string — never fatal() — because these paths face untrusted bytes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/protocol.hh"
+#include "sim/policies.hh"
+
+namespace nucache
+{
+namespace
+{
+
+using serve::Request;
+
+/** Parse @p line expecting success. */
+Request
+mustParse(const std::string &line)
+{
+    Request req;
+    std::string err;
+    EXPECT_TRUE(serve::parseRequest(line, req, err)) << err;
+    return req;
+}
+
+/** Parse @p line expecting failure; @return the error string. */
+std::string
+mustReject(const std::string &line)
+{
+    Request req;
+    std::string err;
+    EXPECT_FALSE(serve::parseRequest(line, req, err)) << line;
+    EXPECT_FALSE(err.empty());
+    return err;
+}
+
+TEST(Protocol, ParsesNamedMix)
+{
+    const Request req = mustParse(
+        R"({"v":"nucache-rpc/v1","id":7,"op":"run_mix",)"
+        R"("params":{"mix":"mix2_01"}})");
+    EXPECT_EQ(req.op, serve::Op::RunMix);
+    EXPECT_TRUE(req.hasId);
+    EXPECT_EQ(req.id, 7u);
+    EXPECT_EQ(req.mix.name, "mix2_01");
+    EXPECT_EQ(req.mix.workloads.size(), 2u);
+    EXPECT_EQ(req.policy, "nucache");
+    EXPECT_FALSE(req.noCache);
+    EXPECT_EQ(req.telemetry, 0u);
+}
+
+TEST(Protocol, ParsesAdhocWorkloadList)
+{
+    const Request req = mustParse(
+        R"({"op":"run_mix","params":{)"
+        R"("workloads":["loop_medium","stream_pure"],)"
+        R"("policy":"lru","records":5000,"llc_kib":2048,)"
+        R"("llc_ways":8,"no_cache":true}})");
+    EXPECT_FALSE(req.hasId);
+    EXPECT_EQ(req.mix.workloads.size(), 2u);
+    EXPECT_EQ(req.policy, "lru");
+    EXPECT_EQ(req.records, 5000u);
+    EXPECT_EQ(req.llcKib, 2048u);
+    EXPECT_EQ(req.llcWays, 8u);
+    EXPECT_TRUE(req.noCache);
+
+    const HierarchyConfig hier = serve::requestHierarchy(req);
+    EXPECT_EQ(hier.numCores, 2u);
+    EXPECT_EQ(hier.llc.sizeBytes, 2048u << 10);
+    EXPECT_EQ(hier.llc.ways, 8u);
+}
+
+TEST(Protocol, ControlOpsNeedNoParams)
+{
+    EXPECT_EQ(mustParse(R"({"op":"health"})").op, serve::Op::Health);
+    EXPECT_EQ(mustParse(R"({"op":"stats"})").op, serve::Op::Stats);
+    EXPECT_EQ(mustParse(R"({"op":"shutdown"})").op,
+              serve::Op::Shutdown);
+}
+
+TEST(Protocol, RejectsMalformedLines)
+{
+    mustReject("");
+    mustReject("garbage");
+    mustReject("[1,2,3]");
+    mustReject(R"("just a string")");
+    mustReject(R"({"op":"run_mix","params":{"mix":"mix2_01"})");
+}
+
+TEST(Protocol, RejectsVersionMismatch)
+{
+    mustReject(R"({"v":"nucache-rpc/v2","op":"health"})");
+    mustReject(R"({"v":7,"op":"health"})");
+}
+
+TEST(Protocol, RejectsUnknownMembers)
+{
+    mustReject(R"({"op":"health","bogus":1})");
+    mustReject(
+        R"({"op":"run_mix","params":{"mix":"mix2_01","bogus":1}})");
+}
+
+TEST(Protocol, RejectsUnknownOp)
+{
+    mustReject(R"({"op":"explode"})");
+    mustReject(R"({"op":7})");
+    mustReject(R"({"params":{}})");
+}
+
+TEST(Protocol, MixAndWorkloadsAreExclusive)
+{
+    mustReject(R"({"op":"run_mix","params":{}})");
+    mustReject(R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+               R"("workloads":["loop_medium"]}})");
+}
+
+TEST(Protocol, RejectsUnknownNames)
+{
+    mustReject(R"({"op":"run_mix","params":{"mix":"mix99_01"}})");
+    mustReject(
+        R"({"op":"run_mix","params":{"workloads":["nope"]}})");
+    mustReject(R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+               R"("policy":"nope"}})");
+}
+
+TEST(Protocol, RejectsOutOfRangeNumbers)
+{
+    // Below/above the records caps, and a negative number (which the
+    // JSON layer would otherwise panic on via asUint).
+    mustReject(R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+               R"("records":999}})");
+    mustReject(R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+               R"("records":64000001}})");
+    mustReject(R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+               R"("records":-5}})");
+    mustReject(R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+               R"("llc_ways":65}})");
+    mustReject(R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+               R"("telemetry":-5}})");
+    mustReject(R"({"op":"health","deadline_ms":600001})");
+}
+
+TEST(Protocol, RejectsImpossibleGeometry)
+{
+    // 48 KiB over 16 ways of 64 B blocks -> 48 sets: not a power of
+    // two, so the Cache constructor would fatal(); the parser must
+    // catch it first.
+    mustReject(R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+               R"("llc_kib":48}})");
+}
+
+TEST(Protocol, BatchKeyGroupsCompatibleRequests)
+{
+    const Request a = mustParse(
+        R"({"op":"run_mix","params":{"mix":"mix2_01"}})");
+    const Request b = mustParse(
+        R"({"op":"run_mix","params":{"mix":"mix4_01",)"
+        R"("policy":"lru"}})");
+    // Same measurement window: one engine batch regardless of mix
+    // and policy.
+    EXPECT_EQ(serve::batchKey(a, 250'000), serve::batchKey(b, 250'000));
+    EXPECT_FALSE(serve::batchKey(a, 250'000).empty());
+
+    const Request c = mustParse(
+        R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+        R"("records":5000}})");
+    EXPECT_NE(serve::batchKey(a, 250'000), serve::batchKey(c, 250'000));
+    // An explicit records equal to the server default is the same
+    // window as an absent one.
+    EXPECT_EQ(serve::batchKey(a, 5'000), serve::batchKey(c, 250'000));
+
+    // Telemetry attaches process-wide observer state, so those
+    // requests must run exclusively: no batch key.
+    const Request t = mustParse(
+        R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+        R"("telemetry":true}})");
+    EXPECT_TRUE(serve::batchKey(t, 250'000).empty());
+}
+
+TEST(Protocol, CacheKeyIsCanonicalAndOptOutable)
+{
+    const std::string line =
+        R"({"op":"run_mix","params":{"mix":"mix2_01"}})";
+    const Request a = mustParse(line);
+    const Request b = mustParse(line);
+    EXPECT_EQ(serve::cacheKey(a, 250'000), serve::cacheKey(b, 250'000));
+    EXPECT_FALSE(serve::cacheKey(a, 250'000).empty());
+
+    const Request other = mustParse(
+        R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+        R"("policy":"lru"}})");
+    EXPECT_NE(serve::cacheKey(a, 250'000),
+              serve::cacheKey(other, 250'000));
+
+    const Request uncached = mustParse(
+        R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+        R"("no_cache":true}})");
+    EXPECT_TRUE(serve::cacheKey(uncached, 250'000).empty());
+
+    const Request telemetry = mustParse(
+        R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+        R"("telemetry":1000}})");
+    EXPECT_TRUE(serve::cacheKey(telemetry, 250'000).empty());
+
+    const Request health = mustParse(R"({"op":"health"})");
+    EXPECT_TRUE(serve::cacheKey(health, 250'000).empty());
+}
+
+TEST(Protocol, ResponseEnvelopesRoundTrip)
+{
+    Request req;
+    req.hasId = true;
+    req.id = 42;
+    Json result = Json::object();
+    result["answer"] = 1;
+    const Json ok = serve::okResponse(req, std::move(result));
+
+    Json back;
+    std::string err;
+    ASSERT_TRUE(Json::parse(ok.str(0), back, err)) << err;
+    EXPECT_EQ(back.at("v").asString(), serve::kProtocolVersion);
+    EXPECT_EQ(back.at("id").asUint(), 42u);
+    EXPECT_TRUE(back.at("ok").asBool());
+    EXPECT_EQ(back.at("result").at("answer").asUint(), 1u);
+
+    const Json fail =
+        serve::errorResponse(serve::error::kOverload, "queue full");
+    ASSERT_TRUE(Json::parse(fail.str(0), back, err)) << err;
+    EXPECT_FALSE(back.at("ok").asBool());
+    EXPECT_EQ(back.at("error").at("code").asString(), "overload");
+    // A line that never parsed has no id to echo.
+    EXPECT_EQ(back.find("id"), nullptr);
+}
+
+TEST(Protocol, ValidatePolicySpecMatchesFactoryGrammar)
+{
+    std::string err;
+    EXPECT_TRUE(validatePolicySpec("nucache", err));
+    EXPECT_TRUE(validatePolicySpec("lru", err));
+    EXPECT_TRUE(validatePolicySpec("nucache:dlimit=4", err));
+    EXPECT_TRUE(validatePolicySpec("nucache:dlimit=4,k=2", err));
+
+    EXPECT_FALSE(validatePolicySpec("nope", err));
+    EXPECT_FALSE(validatePolicySpec("nucache:dlimit", err));
+    EXPECT_FALSE(validatePolicySpec("nucache:dlimit=", err));
+    EXPECT_FALSE(validatePolicySpec("nucache:=4", err));
+    EXPECT_FALSE(validatePolicySpec("nucache:dlimit=abc", err));
+    EXPECT_FALSE(
+        validatePolicySpec("nucache:dlimit=12345678901234567", err));
+}
+
+} // anonymous namespace
+} // namespace nucache

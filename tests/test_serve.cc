@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Loopback integration tests for the nucached server: request/response
+ * over a real TCP socket, result-cache and run-alone/arena reuse,
+ * concurrent clients, hostile input (garbage and oversized lines),
+ * explicit backpressure on a full admission queue, and shutdown
+ * draining admitted work.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/net.hh"
+#include "serve/server.hh"
+
+namespace nucache
+{
+namespace
+{
+
+/** A blocking line-oriented client for one test connection. */
+class TestClient
+{
+  public:
+    explicit TestClient(std::uint16_t port)
+    {
+        std::string err;
+        fd = net::connectTcp("127.0.0.1", port, err);
+        EXPECT_GE(fd, 0) << err;
+        reader = std::make_unique<net::LineReader>(fd);
+    }
+
+    ~TestClient()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    bool
+    send(const std::string &line)
+    {
+        std::string framed = line;
+        framed += '\n';
+        return net::writeAll(fd, framed.data(), framed.size());
+    }
+
+    /** Read one response line and parse it. */
+    bool
+    recv(Json &doc)
+    {
+        std::string line, err;
+        if (!reader->readLine(line))
+            return false;
+        EXPECT_TRUE(Json::parse(line, doc, err)) << err << ": " << line;
+        return true;
+    }
+
+    /** Round-trip @p line; fails the test if the response is late. */
+    Json
+    call(const std::string &line)
+    {
+        EXPECT_TRUE(send(line));
+        Json doc;
+        EXPECT_TRUE(recv(doc));
+        return doc;
+    }
+
+    int fd = -1;
+    std::unique_ptr<net::LineReader> reader;
+};
+
+/** Start a server on an ephemeral port with a small window. */
+class ServeTest : public ::testing::Test
+{
+  protected:
+    serve::ServerConfig
+    baseConfig()
+    {
+        serve::ServerConfig cfg;
+        cfg.port = 0;
+        cfg.service.jobs = 2;
+        cfg.service.defaultRecords = 2'000;
+        return cfg;
+    }
+
+    void
+    startServer(const serve::ServerConfig &cfg)
+    {
+        server = std::make_unique<serve::Server>(cfg);
+        std::string err;
+        ASSERT_TRUE(server->start(err)) << err;
+        ASSERT_NE(server->port(), 0);
+    }
+
+    std::unique_ptr<serve::Server> server;
+};
+
+const char *kMixLine =
+    R"({"op":"run_mix","id":1,"params":{"mix":"mix2_01"}})";
+
+TEST_F(ServeTest, HealthRoundTrip)
+{
+    startServer(baseConfig());
+    TestClient client(server->port());
+    const Json doc = client.call(R"({"op":"health","id":3})");
+    EXPECT_TRUE(doc.at("ok").asBool());
+    EXPECT_EQ(doc.at("id").asUint(), 3u);
+    EXPECT_EQ(doc.at("result").at("status").asString(), "ok");
+}
+
+TEST_F(ServeTest, RunMixResultsAndCacheReuse)
+{
+    startServer(baseConfig());
+    TestClient client(server->port());
+
+    const Json first = client.call(kMixLine);
+    ASSERT_TRUE(first.at("ok").asBool()) << first.str(0);
+    const Json &result = first.at("result");
+    EXPECT_EQ(result.at("mix").asString(), "mix2_01");
+    EXPECT_GT(result.at("weighted_speedup").asDouble(), 0.0);
+    EXPECT_FALSE(result.at("server").at("cached").asBool());
+
+    // The identical request must come back from the result cache,
+    // byte-equal in its simulation content.
+    const Json second = client.call(kMixLine);
+    ASSERT_TRUE(second.at("ok").asBool());
+    EXPECT_TRUE(second.at("result").at("server").at("cached").asBool());
+    EXPECT_EQ(second.at("result").at("weighted_speedup").str(0),
+              result.at("weighted_speedup").str(0));
+}
+
+TEST_F(ServeTest, AloneRunsAndArenaAreReusedAcrossRequests)
+{
+    startServer(baseConfig());
+    TestClient client(server->port());
+
+    // Two *uncached* runs of the same mix: the second must reuse the
+    // memoized run-alone baselines and the materialized arena traces.
+    const char *uncached =
+        R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+        R"("no_cache":true}})";
+    ASSERT_TRUE(client.call(uncached).at("ok").asBool());
+    const Json stats1 = client.call(R"({"op":"stats"})");
+    ASSERT_TRUE(client.call(uncached).at("ok").asBool());
+    const Json stats2 = client.call(R"({"op":"stats"})");
+
+    const Json &svc1 = stats1.at("result").at("service");
+    const Json &svc2 = stats2.at("result").at("service");
+    EXPECT_EQ(svc2.at("cache_hits").asUint(),
+              svc1.at("cache_hits").asUint());
+    EXPECT_EQ(svc2.at("alone_runs").asUint(),
+              svc1.at("alone_runs").asUint());
+    EXPECT_EQ(svc2.at("arena_materializations").asUint(),
+              svc1.at("arena_materializations").asUint());
+}
+
+TEST_F(ServeTest, TelemetryRequestAttachesDocument)
+{
+    startServer(baseConfig());
+    TestClient client(server->port());
+    const Json doc = client.call(
+        R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+        R"("telemetry":500}})");
+    ASSERT_TRUE(doc.at("ok").asBool()) << doc.str(0);
+    const Json *telemetry = doc.at("result").find("telemetry");
+    ASSERT_NE(telemetry, nullptr);
+    EXPECT_EQ(telemetry->at("schema").asString(),
+              "nucache-telemetry/v1");
+}
+
+TEST_F(ServeTest, GarbageLineGetsErrorAndConnectionSurvives)
+{
+    startServer(baseConfig());
+    TestClient client(server->port());
+
+    const Json bad = client.call("this is not json");
+    EXPECT_FALSE(bad.at("ok").asBool());
+    EXPECT_EQ(bad.at("error").at("code").asString(), "bad_request");
+
+    const Json unknown = client.call(R"({"op":"explode"})");
+    EXPECT_FALSE(unknown.at("ok").asBool());
+
+    // Same socket still serves valid requests.
+    EXPECT_TRUE(client.call(R"({"op":"health"})").at("ok").asBool());
+}
+
+TEST_F(ServeTest, OversizedLineIsRejectedAndClosed)
+{
+    serve::ServerConfig cfg = baseConfig();
+    cfg.maxLineBytes = 512;
+    startServer(cfg);
+    TestClient client(server->port());
+
+    const std::string big(2048, 'x');
+    ASSERT_TRUE(client.send(big));
+    Json doc;
+    ASSERT_TRUE(client.recv(doc));
+    EXPECT_FALSE(doc.at("ok").asBool());
+    EXPECT_EQ(doc.at("error").at("code").asString(), "too_large");
+    // The server closes the connection after flushing the error.
+    EXPECT_FALSE(client.recv(doc));
+}
+
+TEST_F(ServeTest, FullQueueAnswersOverload)
+{
+    serve::ServerConfig cfg = baseConfig();
+    cfg.queueDepth = 1;
+    startServer(cfg);
+
+    // Occupy the dispatcher with an exclusive (telemetry) run that
+    // takes ~2s, then fill the depth-1 queue and overflow it.
+    TestClient blocker(server->port());
+    ASSERT_TRUE(blocker.send(
+        R"({"op":"run_mix","id":1,"params":{"mix":"mix2_01",)"
+        R"("records":1000000,"telemetry":100000}})"));
+
+    TestClient client(server->port());
+    Json stats;
+    do {
+        stats = client.call(R"({"op":"stats"})");
+    } while (stats.at("result").at("service").at("batches").asUint() ==
+             0);
+
+    // Two admissions back-to-back: the first fills the queue while
+    // the dispatcher is busy, the second must get explicit
+    // backpressure instead of an unbounded queue or a stalled socket.
+    ASSERT_TRUE(client.send(
+        std::string(R"({"op":"run_mix","id":2,"params":)"
+                    R"({"mix":"mix2_01"}})") +
+        "\n" +
+        R"({"op":"run_mix","id":3,"params":{"mix":"mix2_01"}})"));
+    Json first, second;
+    ASSERT_TRUE(client.recv(first));
+    ASSERT_TRUE(client.recv(second));
+    // The overload for id 3 is emitted immediately; id 2 completes
+    // after the blocker finishes.
+    EXPECT_EQ(first.at("id").asUint(), 3u);
+    EXPECT_FALSE(first.at("ok").asBool());
+    EXPECT_EQ(first.at("error").at("code").asString(), "overload");
+    EXPECT_EQ(second.at("id").asUint(), 2u);
+    EXPECT_TRUE(second.at("ok").asBool());
+
+    // Control ops bypass the admission queue entirely.
+    EXPECT_TRUE(client.call(R"({"op":"health"})").at("ok").asBool());
+    Json blocked;
+    EXPECT_TRUE(blocker.recv(blocked));
+    EXPECT_TRUE(blocked.at("ok").asBool());
+}
+
+TEST_F(ServeTest, ConcurrentClientsAllServed)
+{
+    startServer(baseConfig());
+    constexpr int kClients = 4;
+    constexpr int kRequests = 8;
+    std::vector<std::thread> threads;
+    std::atomic<int> ok{0};
+    for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+            TestClient client(server->port());
+            for (int r = 0; r < kRequests; ++r) {
+                const Json doc = client.call(kMixLine);
+                if (doc.isObject() && doc.at("ok").asBool())
+                    ++ok;
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(ok.load(), kClients * kRequests);
+
+    const Json stats = TestClient(server->port())
+                           .call(R"({"op":"stats"})");
+    EXPECT_EQ(stats.at("result").at("dropped_responses").asUint(), 0u);
+}
+
+TEST_F(ServeTest, ShutdownDrainsAdmittedWork)
+{
+    startServer(baseConfig());
+    TestClient client(server->port());
+
+    // Queue real (uncacheable) work, then ask for shutdown.  Every
+    // admitted request must still get its response before the server
+    // closes the connection.
+    constexpr int kInFlight = 3;
+    for (int i = 0; i < kInFlight; ++i)
+        ASSERT_TRUE(client.send(
+            R"({"op":"run_mix","id":)" + std::to_string(i + 10) +
+            R"(,"params":{"mix":"mix2_01","no_cache":true}})"));
+    ASSERT_TRUE(client.send(R"({"op":"shutdown"})"));
+
+    int run_responses = 0;
+    bool drain_ack = false;
+    Json doc;
+    while (client.recv(doc)) {
+        if (!doc.at("ok").asBool())
+            continue;
+        const Json &result = doc.at("result");
+        if (result.find("draining") != nullptr)
+            drain_ack = true;
+        else if (result.find("mix") != nullptr)
+            ++run_responses;
+    }
+    EXPECT_TRUE(drain_ack);
+    EXPECT_EQ(run_responses, kInFlight);
+
+    server->join();
+    EXPECT_TRUE(server->shuttingDown());
+}
+
+TEST_F(ServeTest, NewRunsRejectedWhileShuttingDown)
+{
+    startServer(baseConfig());
+    TestClient client(server->port());
+    ASSERT_TRUE(client.call(R"({"op":"shutdown"})")
+                    .at("ok")
+                    .asBool());
+    // The run may race the poll loop's exit: either an explicit
+    // shutting_down rejection or a closed connection is acceptable,
+    // but never a hang or a success.
+    if (client.send(kMixLine)) {
+        Json doc;
+        if (client.recv(doc)) {
+            EXPECT_FALSE(doc.at("ok").asBool());
+            EXPECT_EQ(doc.at("error").at("code").asString(),
+                      "shutting_down");
+        }
+    }
+    server->join();
+}
+
+} // anonymous namespace
+} // namespace nucache

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * nucache_client: command-line client for nucached (nucache-rpc/v1).
+ *
+ * Single-request mode builds one request from flags, prints the
+ * response and exits non-zero on an error response:
+ *   nucache_client [--host=127.0.0.1] [--port=7411] --op=health
+ *   nucache_client --op=run_mix --mix=mix2_01 --policy=nucache
+ *   nucache_client --op=run_mix --workloads=loop_medium,stream_pure \
+ *       --records=62500 [--telemetry[=N]] [--no-cache] [--repeat=K]
+ *   nucache_client --op=run_trace a.nutrace b.nutrace
+ *   nucache_client --raw='{"op":"health"}'
+ *
+ * --repeat sends the same request K times on one connection and
+ * prints each latency (cold first request vs warm repeats).
+ *
+ * Load mode (--bench N) opens N concurrent connections, sends
+ * --requests M run requests each after one cold priming request, and
+ * prints requests/sec plus latency percentiles; exits non-zero on
+ * any error response or dropped connection.
+ */
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/net.hh"
+#include "serve/protocol.hh"
+
+using namespace nucache;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+/** Split a comma-separated list. */
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::istringstream is(csv);
+    std::string item;
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+/** Build the request line from the command-line flags. */
+std::string
+buildRequest(const CliArgs &args, std::uint64_t id)
+{
+    const std::string raw = args.get("raw", "");
+    if (!raw.empty())
+        return raw;
+
+    Json req = Json::object();
+    req["v"] = serve::kProtocolVersion;
+    req["id"] = id;
+    const std::string op = args.get("op", "health");
+    req["op"] = op;
+    if (args.has("deadline-ms"))
+        req["deadline_ms"] = args.getInt("deadline-ms", 0);
+    if (op != "run_mix" && op != "run_trace")
+        return req.str(0);
+
+    Json params = Json::object();
+    if (op == "run_mix") {
+        if (args.has("mix")) {
+            params["mix"] = args.get("mix", "");
+        } else {
+            Json workloads = Json::array();
+            for (const auto &w : splitList(
+                     args.get("workloads", "loop_medium,stream_pure")))
+                workloads.push(w);
+            params["workloads"] = std::move(workloads);
+        }
+    } else {
+        Json traces = Json::array();
+        for (const auto &path : args.positional())
+            traces.push(path);
+        params["traces"] = std::move(traces);
+    }
+    if (args.has("policy"))
+        params["policy"] = args.get("policy", "nucache");
+    if (args.has("records"))
+        params["records"] = args.getInt("records", 0);
+    if (args.has("llc-kib"))
+        params["llc_kib"] = args.getInt("llc-kib", 0);
+    if (args.has("llc-ways"))
+        params["llc_ways"] = args.getInt("llc-ways", 0);
+    if (args.has("telemetry"))
+        params["telemetry"] = args.getInt("telemetry", 50'000);
+    if (args.has("no-cache"))
+        params["no_cache"] = true;
+    req["params"] = std::move(params);
+    return req.str(0);
+}
+
+/** One open client connection. */
+class ClientConn
+{
+  public:
+    bool
+    open(const std::string &host, std::uint16_t port, std::string &err)
+    {
+        fd = net::connectTcp(host, port, err);
+        if (fd < 0)
+            return false;
+        reader = std::make_unique<net::LineReader>(fd);
+        return true;
+    }
+
+    ~ClientConn()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    /** Send @p line and read one response line. */
+    bool
+    roundTrip(const std::string &line, std::string &response)
+    {
+        std::string framed = line;
+        framed += '\n';
+        if (!net::writeAll(fd, framed.data(), framed.size()))
+            return false;
+        return reader->readLine(response);
+    }
+
+  private:
+    int fd = -1;
+    std::unique_ptr<net::LineReader> reader;
+};
+
+/** @return whether @p response_line is an ok:true response. */
+bool
+responseOk(const std::string &response_line)
+{
+    Json doc;
+    std::string err;
+    if (!Json::parse(response_line, doc, err) || !doc.isObject())
+        return false;
+    const Json *ok = doc.find("ok");
+    return ok != nullptr && ok->isBool() && ok->asBool();
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+}
+
+/** The --bench load mode. @return the process exit code. */
+int
+runBench(const CliArgs &args, const std::string &host,
+         std::uint16_t port)
+{
+    const unsigned conns =
+        static_cast<unsigned>(args.getInt("bench", 4));
+    const unsigned per_conn =
+        static_cast<unsigned>(args.getInt("requests", 32));
+    if (conns == 0 || per_conn == 0)
+        fatal("--bench and --requests must be at least 1");
+
+    // One cold priming request on its own connection: its latency is
+    // the uncached cost, and it warms the server's arena buffers,
+    // run-alone IPC cache and result cache for the measured run.
+    const std::string request = buildRequest(args, 1);
+    double cold_ms = 0.0;
+    {
+        ClientConn conn;
+        std::string err, response;
+        if (!conn.open(host, port, err))
+            fatal("bench: ", err);
+        const Clock::time_point t0 = Clock::now();
+        if (!conn.roundTrip(request, response) ||
+            !responseOk(response))
+            fatal("bench: cold priming request failed");
+        cold_ms = msSince(t0);
+    }
+
+    struct WorkerResult
+    {
+        std::vector<double> latencies;
+        std::uint64_t ok = 0;
+        std::uint64_t errors = 0;
+        bool dropped = false;
+    };
+    std::vector<WorkerResult> results(conns);
+    std::vector<std::thread> workers;
+    const Clock::time_point bench_start = Clock::now();
+    for (unsigned c = 0; c < conns; ++c) {
+        workers.emplace_back([&, c] {
+            WorkerResult &res = results[c];
+            ClientConn conn;
+            std::string err;
+            if (!conn.open(host, port, err)) {
+                res.dropped = true;
+                return;
+            }
+            for (unsigned r = 0; r < per_conn; ++r) {
+                const std::string line = buildRequest(
+                    args, std::uint64_t{c} * per_conn + r + 2);
+                std::string response;
+                const Clock::time_point t0 = Clock::now();
+                if (!conn.roundTrip(line, response)) {
+                    res.dropped = true;
+                    return;
+                }
+                res.latencies.push_back(msSince(t0));
+                if (responseOk(response))
+                    ++res.ok;
+                else
+                    ++res.errors;
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - bench_start)
+            .count();
+
+    std::vector<double> lats;
+    std::uint64_t ok = 0, errors = 0, dropped = 0;
+    for (const WorkerResult &res : results) {
+        lats.insert(lats.end(), res.latencies.begin(),
+                    res.latencies.end());
+        ok += res.ok;
+        errors += res.errors;
+        dropped += res.dropped ? 1 : 0;
+    }
+    std::sort(lats.begin(), lats.end());
+
+    std::printf("bench: %u connections x %u requests against %s:%u\n",
+                conns, per_conn, host.c_str(), port);
+    std::printf("requests: %llu ok, %llu errors, %llu dropped "
+                "connections, wall %.2f s\n",
+                static_cast<unsigned long long>(ok),
+                static_cast<unsigned long long>(errors),
+                static_cast<unsigned long long>(dropped), wall_s);
+    if (!lats.empty() && wall_s > 0.0) {
+        std::printf("throughput: %.1f req/s\n",
+                    static_cast<double>(lats.size()) / wall_s);
+        std::printf("latency ms: p50 %.2f  p90 %.2f  p99 %.2f  "
+                    "max %.2f\n",
+                    percentile(lats, 0.50), percentile(lats, 0.90),
+                    percentile(lats, 0.99), lats.back());
+        std::printf("cold vs warm: first (uncached) %.2f ms, "
+                    "warm p50 %.2f ms\n",
+                    cold_ms, percentile(lats, 0.50));
+    }
+    return errors == 0 && dropped == 0 ? 0 : 1;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv, {"no-cache", "telemetry", "compact"});
+    const std::string host = args.get("host", "127.0.0.1");
+    const std::uint16_t port =
+        static_cast<std::uint16_t>(args.getInt("port", 7411));
+
+    if (args.has("bench"))
+        return runBench(args, host, port);
+
+    const std::uint64_t repeat = args.getInt("repeat", 1);
+    if (repeat == 0)
+        fatal("--repeat must be at least 1");
+
+    ClientConn conn;
+    std::string err;
+    if (!conn.open(host, port, err))
+        fatal("nucache_client: ", err);
+
+    bool all_ok = true;
+    for (std::uint64_t r = 0; r < repeat; ++r) {
+        const std::string request = buildRequest(args, r + 1);
+        std::string response;
+        const Clock::time_point t0 = Clock::now();
+        if (!conn.roundTrip(request, response))
+            fatal("nucache_client: connection closed by server");
+        const double ms = msSince(t0);
+        if (repeat > 1)
+            std::fprintf(stderr, "request %llu: %.2f ms%s\n",
+                         static_cast<unsigned long long>(r + 1), ms,
+                         r == 0 ? " (cold)" : "");
+        Json doc;
+        std::string perr;
+        if (!Json::parse(response, doc, perr)) {
+            std::cout << response << "\n";
+            fatal("nucache_client: malformed response: ", perr);
+        }
+        if (repeat == 1 || r + 1 == repeat)
+            std::cout << doc.str(args.has("compact") ? 0 : 2) << "\n";
+        all_ok = all_ok && responseOk(response);
+    }
+    return all_ok ? 0 : 1;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * nucached: the persistent NUcache simulation server.  Listens on an
+ * IPv4 TCP socket, speaks newline-delimited `nucache-rpc/v1` JSON
+ * (see src/serve/protocol.hh), batches compatible run_mix requests
+ * onto a shared RunEngine, and answers health/stats probes.
+ *
+ * Usage:
+ *   nucached [--host=127.0.0.1] [--port=7411] [--jobs=N]
+ *            [--records=250000] [--queue-depth=64] [--batch-max=8]
+ *            [--deadline-ms=30000] [--max-conns=256] [--cache=256]
+ *            [--check] [--port-file=FILE] [--quiet]
+ *
+ * --port=0 binds an ephemeral port; --port-file writes the bound
+ * port to FILE once the server is listening (for scripts and CI).
+ * SIGINT/SIGTERM and the `shutdown` op drain admitted work, flush
+ * every response, and exit 0.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "check/check_mode.hh"
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "serve/server.hh"
+
+using namespace nucache;
+
+namespace
+{
+
+std::atomic<serve::Server *> g_server{nullptr};
+
+extern "C" void
+onSignal(int)
+{
+    serve::Server *server = g_server.load(std::memory_order_acquire);
+    if (server != nullptr)
+        server->signalShutdown();
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv, {"check", "quiet"});
+    if (args.has("quiet"))
+        setQuiet(true);
+
+    serve::ServerConfig cfg;
+    cfg.host = args.get("host", cfg.host);
+    cfg.port = static_cast<std::uint16_t>(args.getInt("port", cfg.port));
+    cfg.queueDepth = args.getInt("queue-depth", cfg.queueDepth);
+    cfg.defaultDeadlineMs =
+        args.getInt("deadline-ms", cfg.defaultDeadlineMs);
+    cfg.batchMax = args.getInt("batch-max", cfg.batchMax);
+    cfg.maxConnections = args.getInt("max-conns", cfg.maxConnections);
+    cfg.service.jobs = static_cast<unsigned>(
+        args.getInt("jobs", ThreadPool::hardwareConcurrency()));
+    cfg.service.defaultRecords =
+        args.getInt("records", cfg.service.defaultRecords);
+    cfg.service.resultCacheEntries =
+        args.getInt("cache", cfg.service.resultCacheEntries);
+    cfg.service.check = args.has("check") || check::enabled();
+    if (cfg.service.defaultRecords < serve::kMinRecords ||
+        cfg.service.defaultRecords > serve::kMaxRecords)
+        fatal("--records must be in [", serve::kMinRecords, ", ",
+              serve::kMaxRecords, "]");
+
+    serve::Server server(cfg);
+    std::string err;
+    if (!server.start(err))
+        fatal("nucached: ", err);
+
+    g_server.store(&server, std::memory_order_release);
+    struct sigaction sa{};
+    sa.sa_handler = onSignal;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+    // A client vanishing mid-write must not kill the process.
+    signal(SIGPIPE, SIG_IGN);
+
+    // The "listening" line is the readiness signal scripts wait for;
+    // --port-file additionally persists the (possibly ephemeral)
+    // bound port for them.
+    std::printf("nucached listening on %s:%u (jobs=%u, queue=%zu, "
+                "batch=%zu, records=%llu)\n",
+                cfg.host.c_str(), server.port(), cfg.service.jobs,
+                cfg.queueDepth, cfg.batchMax,
+                static_cast<unsigned long long>(
+                    cfg.service.defaultRecords));
+    std::fflush(stdout);
+    const std::string port_file = args.get("port-file", "");
+    if (!port_file.empty()) {
+        std::ofstream os(port_file);
+        if (!os)
+            fatal("cannot write port file '", port_file, "'");
+        os << server.port() << "\n";
+    }
+
+    server.join();
+    g_server.store(nullptr, std::memory_order_release);
+
+    const Json stats = server.statsJson();
+    std::fprintf(stderr,
+                 "nucached: drained and stopped (%s requests, "
+                 "%s responses)\n",
+                 stats.at("requests").str(0).c_str(),
+                 stats.at("responses").str(0).c_str());
+    return 0;
+}
