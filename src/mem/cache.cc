@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "common/simd.hh"
 #include "mem/lru.hh"
+#include "mem/shard_mode.hh"
 
 namespace nucache
 {
@@ -45,11 +46,27 @@ Cache::Cache(const CacheConfig &config,
     blockBits = floorLog2(cfg.blockSize);
     fullWayMask = mask(cfg.ways);
 
-    const std::size_t entries = static_cast<std::size_t>(sets) * cfg.ways;
-    tags.assign(entries, 0);
-    origins.assign(entries, LineOrigin{});
-    validBits.assign(sets, 0);
-    dirtyBits.assign(sets, 0);
+    // Resolve the slicing: an explicit config wins, otherwise the
+    // process-wide default (1 unless --slices raised it).  The
+    // resolved values are written back so config() reports them.
+    if (cfg.slices == 0)
+        cfg.slices = shard::defaultSliceCount();
+    if (cfg.sliceHash.empty())
+        cfg.sliceHash = shard::defaultSliceHash();
+    if (cfg.slices > sets)
+        fatal("cache '", cfg.name, "': ", cfg.slices,
+              " slices exceed its ", sets, " sets");
+    sliceMap = SliceMap(sets, cfg.slices, parseSliceHash(cfg.sliceHash));
+
+    const std::size_t rows = sliceMap.rowsPerSlice();
+    const std::size_t entries = rows * cfg.ways;
+    slicesStore.resize(cfg.slices);
+    for (TagSlice &sl : slicesStore) {
+        sl.tags.assign(entries, 0);
+        sl.origins.assign(entries, LineOrigin{});
+        sl.validBits.assign(rows, 0);
+        sl.dirtyBits.assign(rows, 0);
+    }
     stats.assign(num_cores, CacheCoreStats{});
 
     PolicyContext ctx;
@@ -80,21 +97,25 @@ Cache::tagOf(Addr addr) const
 SetView
 Cache::viewSet(std::uint32_t set) const
 {
-    const std::size_t base = static_cast<std::size_t>(set) * cfg.ways;
-    return SetView(&tags[base], &origins[base], &validBits[set],
-                   &dirtyBits[set], cfg.ways, set);
+    const TagSlice &sl = sliceFor(set);
+    const std::uint32_t row = sliceMap.rowOf(set);
+    const std::size_t base = static_cast<std::size_t>(row) * cfg.ways;
+    return SetView(&sl.tags[base], &sl.origins[base], &sl.validBits[row],
+                   &sl.dirtyBits[row], cfg.ways, set);
 }
 
 std::uint32_t
 Cache::findWay(std::uint32_t set, Addr tag) const
 {
-    // Packed-compare the contiguous per-set tag row into an equality
+    // Packed-compare the contiguous per-row tag span into an equality
     // bitmask, mask with the valid word, and count trailing zeros.
     // Lowest matching way wins, matching the old first-match scan
     // (duplicates are excluded by the checker's structural invariant).
-    const Addr *row = &tags[static_cast<std::size_t>(set) * cfg.ways];
+    const TagSlice &sl = sliceFor(set);
+    const std::uint32_t row = sliceMap.rowOf(set);
+    const Addr *span = &sl.tags[static_cast<std::size_t>(row) * cfg.ways];
     const std::uint64_t eq =
-        simd::eqMask64(row, cfg.ways, tag) & validBits[set];
+        simd::eqMask64(span, cfg.ways, tag) & sl.validBits[row];
     return eq != 0 ? static_cast<std::uint32_t>(std::countr_zero(eq))
                    : cfg.ways;
 }
@@ -108,12 +129,15 @@ Cache::access(AccessInfo info)
 
     info.tick = ++tickCounter;
     const std::uint32_t set = setIndexOf(info.addr);
+    TagSlice &sl = sliceFor(set);
+    const std::uint32_t row = sliceMap.rowOf(set);
     if (heatOn)
-        ++setHeat_[set];
+        ++sl.heat[row];
     const Addr tag = tagOf(info.addr);
-    const std::size_t base = static_cast<std::size_t>(set) * cfg.ways;
-    const SetView view(&tags[base], &origins[base], &validBits[set],
-                       &dirtyBits[set], cfg.ways, set);
+    const std::size_t base = static_cast<std::size_t>(row) * cfg.ways;
+    const SetView view(&sl.tags[base], &sl.origins[base],
+                       &sl.validBits[row], &sl.dirtyBits[row], cfg.ways,
+                       set);
 
     auto &cs = stats[info.coreId];
     if (info.isPrefetch)
@@ -122,7 +146,11 @@ Cache::access(AccessInfo info)
         ++cs.accesses;
 
     Result res;
-    const std::uint32_t hit_way = findWay(set, tag);
+    const std::uint64_t eq =
+        simd::eqMask64(&sl.tags[base], cfg.ways, tag) & sl.validBits[row];
+    const std::uint32_t hit_way =
+        eq != 0 ? static_cast<std::uint32_t>(std::countr_zero(eq))
+                : cfg.ways;
     if (hit_way != cfg.ways) {
         if (!info.isPrefetch) {
             ++cs.hits;
@@ -136,7 +164,7 @@ Cache::access(AccessInfo info)
         }
         res.hit = true;
         if (info.isWrite)
-            dirtyBits[set] |= std::uint64_t{1} << hit_way;
+            sl.dirtyBits[row] |= std::uint64_t{1} << hit_way;
     } else {
         if (info.isPrefetch)
             ++cs.prefetchFills;
@@ -151,7 +179,7 @@ Cache::access(AccessInfo info)
         // Prefer the lowest invalid way; consult the policy only when
         // the set is full.
         std::uint32_t victim;
-        const std::uint64_t invalid = ~validBits[set] & fullWayMask;
+        const std::uint64_t invalid = ~sl.validBits[row] & fullWayMask;
         if (invalid != 0) {
             victim = static_cast<std::uint32_t>(std::countr_zero(invalid));
         } else if (lruFast) {
@@ -164,14 +192,14 @@ Cache::access(AccessInfo info)
         }
 
         const std::uint64_t vbit = std::uint64_t{1} << victim;
-        if ((validBits[set] & vbit) != 0) {
+        if ((sl.validBits[row] & vbit) != 0) {
             res.evicted = true;
             ++cs.evictions;
-            res.evictedAddr = tags[base + victim] << blockBits;
-            if ((dirtyBits[set] & vbit) != 0) {
+            res.evictedAddr = sl.tags[base + victim] << blockBits;
+            if ((sl.dirtyBits[row] & vbit) != 0) {
                 res.writeback = true;
                 res.writebackAddr = res.evictedAddr;
-                ++writebackCount;
+                ++sl.writebacks;
             }
             if (!lruFast) {
                 const CacheLine victim_line = view.line(victim);
@@ -179,13 +207,13 @@ Cache::access(AccessInfo info)
             }
         }
 
-        tags[base + victim] = tag;
-        origins[base + victim] = LineOrigin{info.pc, info.coreId};
-        validBits[set] |= vbit;
+        sl.tags[base + victim] = tag;
+        sl.origins[base + victim] = LineOrigin{info.pc, info.coreId};
+        sl.validBits[row] |= vbit;
         if (info.isWrite)
-            dirtyBits[set] |= vbit;
+            sl.dirtyBits[row] |= vbit;
         else
-            dirtyBits[set] &= ~vbit;
+            sl.dirtyBits[row] &= ~vbit;
         if (lruFast)
             lruFast->touch(set, victim, info.tick);
         else
@@ -210,12 +238,14 @@ Cache::invalidate(Addr addr)
     const std::uint32_t way = findWay(set, tagOf(addr));
     if (way == cfg.ways)
         return false;
-    const std::size_t slot = static_cast<std::size_t>(set) * cfg.ways + way;
-    tags[slot] = 0;
-    origins[slot] = LineOrigin{};
+    TagSlice &sl = sliceFor(set);
+    const std::uint32_t row = sliceMap.rowOf(set);
+    const std::size_t slot = static_cast<std::size_t>(row) * cfg.ways + way;
+    sl.tags[slot] = 0;
+    sl.origins[slot] = LineOrigin{};
     const std::uint64_t wbit = std::uint64_t{1} << way;
-    validBits[set] &= ~wbit;
-    dirtyBits[set] &= ~wbit;
+    sl.validBits[row] &= ~wbit;
+    sl.dirtyBits[row] &= ~wbit;
     return true;
 }
 
@@ -226,7 +256,8 @@ Cache::writebackUpdate(Addr addr)
     const std::uint32_t way = findWay(set, tagOf(addr));
     if (way == cfg.ways)
         return false;
-    dirtyBits[set] |= std::uint64_t{1} << way;
+    sliceFor(set).dirtyBits[sliceMap.rowOf(set)] |= std::uint64_t{1}
+                                                    << way;
     return true;
 }
 
@@ -236,6 +267,15 @@ Cache::coreStats(CoreId core) const
     if (core >= stats.size())
         panic("cache '", cfg.name, "': coreStats(", core, ") out of range");
     return stats[core];
+}
+
+void
+Cache::overrideCoreStats(CoreId core, const CacheCoreStats &s)
+{
+    if (core >= stats.size())
+        panic("cache '", cfg.name, "': overrideCoreStats(", core,
+              ") out of range");
+    stats[core] = s;
 }
 
 CacheCoreStats
@@ -253,14 +293,49 @@ Cache::totalStats() const
     return total;
 }
 
+std::uint64_t
+Cache::writebacks() const
+{
+    std::uint64_t total = 0;
+    for (const TagSlice &sl : slicesStore)
+        total += sl.writebacks;
+    return total;
+}
+
+void
+Cache::enableSetHeat()
+{
+    for (TagSlice &sl : slicesStore)
+        sl.heat.assign(sliceMap.rowsPerSlice(), 0);
+    heatOn = true;
+}
+
+const std::vector<std::uint64_t> &
+Cache::setHeat() const
+{
+    if (!heatOn) {
+        heatView.clear();
+        return heatView;
+    }
+    // Deterministic merge of the per-slice shards into the global
+    // set-indexed view the telemetry probes expect.
+    heatView.resize(sets);
+    for (std::uint32_t s = 0; s < sets; ++s)
+        heatView[s] = slicesStore[sliceMap.sliceOf(s)]
+                          .heat[sliceMap.rowOf(s)];
+    return heatView;
+}
+
 void
 Cache::resetStats()
 {
     for (auto &s : stats)
         s = CacheCoreStats{};
-    if (heatOn)
-        setHeat_.assign(sets, 0);
-    writebackCount = 0;
+    for (TagSlice &sl : slicesStore) {
+        if (heatOn)
+            sl.heat.assign(sliceMap.rowsPerSlice(), 0);
+        sl.writebacks = 0;
+    }
 }
 
 } // namespace nucache

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "mem/lru.hh"
+#include "mem/shard_mode.hh"
 
 namespace nucache
 {
@@ -13,6 +14,10 @@ MemoryHierarchy::MemoryHierarchy(
 {
     if (cfg.numCores == 0)
         fatal("hierarchy needs at least one core");
+    // Resolve the worker width like the caches resolve their slice
+    // count: an explicit config wins, else the process-wide default.
+    if (cfg.shardJobs == 0)
+        cfg.shardJobs = shard::defaultShardJobs();
 
     for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
         CacheConfig l1cfg = cfg.l1;
@@ -50,15 +55,36 @@ MemoryHierarchy::access(CoreId core, Addr addr, PC pc, bool is_write,
     info.coreId = core;
     info.isWrite = is_write;
 
+    // The serial path composes the two halves back to back.  The only
+    // reorder versus the historic single-function body is that an L1
+    // spill now reaches the LLC/DRAM after the private L2 lookup
+    // instead of before it; the two touch disjoint state (shared LLC
+    // and DRAM vs the core's own L2), and the relative order of the
+    // shared-state operations themselves is preserved, so the
+    // composition is byte-identical (tests/test_sliced.cc pins this).
+    AccessOps ops;
+    const Cycles base = privateAccess(core, info, ops);
+    return base + sharedAccess(info, ops, now);
+}
+
+Cycles
+MemoryHierarchy::privateAccess(CoreId core, const AccessInfo &info,
+                               AccessOps &ops)
+{
     Cycles latency = cfg.l1Latency;
     const Cache::Result l1res = l1Caches[core]->access(info);
     Cache *l2 = l2Caches.empty() ? nullptr : l2Caches[core].get();
+    ops.l1Hit = l1res.hit;
+    ops.l1Evicted = l1res.evicted;
     if (l1res.writeback) {
-        // Dirty L1 victim drains to the next level down.
+        // Dirty L1 victim drains to the next level down; absorption by
+        // the private L2 is decided here, spills are deferred to the
+        // shared half.
         if (l2 != nullptr && l2->writebackUpdate(l1res.writebackAddr)) {
             // absorbed by the private L2
-        } else if (!llcCache->writebackUpdate(l1res.writebackAddr)) {
-            dramModel.write(now + latency);
+        } else {
+            ops.l1Spill = true;
+            ops.l1SpillAddr = l1res.writebackAddr;
         }
     }
     if (l1res.hit)
@@ -67,18 +93,41 @@ MemoryHierarchy::access(CoreId core, Addr addr, PC pc, bool is_write,
     if (l2 != nullptr) {
         latency += cfg.l2Latency;
         const Cache::Result l2res = l2->access(info);
-        if (l2res.writeback &&
-            !llcCache->writebackUpdate(l2res.writebackAddr)) {
-            dramModel.write(now + latency);
+        ops.l2Accessed = true;
+        ops.l2Hit = l2res.hit;
+        ops.l2Evicted = l2res.evicted;
+        if (l2res.writeback) {
+            ops.l2Spill = true;
+            ops.l2SpillAddr = l2res.writebackAddr;
         }
         if (l2res.hit)
             return latency;
     }
 
-    latency += cfg.llcLatency;
+    ops.llcDemand = true;
+    return latency + cfg.llcLatency;
+}
+
+Cycles
+MemoryHierarchy::sharedAccess(const AccessInfo &info,
+                              const AccessOps &ops, Cycles now)
+{
+    // Spills first, in level order, at the same absolute DRAM times
+    // the fused path used (L1 spills carry the L1 hit latency, L2
+    // spills the L1+L2 depth).
+    if (ops.l1Spill && !llcCache->writebackUpdate(ops.l1SpillAddr))
+        dramModel.write(now + cfg.l1Latency);
+    if (ops.l2Spill && !llcCache->writebackUpdate(ops.l2SpillAddr))
+        dramModel.write(now + cfg.l1Latency + cfg.l2Latency);
+    if (!ops.llcDemand)
+        return 0;
+
+    const Cycles depth = cfg.l1Latency +
+                         (ops.l2Accessed ? cfg.l2Latency : Cycles{0}) +
+                         cfg.llcLatency;
     const Cache::Result llcres = llcCache->access(info);
     if (llcres.writeback)
-        dramModel.write(now + latency);
+        dramModel.write(now + depth);
     if (cfg.inclusive && llcres.evicted) {
         // Inclusion enforcement: purge the evicted block from every
         // private level (any dirty private copy is conservatively
@@ -98,7 +147,8 @@ MemoryHierarchy::access(CoreId core, Addr addr, PC pc, bool is_write,
     // overlapped, the standard trace-simulator simplification).
     if (!prefetchers.empty()) {
         prefetchQueue.clear();
-        prefetchers[core]->train(pc, addr, prefetchQueue);
+        prefetchers[info.coreId]->train(info.pc, info.addr,
+                                        prefetchQueue);
         for (const Addr pf_addr : prefetchQueue) {
             AccessInfo pf = info;
             pf.addr = pf_addr;
@@ -106,7 +156,7 @@ MemoryHierarchy::access(CoreId core, Addr addr, PC pc, bool is_write,
             pf.isPrefetch = true;
             const Cache::Result pf_res = llcCache->access(pf);
             if (pf_res.writeback)
-                dramModel.write(now + latency);
+                dramModel.write(now + depth);
             if (cfg.inclusive && pf_res.evicted) {
                 for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
                     if (l1Caches[c]->invalidate(pf_res.evictedAddr))
@@ -118,15 +168,13 @@ MemoryHierarchy::access(CoreId core, Addr addr, PC pc, bool is_write,
                 }
             }
             if (!pf_res.hit)
-                dramModel.read(now + latency);  // consumes bandwidth
+                dramModel.read(now + depth);  // consumes bandwidth
         }
     }
 
     if (llcres.hit)
-        return latency;
-
-    latency += dramModel.read(now + latency);
-    return latency;
+        return 0;
+    return dramModel.read(now + depth);
 }
 
 } // namespace nucache

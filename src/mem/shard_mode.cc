@@ -1,0 +1,57 @@
+#include "mem/shard_mode.hh"
+
+#include "common/logging.hh"
+#include "mem/slice.hh"
+
+namespace nucache::shard
+{
+
+namespace
+{
+std::uint32_t sliceCount = 1;
+std::string sliceHash = "mod";
+unsigned shardJobs = 1;
+} // anonymous namespace
+
+std::uint32_t
+defaultSliceCount()
+{
+    return sliceCount;
+}
+
+void
+setDefaultSliceCount(std::uint32_t slices)
+{
+    if (slices == 0)
+        fatal("--slices must be at least 1");
+    sliceCount = slices;
+}
+
+const std::string &
+defaultSliceHash()
+{
+    return sliceHash;
+}
+
+void
+setDefaultSliceHash(const std::string &name)
+{
+    parseSliceHash(name); // validates
+    sliceHash = name.empty() ? "mod" : name;
+}
+
+unsigned
+defaultShardJobs()
+{
+    return shardJobs;
+}
+
+void
+setDefaultShardJobs(unsigned jobs)
+{
+    if (jobs == 0)
+        fatal("--shard-jobs must be at least 1");
+    shardJobs = jobs;
+}
+
+} // namespace nucache::shard

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Process-wide defaults for the sliced-LLC engine, mirroring the
+ * check_mode/obs_mode idiom: the shared `--slices`, `--slice-hash`
+ * and `--shard-jobs` flags raise these once at startup and every
+ * Cache / System built afterwards picks them up, so the nineteen
+ * bench binaries and the tools need no per-binary plumbing.
+ *
+ * A CacheConfig with `slices == 0` (the default) resolves to
+ * defaultSliceCount(); an explicit non-zero value wins.  Likewise a
+ * HierarchyConfig with `shardJobs == 0` resolves to
+ * defaultShardJobs().  Both defaults start at 1 — serial, the
+ * pre-refactor behaviour — so nothing changes unless asked for.
+ */
+
+#ifndef NUCACHE_MEM_SHARD_MODE_HH
+#define NUCACHE_MEM_SHARD_MODE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace nucache::shard
+{
+
+/** @return the LLC slice count new caches default to (>= 1). */
+std::uint32_t defaultSliceCount();
+
+/** Set the process-wide slice count default; fatal() on 0. */
+void setDefaultSliceCount(std::uint32_t slices);
+
+/** @return the slice-hash name new caches default to ("mod"/"xor"). */
+const std::string &defaultSliceHash();
+
+/** Set the process-wide slice-hash default; fatal() on unknown. */
+void setDefaultSliceHash(const std::string &name);
+
+/** @return intra-run worker threads new Systems default to (>= 1). */
+unsigned defaultShardJobs();
+
+/** Set the process-wide shard-jobs default; fatal() on 0. */
+void setDefaultShardJobs(unsigned jobs);
+
+} // namespace nucache::shard
+
+#endif // NUCACHE_MEM_SHARD_MODE_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Slice addressing for the sharded LLC tag store.
+ *
+ * A sliced cache splits its set index space into S = 2^b
+ * independently-owned slices behind a pluggable slice hash.  The map
+ * is a bijection global set <-> (slice, row): every set lands in
+ * exactly one slice and every (slice, row) pair names exactly one
+ * set, so slicing is a pure storage-layout transform — hit/miss
+ * behaviour, policy decisions and statistics are identical at every
+ * slice count (verified by tests/test_sliced.cc).
+ *
+ * Two hashes to start, mirroring the llchash/slicehash split of
+ * multi-bank LLC simulators:
+ *  - "mod":  slice = set mod S (the low index bits), row = set / S.
+ *    Neighbouring sets round-robin across slices.
+ *  - "xor":  slice = (set mod S) ^ xorfold(set / S), row = set / S.
+ *    The fold diffuses high index bits into the slice id so strided
+ *    streams that alias the low bits still spread across slices.
+ */
+
+#ifndef NUCACHE_MEM_SLICE_HH
+#define NUCACHE_MEM_SLICE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace nucache
+{
+
+/** The slice-hash family. */
+enum class SliceHashKind
+{
+    Modulo,
+    XorFold,
+};
+
+/** @return the kind named by @p name ("mod" or "xor"); fatal() else. */
+inline SliceHashKind
+parseSliceHash(const std::string &name)
+{
+    if (name.empty() || name == "mod" || name == "modulo")
+        return SliceHashKind::Modulo;
+    if (name == "xor" || name == "xorfold" || name == "xor-fold")
+        return SliceHashKind::XorFold;
+    fatal("unknown slice hash '", name, "' (expected 'mod' or 'xor')");
+}
+
+/** @return the canonical name of @p kind. */
+inline const char *
+sliceHashName(SliceHashKind kind)
+{
+    return kind == SliceHashKind::Modulo ? "mod" : "xor";
+}
+
+/** Bijective map between global set indices and (slice, row) pairs. */
+class SliceMap
+{
+  public:
+    SliceMap() = default;
+
+    /**
+     * @param sets   total sets (power of two).
+     * @param slices slice count (power of two, <= sets).
+     */
+    SliceMap(std::uint32_t sets, std::uint32_t slices,
+             SliceHashKind kind)
+        : sliceCount_(slices), kind_(kind)
+    {
+        if (slices == 0 || !isPowerOf2(slices))
+            fatal("slice count ", slices, " must be a power of two >= 1");
+        if (slices > sets)
+            fatal("slice count ", slices, " exceeds ", sets, " sets");
+        bits_ = floorLog2(slices);
+        sliceMask_ = slices - 1;
+        rows_ = sets >> bits_;
+    }
+
+    /** @return number of slices. */
+    std::uint32_t slices() const { return sliceCount_; }
+
+    /** @return rows (sets) per slice. */
+    std::uint32_t rowsPerSlice() const { return rows_; }
+
+    /** @return the hash family in use. */
+    SliceHashKind kind() const { return kind_; }
+
+    /** @return the slice owning global set @p set. */
+    std::uint32_t
+    sliceOf(std::uint32_t set) const
+    {
+        const std::uint32_t low = set & sliceMask_;
+        if (kind_ == SliceHashKind::Modulo)
+            return low;
+        return low ^ fold(set >> bits_);
+    }
+
+    /** @return the row of global set @p set within its slice. */
+    std::uint32_t rowOf(std::uint32_t set) const { return set >> bits_; }
+
+    /** @return the global set stored at (@p slice, @p row). */
+    std::uint32_t
+    setOf(std::uint32_t slice, std::uint32_t row) const
+    {
+        std::uint32_t low = slice;
+        if (kind_ == SliceHashKind::XorFold)
+            low ^= fold(row);
+        return (row << bits_) | low;
+    }
+
+  private:
+    /** XOR-fold @p v down to the slice-index width. */
+    std::uint32_t
+    fold(std::uint32_t v) const
+    {
+        if (bits_ == 0)
+            return 0;
+        std::uint32_t f = 0;
+        while (v != 0) {
+            f ^= v & sliceMask_;
+            v >>= bits_;
+        }
+        return f;
+    }
+
+    std::uint32_t sliceCount_ = 1;
+    std::uint32_t sliceMask_ = 0;
+    std::uint32_t rows_ = 0;
+    unsigned bits_ = 0;
+    SliceHashKind kind_ = SliceHashKind::Modulo;
+};
+
+} // namespace nucache
+
+#endif // NUCACHE_MEM_SLICE_HH

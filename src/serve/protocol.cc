@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/bitutil.hh"
+#include "mem/shard_mode.hh"
 #include "obs/obs_mode.hh"
 #include "sim/policies.hh"
 #include "trace/workloads.hh"
@@ -67,6 +68,17 @@ validGeometry(const HierarchyConfig &hier, std::string &err)
               " is not a power of two";
         return false;
     }
+    // Resolve against the server-wide default so a --slices startup
+    // flag cannot make Cache's constructor fatal() on a small LLC.
+    const std::uint32_t slices = llc.slices != 0
+                                     ? llc.slices
+                                     : shard::defaultSliceCount();
+    if (slices > sets) {
+        err = "'slices' (" + std::to_string(slices) +
+              ") exceeds the LLC set count (" + std::to_string(sets) +
+              ")";
+        return false;
+    }
     return true;
 }
 
@@ -126,6 +138,31 @@ parseRunParams(const Json &params, Request &out, std::string &err)
             err = "'telemetry' must be true or a positive stride";
             return false;
         }
+    }
+
+    // Sliced-LLC execution knobs.  Pure execution-shape choices —
+    // results are bit-identical at every value — but still validated
+    // strictly so Cache/System never fatal() on server input.
+    std::uint64_t slices = 0;
+    if (!readUint(params, "slices", slices, present, err))
+        return false;
+    if (present) {
+        if (slices == 0 || slices > 256 ||
+            (slices & (slices - 1)) != 0) {
+            err = "'slices' must be a power of two in [1, 256]";
+            return false;
+        }
+        out.slices = static_cast<std::uint32_t>(slices);
+    }
+    std::uint64_t shard_jobs = 0;
+    if (!readUint(params, "shard_jobs", shard_jobs, present, err))
+        return false;
+    if (present) {
+        if (shard_jobs == 0 || shard_jobs > 64) {
+            err = "'shard_jobs' must be in [1, 64]";
+            return false;
+        }
+        out.shardJobs = static_cast<std::uint32_t>(shard_jobs);
     }
 
     const Json *no_cache = params.find("no_cache");
@@ -210,7 +247,7 @@ knownParamKeys(Op op, const Json &params, std::string &err)
 {
     static const std::vector<std::string> shared = {
         "policy", "records", "llc_kib", "llc_ways", "telemetry",
-        "no_cache"};
+        "no_cache", "slices", "shard_jobs"};
     for (const auto &[key, value] : params.members()) {
         (void)value;
         bool known =
@@ -368,6 +405,10 @@ requestHierarchy(const Request &req)
                 << 10,
             req.llcWays != 0 ? req.llcWays : hier.llc.ways, 64};
     }
+    if (req.slices != 0)
+        hier.llc.slices = req.slices;
+    if (req.shardJobs != 0)
+        hier.shardJobs = req.shardJobs;
     return hier;
 }
 

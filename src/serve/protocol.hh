@@ -16,7 +16,10 @@
  *                  sim/policies.hh, default "nucache"), "records",
  *                  "llc_kib", "llc_ways", "telemetry" (sampling
  *                  stride; attaches the nucache-telemetry/v1 doc),
- *                  "no_cache" (skip the server's result cache).
+ *                  "no_cache" (skip the server's result cache),
+ *                  "slices" (LLC slice count, a power of two) and
+ *                  "shard_jobs" (intra-run worker threads) — both
+ *                  execution knobs with bit-identical results.
  * run_trace params: {"traces": ["/path/a.nutrace", ...]} plus the
  *                  same "policy"/"records"/"llc_kib"/"llc_ways".
  *
@@ -106,6 +109,14 @@ struct Request
     std::uint64_t telemetry = 0;
     /** Skip the server's result cache for this request. */
     bool noCache = false;
+    /**
+     * Sliced-LLC execution knobs; 0 = server default.  Both are
+     * layout/scheduling choices only: results are bit-identical at
+     * every slice count and worker width, so neither participates in
+     * the result-cache key.
+     */
+    std::uint32_t slices = 0;
+    std::uint32_t shardJobs = 0;
 };
 
 /**

@@ -1,0 +1,633 @@
+/**
+ * @file
+ * The sharded run engine: one simulation, many threads, bit-identical
+ * statistics.
+ *
+ * The serial engine steps the core with the smallest local clock, so
+ * it processes records in strictly increasing lexicographic
+ * (pre-record clock, core index) order — per-core clocks strictly
+ * increase (every record costs at least the L1 hit latency).  Each
+ * record's clock decomposes into a fixed part F (gaps plus hit/depth
+ * latencies, a pure function of the core's own stream, because the
+ * private levels are untouched by other cores) and latSum, the sum of
+ * the DRAM read latencies of the core's earlier LLC misses, which
+ * depends on the global interleave.
+ *
+ * That decomposition splits the run in two:
+ *
+ *  - Generators (worker threads, one active per core at a time)
+ *    replay a core's trace through its private levels via
+ *    MemoryHierarchy::privateAccess(), accumulating F and emitting
+ *    fixed-size chunks: a compact per-record journal (flags + gap)
+ *    plus the records that touch shared state ("events": LLC demands
+ *    and unabsorbed write-back spills) with their F-coordinates.
+ *
+ *  - The merge (the calling thread) runs a k-way merge over the
+ *    per-core event streams by exact key (keyF + latSum, core) — the
+ *    very order the serial loop would issue them — applying each via
+ *    MemoryHierarchy::sharedAccess() and folding the returned DRAM
+ *    latency back into the core's latSum.  Records that touch no
+ *    shared state never need replaying: their effect on the final
+ *    statistics is reconstructed from the journal.
+ *
+ * Each generator emits one marker when it passes its measurement
+ * target; the merge uses it to recover the serial stopping point
+ * keyFinal (the largest per-core target-record key) and then a short
+ * journal walk per core recovers the exact serial cutoff: how many
+ * pressure-phase records the serial loop would have replayed, and the
+ * L1/L2 statistics at that point (generators overshoot; the walk
+ * rebuilds the exact values, installed via Cache::overrideCoreStats).
+ *
+ * Everything shared — LLC tags and policy state, DRAM timing,
+ * telemetry sampling points — is driven only by the merge thread in
+ * the serial order, so it is exact by construction, at any worker
+ * width and any slice count.
+ */
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/system.hh"
+
+namespace nucache
+{
+
+namespace
+{
+
+/** Records per generated chunk (journal granularity). */
+constexpr std::uint64_t kChunkRecords = 1 << 16;
+/** Chunks buffered per core before generators move to another core. */
+constexpr std::size_t kMaxQueuedChunks = 4;
+
+/** Per-record journal flags. */
+constexpr std::uint8_t JF_L1HIT = 1;
+constexpr std::uint8_t JF_L1EVICT = 2;
+constexpr std::uint8_t JF_L2ACC = 4;
+constexpr std::uint8_t JF_L2HIT = 8;
+constexpr std::uint8_t JF_L2EVICT = 16;
+constexpr std::uint8_t JF_WRAP = 32;
+constexpr std::uint8_t JF_EVENT = 64;
+
+/** One shared-state-touching record, scheduled by the merge. */
+struct ShardEvent
+{
+    /** Core-fixed time before the record's gap: its scheduling key. */
+    Cycles keyF = 0;
+    /** Core-fixed time at issue (keyF + gap). */
+    Cycles nowF = 0;
+    /** Global record index within the core's run. */
+    std::uint64_t record = 0;
+    AccessInfo info;
+    AccessOps ops;
+};
+
+/** Measurement-target marker, emitted once per core. */
+struct ShardMarker
+{
+    /** F after target-1 records = the target record's keyF. */
+    Cycles preF = 0;
+    /** F after the target record (gap + fixed latency included). */
+    Cycles postF = 0;
+    /** Instructions retired at the target (latency-independent). */
+    std::uint64_t instrAtTarget = 0;
+    /** Events among the first target-1 records. */
+    std::uint64_t eventsBefore = 0;
+    /** The target record itself is an event. */
+    bool isEvent = false;
+};
+
+/** One generated chunk: snapshot + journal + events. */
+struct ShardChunk
+{
+    /** Absolute generator state before the chunk's first record. */
+    std::uint64_t startRecord = 0;
+    Cycles startF = 0;
+    std::uint64_t startWraps = 0;
+    CacheCoreStats startL1;
+    CacheCoreStats startL2;
+
+    /** Per-record journal (parallel arrays). */
+    std::vector<std::uint8_t> flags;
+    std::vector<std::uint32_t> gaps;
+    /** The chunk's events, in record order. */
+    std::vector<ShardEvent> events;
+
+    /** F after the last record: horizon bound for the merge. */
+    Cycles endF = 0;
+
+    bool hasMarker = false;
+    ShardMarker marker;
+};
+
+using ChunkPtr = std::unique_ptr<ShardChunk>;
+
+/** Lexicographic merge key: (clock, core index), lowest core wins. */
+struct MergeKey
+{
+    Cycles f = 0;
+    std::uint32_t core = 0;
+};
+
+bool
+keyLess(const MergeKey &a, const MergeKey &b)
+{
+    return a.f != b.f ? a.f < b.f : a.core < b.core;
+}
+
+/** Generator-side per-core state (owned by one worker at a time). */
+struct CoreGen
+{
+    std::uint32_t core = 0;
+    TraceSource *src = nullptr;
+    Addr addrOffset = 0;
+    PC pcTag = 0;
+    std::uint64_t target = 0;
+
+    Cycles F = 0;
+    std::uint64_t instr = 0;
+    std::uint64_t records = 0;
+    std::uint64_t wraps = 0;
+    std::uint64_t events = 0;
+    bool markerDone = false;
+
+    /** Chunk queue + ownership flag, guarded by the engine mutex. */
+    std::deque<ChunkPtr> queue;
+    bool busy = false;
+};
+
+/** Merge-side per-core stream state (merge thread only). */
+struct CoreMerge
+{
+    /**
+     * Popped chunks still needed: front always contains the last
+     * processed event's record (the cutoff walk's starting snapshot),
+     * back is the chunk events are being consumed from.
+     */
+    std::deque<ChunkPtr> retained;
+    std::size_t evIdx = 0;
+    bool anyChunk = false;
+
+    Cycles latSum = 0;
+    /** latSum before the last event's latency was folded in. */
+    Cycles latSumPrev = 0;
+    std::uint64_t eventsProcessed = 0;
+    /** Record index of the last processed event; -1 if none. */
+    std::int64_t lastEventRec = -1;
+
+    bool markerLoaded = false;
+    ShardMarker marker;
+    bool frozen = false;
+    /** F-part of the target record's serial key (valid once frozen). */
+    Cycles doneKeyF = 0;
+    Cycles frozenCycles = 0;
+};
+
+/** Outcome of a cutoff walk. */
+struct CutoffResult
+{
+    std::uint64_t replayed = 0;
+    std::uint64_t wraps = 0;
+    CacheCoreStats l1;
+    CacheCoreStats l2;
+};
+
+class ShardEngine
+{
+  public:
+    ShardEngine(MemoryHierarchy *hierarchy,
+                std::vector<std::unique_ptr<TraceCpu>> &cpus,
+                obs::Sampler *smp)
+        : hier(hierarchy), sampler(smp),
+          numCores(static_cast<std::uint32_t>(cpus.size())),
+          gens(numCores), merges(numCores)
+    {
+        for (std::uint32_t c = 0; c < numCores; ++c) {
+            CoreGen &g = gens[c];
+            g.core = c;
+            g.src = &cpus[c]->source();
+            g.addrOffset = cpus[c]->addressOffset();
+            g.pcTag = cpus[c]->pcSpaceTag();
+            g.target = cpus[c]->targetRecords();
+        }
+    }
+
+    /** Launch @p workers generator threads (capped at one per core). */
+    void
+    start(unsigned workers)
+    {
+        const unsigned n =
+            std::min<unsigned>(workers, numCores);
+        threads.reserve(n);
+        for (unsigned i = 0; i < n; ++i)
+            threads.emplace_back([this] { workerLoop(); });
+    }
+
+    /** Run the merge to the serial stopping point. */
+    void
+    merge()
+    {
+        while (true) {
+            std::uint32_t best = 0;
+            MergeKey bestKey = virtualKey(0);
+            for (std::uint32_t c = 1; c < numCores; ++c) {
+                const MergeKey k = virtualKey(c);
+                if (keyLess(k, bestKey)) {
+                    best = c;
+                    bestKey = k;
+                }
+            }
+            if (allFrozen() && keyLess(finalKey(), bestKey))
+                break;
+            CoreMerge &m = merges[best];
+            if (m.anyChunk &&
+                m.evIdx < m.retained.back()->events.size()) {
+                processEvent(best);
+            } else {
+                // Resolve the bound: the core's next event (if any)
+                // lives in a chunk not loaded yet.
+                loadChunk(best);
+            }
+        }
+    }
+
+    /**
+     * Reconstruct core @p c's exact serial cutoff from the retained
+     * journals (pulling further chunks from the still-running
+     * generator as the walk crosses chunk boundaries).
+     */
+    CutoffResult
+    walkCutoff(std::uint32_t c)
+    {
+        CoreMerge &m = merges[c];
+        const MergeKey stop = finalKey();
+        if (!m.anyChunk)
+            loadChunk(c);
+
+        std::size_t chunkIdx = 0;
+        const ShardChunk *ck = m.retained[chunkIdx].get();
+        CutoffResult res;
+        Cycles F = ck->startF;
+        std::uint64_t rec = ck->startRecord;
+        res.wraps = ck->startWraps;
+        res.l1 = ck->startL1;
+        res.l2 = ck->startL2;
+        std::size_t pos = 0;
+
+        const Cycles l1Lat = hier->config().l1Latency;
+        const Cycles l2Lat = hier->config().l2Latency;
+        const Cycles llcLat = hier->config().llcLatency;
+
+        while (true) {
+            if (pos == ck->flags.size()) {
+                ++chunkIdx;
+                if (chunkIdx == m.retained.size())
+                    loadChunk(c); // appends to m.retained
+                ck = m.retained[chunkIdx].get();
+                pos = 0;
+            }
+            const std::uint8_t fl = ck->flags[pos];
+            if (static_cast<std::int64_t>(rec) > m.lastEventRec) {
+                // Beyond the last shared-state record the serial key
+                // is fully known: F plus the core's final latSum.
+                if (keyLess(stop, MergeKey{F + m.latSum, c}))
+                    break;
+                if ((fl & JF_EVENT) != 0)
+                    panic("sharded merge: core ", c, " record ", rec,
+                          " is an unprocessed event inside the serial "
+                          "window");
+            }
+            if ((fl & JF_WRAP) != 0)
+                ++res.wraps;
+            Cycles fixed;
+            ++res.l1.accesses;
+            if ((fl & JF_L1HIT) != 0) {
+                ++res.l1.hits;
+                fixed = l1Lat;
+            } else {
+                ++res.l1.misses;
+                if ((fl & JF_L1EVICT) != 0)
+                    ++res.l1.evictions;
+                if ((fl & JF_L2ACC) != 0) {
+                    ++res.l2.accesses;
+                    if ((fl & JF_L2HIT) != 0) {
+                        ++res.l2.hits;
+                        fixed = l1Lat + l2Lat;
+                    } else {
+                        ++res.l2.misses;
+                        fixed = l1Lat + l2Lat + llcLat;
+                    }
+                    if ((fl & JF_L2EVICT) != 0)
+                        ++res.l2.evictions;
+                } else {
+                    fixed = l1Lat + llcLat;
+                }
+            }
+            F += ck->gaps[pos] + fixed;
+            ++rec;
+            ++pos;
+        }
+        res.replayed = rec;
+        return res;
+    }
+
+    /** Per-core frozen measurement state (valid after merge()). */
+    const CoreMerge &mergeState(std::uint32_t c) const
+    {
+        return merges[c];
+    }
+
+    /** Stop and join the generator workers. */
+    void
+    shutdown()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            stopFlag = true;
+        }
+        spaceCv.notify_all();
+        for (std::thread &t : threads)
+            t.join();
+        threads.clear();
+    }
+
+  private:
+    /**
+     * Lower bound on core @p c's next event key.  Exact when a
+     * generated event is loaded; otherwise the horizon bound from the
+     * last loaded chunk's end-F (keys of later events can only be
+     * larger), which tells the merge whether the stream must be
+     * extended before any other core may proceed.
+     */
+    MergeKey
+    virtualKey(std::uint32_t c) const
+    {
+        const CoreMerge &m = merges[c];
+        if (!m.anyChunk)
+            return MergeKey{0, c};
+        const ShardChunk &ck = *m.retained.back();
+        if (m.evIdx < ck.events.size())
+            return MergeKey{ck.events[m.evIdx].keyF + m.latSum, c};
+        return MergeKey{ck.endF + m.latSum, c};
+    }
+
+    bool
+    allFrozen() const
+    {
+        for (const CoreMerge &m : merges)
+            if (!m.frozen)
+                return false;
+        return true;
+    }
+
+    /** The serial stopping key: the largest target-record key. */
+    MergeKey
+    finalKey() const
+    {
+        MergeKey k{merges[0].doneKeyF, 0};
+        for (std::uint32_t c = 1; c < numCores; ++c) {
+            const MergeKey dk{merges[c].doneKeyF, c};
+            if (keyLess(k, dk))
+                k = dk;
+        }
+        return k;
+    }
+
+    void
+    processEvent(std::uint32_t c)
+    {
+        CoreMerge &m = merges[c];
+        const ShardEvent &ev = m.retained.back()->events[m.evIdx];
+        const Cycles dramLat =
+            hier->sharedAccess(ev.info, ev.ops, ev.nowF + m.latSum);
+        m.latSumPrev = m.latSum;
+        m.latSum += dramLat;
+        ++m.eventsProcessed;
+        m.lastEventRec = static_cast<std::int64_t>(ev.record);
+        ++m.evIdx;
+        // Chunks before the one being consumed can no longer hold the
+        // cutoff-walk start (the walk starts at the chunk containing
+        // the core's last processed event).
+        while (m.retained.size() > 1)
+            m.retained.pop_front();
+        if (sampler != nullptr)
+            sampler->maybeSample(hier->llc().accessCount());
+        maybeFreeze(m);
+    }
+
+    /** Blocking pop of core @p c's next chunk into its stream. */
+    void
+    loadChunk(std::uint32_t c)
+    {
+        CoreMerge &m = merges[c];
+        ChunkPtr ck;
+        {
+            std::unique_lock<std::mutex> lk(mtx);
+            chunkCv.wait(lk, [&] { return !gens[c].queue.empty(); });
+            ck = std::move(gens[c].queue.front());
+            gens[c].queue.pop_front();
+        }
+        spaceCv.notify_all();
+        if (ck->hasMarker) {
+            m.markerLoaded = true;
+            m.marker = ck->marker;
+        }
+        m.retained.push_back(std::move(ck));
+        m.evIdx = 0;
+        m.anyChunk = true;
+        maybeFreeze(m);
+    }
+
+    /**
+     * Freeze the core once the merge has processed exactly the events
+     * the serial loop would have processed up to (and including, when
+     * the target record is itself an event) the target record.  The
+     * marker always loads before its chunk's events are consumed, so
+     * the equality test is hit exactly once.
+     */
+    void
+    maybeFreeze(CoreMerge &m)
+    {
+        if (m.frozen || !m.markerLoaded)
+            return;
+        const std::uint64_t need =
+            m.marker.eventsBefore + (m.marker.isEvent ? 1 : 0);
+        if (m.eventsProcessed != need)
+            return;
+        m.frozen = true;
+        // The target record's own DRAM latency is part of its cost,
+        // not of its scheduling key.
+        m.doneKeyF =
+            m.marker.preF + (m.marker.isEvent ? m.latSumPrev : m.latSum);
+        m.frozenCycles = m.marker.postF + m.latSum;
+    }
+
+    /** Generate one chunk of core @p g (core-private state only). */
+    ChunkPtr
+    generateChunk(CoreGen &g)
+    {
+        auto ck = std::make_unique<ShardChunk>();
+        ck->startRecord = g.records;
+        ck->startF = g.F;
+        ck->startWraps = g.wraps;
+        ck->startL1 = hier->l1(g.core).coreStats(g.core);
+        if (const Cache *l2 = hier->l2(g.core))
+            ck->startL2 = l2->coreStats(g.core);
+        ck->flags.reserve(kChunkRecords);
+        ck->gaps.reserve(kChunkRecords);
+
+        for (std::uint64_t n = 0; n < kChunkRecords; ++n) {
+            TraceRecord trec;
+            std::uint8_t fl = 0;
+            if (!g.src->next(trec)) {
+                g.src->reset();
+                ++g.wraps;
+                fl |= JF_WRAP;
+                if (!g.src->next(trec))
+                    fatal("TraceCpu ", g.core, ": workload '",
+                          g.src->name(), "' is empty");
+            }
+            const Cycles keyF = g.F;
+            g.F += trec.nonMemGap;
+            const Cycles nowF = g.F;
+            g.instr += trec.nonMemGap + 1;
+
+            AccessInfo info;
+            info.addr = trec.addr + g.addrOffset;
+            info.pc = trec.pc | g.pcTag;
+            info.coreId = g.core;
+            info.isWrite = trec.isWrite;
+            AccessOps ops;
+            g.F += hier->privateAccess(g.core, info, ops);
+
+            if (ops.l1Hit)
+                fl |= JF_L1HIT;
+            if (ops.l1Evicted)
+                fl |= JF_L1EVICT;
+            if (ops.l2Accessed)
+                fl |= JF_L2ACC;
+            if (ops.l2Hit)
+                fl |= JF_L2HIT;
+            if (ops.l2Evicted)
+                fl |= JF_L2EVICT;
+            const bool isEvent = ops.shared();
+            if (!g.markerDone && g.records + 1 == g.target) {
+                ck->hasMarker = true;
+                ck->marker.preF = keyF;
+                ck->marker.postF = g.F;
+                ck->marker.instrAtTarget = g.instr;
+                ck->marker.eventsBefore = g.events;
+                ck->marker.isEvent = isEvent;
+                g.markerDone = true;
+            }
+            if (isEvent) {
+                fl |= JF_EVENT;
+                ShardEvent ev;
+                ev.keyF = keyF;
+                ev.nowF = nowF;
+                ev.record = g.records;
+                ev.info = info;
+                ev.ops = ops;
+                ck->events.push_back(ev);
+                ++g.events;
+            }
+            ck->flags.push_back(fl);
+            ck->gaps.push_back(trec.nonMemGap);
+            ++g.records;
+        }
+        ck->endF = g.F;
+        return ck;
+    }
+
+    /**
+     * Worker body: claim any core whose queue has space (never block
+     * on one specific core — that is what makes W workers over C
+     * cores deadlock-free), generate its next chunk outside the lock,
+     * publish it.  The mutex hand-off orders successive chunks of the
+     * same core across different workers.
+     */
+    void
+    workerLoop()
+    {
+        std::unique_lock<std::mutex> lk(mtx);
+        while (!stopFlag) {
+            std::uint32_t pick = numCores;
+            for (std::uint32_t i = 0; i < numCores; ++i) {
+                const std::uint32_t c = (rrNext + i) % numCores;
+                CoreGen &g = gens[c];
+                if (!g.busy && g.queue.size() < kMaxQueuedChunks) {
+                    pick = c;
+                    break;
+                }
+            }
+            if (pick == numCores) {
+                spaceCv.wait(lk);
+                continue;
+            }
+            rrNext = pick + 1;
+            CoreGen &g = gens[pick];
+            g.busy = true;
+            lk.unlock();
+            ChunkPtr ck = generateChunk(g);
+            lk.lock();
+            g.busy = false;
+            g.queue.push_back(std::move(ck));
+            chunkCv.notify_all();
+            spaceCv.notify_all();
+        }
+    }
+
+    MemoryHierarchy *hier;
+    obs::Sampler *sampler;
+    std::uint32_t numCores;
+    std::vector<CoreGen> gens;
+    std::vector<CoreMerge> merges;
+    std::vector<std::thread> threads;
+
+    std::mutex mtx;
+    std::condition_variable spaceCv;
+    std::condition_variable chunkCv;
+    bool stopFlag = false;
+    std::uint32_t rrNext = 0;
+};
+
+} // anonymous namespace
+
+SystemResult
+System::runSharded(unsigned workers)
+{
+    ShardEngine engine(hier.get(), cpus, sampler.get());
+    engine.start(workers);
+    engine.merge();
+
+    // Reconstruct each core's exact serial cutoff while the
+    // generators still run (the walk may need chunks beyond the last
+    // one the merge consumed), then quiesce the workers and install
+    // the results — the caches are single-threaded again from here.
+    std::vector<CutoffResult> cutoffs;
+    cutoffs.reserve(cpus.size());
+    for (std::uint32_t c = 0; c < cpus.size(); ++c)
+        cutoffs.push_back(engine.walkCutoff(c));
+    engine.shutdown();
+
+    for (std::uint32_t c = 0; c < cpus.size(); ++c) {
+        const CoreMerge &m = engine.mergeState(c);
+        const CutoffResult &cut = cutoffs[c];
+        cpus[c]->adoptShardRun(m.marker.instrAtTarget, m.frozenCycles,
+                               cut.replayed, cut.wraps);
+        hier->l1(c).overrideCoreStats(c, cut.l1);
+        if (Cache *l2 = hier->l2(c))
+            l2->overrideCoreStats(c, cut.l2);
+    }
+    return assembleResult();
+}
+
+} // namespace nucache

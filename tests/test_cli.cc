@@ -1,11 +1,14 @@
 /**
  * @file
- * Tests for the command-line flag parser.
+ * Tests for the command-line flag parser and the shared bench/tool
+ * flag validation built on top of it.
  */
 
 #include <gtest/gtest.h>
 
+#include "bench_common.hh"
 #include "common/cli.hh"
+#include "mem/shard_mode.hh"
 
 namespace nucache
 {
@@ -67,6 +70,51 @@ TEST(CliArgsDeathTest, RejectsNonNumeric)
     const auto a = parse({"--n=abc"});
     EXPECT_EXIT(a.getInt("n", 0), ::testing::ExitedWithCode(1),
                 "expects an integer");
+}
+
+TEST(CliArgsDeathTest, RejectsZeroJobs)
+{
+    const auto a = parse({"--jobs=0"});
+    EXPECT_EXIT(bench::parseOptions(a, 1000),
+                ::testing::ExitedWithCode(1),
+                "--jobs must be at least 1");
+}
+
+TEST(CliArgsDeathTest, RejectsZeroSlices)
+{
+    const auto a = parse({"--slices=0"});
+    EXPECT_EXIT(bench::parseOptions(a, 1000),
+                ::testing::ExitedWithCode(1),
+                "--slices must be at least 1");
+}
+
+TEST(CliArgsDeathTest, RejectsZeroShardJobs)
+{
+    const auto a = parse({"--shard-jobs=0"});
+    EXPECT_EXIT(bench::parseOptions(a, 1000),
+                ::testing::ExitedWithCode(1),
+                "--shard-jobs must be at least 1");
+}
+
+TEST(CliArgsDeathTest, RejectsUnknownSliceHashName)
+{
+    const auto a = parse({"--slice-hash=crc"});
+    EXPECT_EXIT(bench::parseOptions(a, 1000),
+                ::testing::ExitedWithCode(1), "unknown slice hash");
+}
+
+TEST(CliArgs, SlicedFlagsRaiseProcessDefaults)
+{
+    const auto a = parse({"--slices=4", "--slice-hash=xor",
+                          "--shard-jobs=2"});
+    bench::parseOptions(a, 1000);
+    EXPECT_EQ(shard::defaultSliceCount(), 4u);
+    EXPECT_EQ(shard::defaultSliceHash(), "xor");
+    EXPECT_EQ(shard::defaultShardJobs(), 2u);
+    // Restore: other tests rely on the serial single-slice default.
+    shard::setDefaultSliceCount(1);
+    shard::setDefaultSliceHash("mod");
+    shard::setDefaultShardJobs(1);
 }
 
 } // anonymous namespace

@@ -156,6 +156,37 @@ TEST(Protocol, RejectsImpossibleGeometry)
                R"("llc_kib":48}})");
 }
 
+TEST(Protocol, ParsesSlicedExecutionKnobs)
+{
+    const Request req = mustParse(
+        R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+        R"("slices":4,"shard_jobs":2}})");
+    EXPECT_EQ(req.slices, 4u);
+    EXPECT_EQ(req.shardJobs, 2u);
+    const HierarchyConfig hier = serve::requestHierarchy(req);
+    EXPECT_EQ(hier.llc.slices, 4u);
+    EXPECT_EQ(hier.shardJobs, 2u);
+}
+
+TEST(Protocol, RejectsBadSlicedExecutionKnobs)
+{
+    // Zero, non-power-of-two, and over-cap slice counts; zero and
+    // over-cap worker widths; more slices than the LLC has sets
+    // (64 KiB / 16 ways / 64 B = 64 sets).
+    mustReject(R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+               R"("slices":0}})");
+    mustReject(R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+               R"("slices":3}})");
+    mustReject(R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+               R"("slices":512}})");
+    mustReject(R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+               R"("shard_jobs":0}})");
+    mustReject(R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+               R"("shard_jobs":65}})");
+    mustReject(R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+               R"("llc_kib":64,"slices":128}})");
+}
+
 TEST(Protocol, BatchKeyGroupsCompatibleRequests)
 {
     const Request a = mustParse(

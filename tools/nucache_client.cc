@@ -16,8 +16,13 @@
  *
  * Load mode (--bench N) opens N concurrent connections, sends
  * --requests M run requests each after one cold priming request, and
- * prints requests/sec plus latency percentiles; exits non-zero on
- * any error response or dropped connection.
+ * prints requests/sec, latency percentiles, a log2-bucketed latency
+ * histogram and the cold/warm split; --json=FILE additionally writes
+ * the `nucache-bench/v1` document.  Exits non-zero on any error
+ * response or dropped connection.
+ *
+ * --slices=S / --shard-jobs=J forward the sliced-LLC execution knobs
+ * as request params (results are bit-identical at any value).
  */
 
 #include <unistd.h>
@@ -25,6 +30,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -112,6 +118,10 @@ buildRequest(const CliArgs &args, std::uint64_t id)
         params["telemetry"] = args.getInt("telemetry", 50'000);
     if (args.has("no-cache"))
         params["no_cache"] = true;
+    if (args.has("slices"))
+        params["slices"] = args.getInt("slices", 0);
+    if (args.has("shard-jobs"))
+        params["shard_jobs"] = args.getInt("shard-jobs", 0);
     req["params"] = std::move(params);
     return req.str(0);
 }
@@ -172,6 +182,40 @@ percentile(std::vector<double> sorted, double p)
     const std::size_t idx = static_cast<std::size_t>(
         p * static_cast<double>(sorted.size() - 1));
     return sorted[idx];
+}
+
+/** One log2-spaced latency histogram bucket. */
+struct LatencyBucket
+{
+    double leMs;         // upper bound (inclusive); last is +inf
+    std::uint64_t count;
+};
+
+/**
+ * Bucket @p sorted latencies into log2-spaced bins starting at
+ * 0.25 ms.  Power-of-two bounds keep the histogram stable across runs
+ * of different speeds, so reports diff cleanly.
+ */
+std::vector<LatencyBucket>
+latencyHistogram(const std::vector<double> &sorted)
+{
+    std::vector<LatencyBucket> buckets;
+    if (sorted.empty())
+        return buckets;
+    double bound = 0.25;
+    while (bound < sorted.back())
+        bound *= 2.0;
+    for (double b = 0.25; b <= bound; b *= 2.0)
+        buckets.push_back({b, 0});
+    for (const double ms : sorted) {
+        for (LatencyBucket &bucket : buckets) {
+            if (ms <= bucket.leMs) {
+                ++bucket.count;
+                break;
+            }
+        }
+    }
+    return buckets;
 }
 
 /** The --bench load mode. @return the process exit code. */
@@ -263,6 +307,7 @@ runBench(const CliArgs &args, const std::string &host,
                 static_cast<unsigned long long>(ok),
                 static_cast<unsigned long long>(errors),
                 static_cast<unsigned long long>(dropped), wall_s);
+    const std::vector<LatencyBucket> histogram = latencyHistogram(lats);
     if (!lats.empty() && wall_s > 0.0) {
         std::printf("throughput: %.1f req/s\n",
                     static_cast<double>(lats.size()) / wall_s);
@@ -270,9 +315,64 @@ runBench(const CliArgs &args, const std::string &host,
                     "max %.2f\n",
                     percentile(lats, 0.50), percentile(lats, 0.90),
                     percentile(lats, 0.99), lats.back());
+        const double warm_p50 = percentile(lats, 0.50);
         std::printf("cold vs warm: first (uncached) %.2f ms, "
-                    "warm p50 %.2f ms\n",
-                    cold_ms, percentile(lats, 0.50));
+                    "warm p50 %.2f ms (%.1fx)\n",
+                    cold_ms, warm_p50,
+                    warm_p50 > 0.0 ? cold_ms / warm_p50 : 0.0);
+        std::printf("latency histogram:\n");
+        double lower = 0.0;
+        for (const LatencyBucket &bucket : histogram) {
+            if (bucket.count != 0) {
+                std::printf("  %7.2f..%7.2f ms  %llu\n", lower,
+                            bucket.leMs,
+                            static_cast<unsigned long long>(
+                                bucket.count));
+            }
+            lower = bucket.leMs;
+        }
+    }
+
+    const std::string json_path = args.get("json", "");
+    if (!json_path.empty()) {
+        Json doc = Json::object();
+        doc["schema"] = "nucache-bench/v1";
+        doc["host"] = host;
+        doc["port"] = std::uint64_t{port};
+        doc["connections"] = std::uint64_t{conns};
+        doc["requests_per_connection"] = std::uint64_t{per_conn};
+        doc["ok"] = ok;
+        doc["errors"] = errors;
+        doc["dropped_connections"] = dropped;
+        doc["wall_s"] = wall_s;
+        doc["throughput_rps"] =
+            wall_s > 0.0 ? static_cast<double>(lats.size()) / wall_s
+                         : 0.0;
+        Json lat = Json::object();
+        lat["p50"] = percentile(lats, 0.50);
+        lat["p90"] = percentile(lats, 0.90);
+        lat["p99"] = percentile(lats, 0.99);
+        lat["max"] = lats.empty() ? 0.0 : lats.back();
+        doc["latency_ms"] = std::move(lat);
+        Json split = Json::object();
+        split["cold_ms"] = cold_ms;
+        split["warm_p50_ms"] = percentile(lats, 0.50);
+        doc["cold_warm"] = std::move(split);
+        Json hist = Json::array();
+        for (const LatencyBucket &bucket : histogram) {
+            Json b = Json::object();
+            b["le_ms"] = bucket.leMs;
+            b["count"] = bucket.count;
+            hist.push(std::move(b));
+        }
+        doc["histogram_ms"] = std::move(hist);
+        std::ofstream os(json_path);
+        if (!os)
+            fatal("cannot write bench JSON to '", json_path, "'");
+        doc.dump(os);
+        os << "\n";
+        std::fprintf(stderr, "wrote bench JSON to %s\n",
+                     json_path.c_str());
     }
     return errors == 0 && dropped == 0 ? 0 : 1;
 }

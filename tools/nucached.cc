@@ -9,7 +9,12 @@
  *   nucached [--host=127.0.0.1] [--port=7411] [--jobs=N]
  *            [--records=250000] [--queue-depth=64] [--batch-max=8]
  *            [--deadline-ms=30000] [--max-conns=256] [--cache=256]
+ *            [--slices=S] [--slice-hash=mod|xor] [--shard-jobs=J]
  *            [--check] [--port-file=FILE] [--quiet]
+ *
+ * --slices / --slice-hash / --shard-jobs set the server-wide sliced
+ * LLC defaults; requests may override per run with the "slices" and
+ * "shard_jobs" params.  Results are bit-identical either way.
  *
  * --port=0 binds an ephemeral port; --port-file writes the bound
  * port to FILE once the server is listening (for scripts and CI).
@@ -27,6 +32,7 @@
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "mem/shard_mode.hh"
 #include "serve/server.hh"
 
 using namespace nucache;
@@ -68,6 +74,16 @@ main(int argc, char **argv)
     cfg.service.resultCacheEntries =
         args.getInt("cache", cfg.service.resultCacheEntries);
     cfg.service.check = args.has("check") || check::enabled();
+    if (args.has("slices")) {
+        shard::setDefaultSliceCount(
+            static_cast<std::uint32_t>(args.getInt("slices", 1)));
+    }
+    if (args.has("slice-hash"))
+        shard::setDefaultSliceHash(args.get("slice-hash", "mod"));
+    if (args.has("shard-jobs")) {
+        shard::setDefaultShardJobs(
+            static_cast<unsigned>(args.getInt("shard-jobs", 1)));
+    }
     if (cfg.service.defaultRecords < serve::kMinRecords ||
         cfg.service.defaultRecords > serve::kMaxRecords)
         fatal("--records must be in [", serve::kMinRecords, ", ",

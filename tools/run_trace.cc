@@ -9,6 +9,7 @@
  *   run_trace [--policy=nucache] [--records=N] [--llc-kib=1024]
  *             [--llc-ways=16] [--check] [--json=FILE]
  *             [--telemetry[=N]] [--trace-out=FILE]
+ *             [--slices=S] [--slice-hash=mod|xor] [--shard-jobs=J]
  *             a.nutrace [b.nutrace ...]
  *
  * One trace per core; the LLC defaults to the canonical configuration
@@ -26,6 +27,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "mem/shard_mode.hh"
 #include "obs/obs_mode.hh"
 #include "obs/telemetry.hh"
 #include "obs/tracer.hh"
@@ -44,7 +46,9 @@ main(int argc, char **argv)
         std::cerr << "usage: run_trace [--policy=P] [--records=N] "
                      "[--llc-kib=K] [--llc-ways=W] [--check] "
                      "[--json=FILE] [--telemetry[=N]] "
-                     "[--trace-out=FILE] TRACE...\n";
+                     "[--trace-out=FILE] [--slices=S] "
+                     "[--slice-hash=mod|xor] [--shard-jobs=J] "
+                     "TRACE...\n";
         return 1;
     }
 
@@ -92,6 +96,19 @@ main(int argc, char **argv)
     const std::string trace_out = args.get("trace-out", "");
     if (!trace_out.empty())
         obs::Tracer::instance().start(trace_out);
+
+    // Sliced-LLC knobs: results are bit-identical at every slice
+    // count and worker width; the setters reject invalid values.
+    if (args.has("slices")) {
+        shard::setDefaultSliceCount(
+            static_cast<std::uint32_t>(args.getInt("slices", 1)));
+    }
+    if (args.has("slice-hash"))
+        shard::setDefaultSliceHash(args.get("slice-hash", "mod"));
+    if (args.has("shard-jobs")) {
+        shard::setDefaultShardJobs(
+            static_cast<unsigned>(args.getInt("shard-jobs", 1)));
+    }
 
     System sys(hier, makePolicy(policy), std::move(traces), records,
                check::enabled());
