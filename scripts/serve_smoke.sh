@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # End-to-end loopback smoke of the nucached simulation server: boot
 # on an ephemeral port, probe health, run a mix twice (the repeat
-# must come back from the result cache), drive the concurrent load
-# bench, and shut down gracefully.  The client exits non-zero on any
-# error response or dropped connection, and this script forwards it.
+# must come back from the result cache), stream a telemetry run,
+# drive the concurrent pipelined load bench, and shut down
+# gracefully.  The client exits non-zero on any error response or
+# dropped connection, and this script forwards it.
 # Usage: scripts/serve_smoke.sh [build_dir]
-#   MIN_RPS=<n>  optionally gate the bench on a throughput floor
-#                (leave unset on noisy or sanitizer-built runners).
+#   MIN_RPS=<n>  optionally gate the pipelined bench on a throughput
+#                floor (leave unset on noisy or sanitizer-built
+#                runners).
+#   SHARDS=<n>   engine shards to boot with (default 1).
 set -euo pipefail
 
 build="${1-build}"
@@ -28,22 +31,32 @@ cleanup() {
 }
 trap cleanup EXIT
 
+shards="${SHARDS-1}"
 "$nucached" --port=0 --port-file="$port_file" --records=10000 \
+    --serve-shards="$shards" \
     --jobs="$(nproc 2>/dev/null || echo 2)" >"$log" 2>&1 &
 server_pid=$!
 
-for _ in $(seq 1 100); do
+# Bounded readiness wait: 10 s of polling the port file, bailing out
+# early (with the server log) if the process already died.
+ready_wait_secs=10
+for _ in $(seq 1 $((ready_wait_secs * 10))); do
     [ -s "$port_file" ] && break
-    kill -0 "$server_pid" 2>/dev/null || break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "serve smoke: nucached exited before becoming ready" >&2
+        cat "$log" >&2
+        exit 1
+    fi
     sleep 0.1
 done
 [ -s "$port_file" ] || {
-    echo "serve smoke: server never became ready" >&2
+    echo "serve smoke: no port file after ${ready_wait_secs}s —" \
+        "server never became ready" >&2
     cat "$log" >&2
     exit 1
 }
 port="$(cat "$port_file")"
-echo "== nucached up on port $port"
+echo "== nucached up on port $port (shards=$shards)"
 
 echo "== health"
 "$client" --port="$port" --op=health --compact
@@ -52,16 +65,21 @@ echo "== run_mix (cold, then cached repeat)"
 "$client" --port="$port" --op=run_mix --mix=mix2_01 \
     --records=10000 --repeat=2 --compact >/dev/null
 
+echo "== streamed telemetry run"
+"$client" --port="$port" --op=run_mix --mix=mix2_01 \
+    --records=10000 --telemetry=2000 --stream --compact >/dev/null
+
 echo "== hostile input keeps the server alive"
 if "$client" --port="$port" --raw='this is not json' --compact; then
     echo "serve smoke: garbage line should answer an error" >&2
     exit 1
 fi
 
-echo "== concurrent load bench"
+echo "== concurrent pipelined load bench"
 bench_out="$workdir/bench.txt"
 "$client" --port="$port" --op=run_mix --mix=mix2_01 \
-    --records=10000 --bench=8 --requests=25 | tee "$bench_out"
+    --records=10000 --bench=8 --requests=50 --pipeline=8 \
+    | tee "$bench_out"
 if [ -n "${MIN_RPS-}" ]; then
     awk -v floor="$MIN_RPS" '/^throughput:/ {
         if ($2 + 0 < floor + 0) {
@@ -73,7 +91,19 @@ fi
 
 echo "== graceful shutdown drains"
 "$client" --port="$port" --raw='{"op":"shutdown"}' --compact
-wait "$server_pid"
+# Bounded shutdown wait: the drain must finish within 30 s.
+shutdown_wait_secs=30
+for _ in $(seq 1 $((shutdown_wait_secs * 10))); do
+    kill -0 "$server_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+    echo "serve smoke: server still running ${shutdown_wait_secs}s" \
+        "after shutdown was acknowledged" >&2
+    cat "$log" >&2
+    exit 1
+fi
+wait "$server_pid" || true
 server_pid=""
 grep -q "drained and stopped" "$log" || {
     echo "serve smoke: server did not report a clean drain" >&2

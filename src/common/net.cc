@@ -132,6 +132,18 @@ setNoDelay(int fd)
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+void
+setRecvBuffer(int fd, int bytes)
+{
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes));
+}
+
+void
+setSendBuffer(int fd, int bytes)
+{
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+}
+
 bool
 writeAll(int fd, const void *data, std::size_t n)
 {

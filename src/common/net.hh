@@ -53,6 +53,17 @@ bool setNonBlocking(int fd);
 void setNoDelay(int fd);
 
 /**
+ * Shrink the kernel receive buffer of @p fd to roughly @p bytes
+ * (the kernel clamps and doubles the value).  Tests use this to
+ * build deliberately slow readers; must be called before connect()
+ * to affect the negotiated window.
+ */
+void setRecvBuffer(int fd, int bytes);
+
+/** Shrink the kernel send buffer of @p fd to roughly @p bytes. */
+void setSendBuffer(int fd, int bytes);
+
+/**
  * Write all @p n bytes of @p data to blocking fd @p fd, retrying
  * short writes and EINTR.  @return whether every byte was written.
  */

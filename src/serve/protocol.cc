@@ -165,6 +165,20 @@ parseRunParams(const Json &params, Request &out, std::string &err)
         out.shardJobs = static_cast<std::uint32_t>(shard_jobs);
     }
 
+    const Json *stream = params.find("stream");
+    if (stream != nullptr) {
+        if (!stream->isBool()) {
+            err = "'stream' must be a boolean";
+            return false;
+        }
+        out.stream = stream->asBool();
+        if (out.stream && out.telemetry == 0) {
+            err = "'stream' requires 'telemetry' (streaming delivers "
+                  "the telemetry document as incremental frames)";
+            return false;
+        }
+    }
+
     const Json *no_cache = params.find("no_cache");
     if (no_cache != nullptr) {
         if (!no_cache->isBool()) {
@@ -247,7 +261,7 @@ knownParamKeys(Op op, const Json &params, std::string &err)
 {
     static const std::vector<std::string> shared = {
         "policy", "records", "llc_kib", "llc_ways", "telemetry",
-        "no_cache", "slices", "shard_jobs"};
+        "stream", "no_cache", "slices", "shard_jobs"};
     for (const auto &[key, value] : params.members()) {
         (void)value;
         bool known =
@@ -436,6 +450,32 @@ cacheKey(const Request &req, std::uint64_t default_records)
         << (req.records != 0 ? req.records : default_records) << "|"
         << hier.llc.sizeBytes << "/" << hier.llc.ways;
     return key.str();
+}
+
+std::size_t
+shardOf(const Request &req, std::uint64_t default_records,
+        std::size_t shards)
+{
+    if (shards <= 1)
+        return 0;
+    const std::uint64_t records =
+        req.records != 0 ? req.records : default_records;
+    // Fibonacci hashing spreads the handful of distinct windows a
+    // deployment uses across shards without clustering.
+    const std::uint64_t h = records * 0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(h >> 33) % shards;
+}
+
+Json
+streamFrame(const Request &req, std::uint64_t seq, bool last)
+{
+    Json res = envelope(&req);
+    res["ok"] = true;
+    Json s = Json::object();
+    s["seq"] = seq;
+    s["last"] = last;
+    res["stream"] = std::move(s);
+    return res;
 }
 
 Json

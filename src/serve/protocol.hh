@@ -16,10 +16,12 @@
  *                  sim/policies.hh, default "nucache"), "records",
  *                  "llc_kib", "llc_ways", "telemetry" (sampling
  *                  stride; attaches the nucache-telemetry/v1 doc),
- *                  "no_cache" (skip the server's result cache),
- *                  "slices" (LLC slice count, a power of two) and
- *                  "shard_jobs" (intra-run worker threads) — both
- *                  execution knobs with bit-identical results.
+ *                  "stream" (with telemetry: deliver the run as
+ *                  incremental frames, see below), "no_cache" (skip
+ *                  the server's result cache), "slices" (LLC slice
+ *                  count, a power of two) and "shard_jobs" (intra-run
+ *                  worker threads) — both execution knobs with
+ *                  bit-identical results.
  * run_trace params: {"traces": ["/path/a.nutrace", ...]} plus the
  *                  same "policy"/"records"/"llc_kib"/"llc_ways".
  *
@@ -27,6 +29,19 @@
  *   {"v": "nucache-rpc/v1", "id": 7, "ok": true,  "result": {...}}
  *   {"v": "nucache-rpc/v1", "id": 7, "ok": false,
  *    "error": {"code": "overload", "message": "..."}}
+ *
+ * Responses on one connection are delivered in request order
+ * (pipelining: clients may send many request lines before reading),
+ * with one exception: a run with "stream": true answers as a
+ * sequence of frames that may interleave with other responses on
+ * the connection — correlate by "id".  Each frame carries
+ *   "stream": {"seq": K, "last": false}
+ * Frame 0 holds the run "result" (without telemetry), the following
+ * frames each carry a "telemetry" chunk (a nucache-telemetry/v1
+ * document holding a subset of the series), and the final frame has
+ * "last": true and no payload.  Streaming is what keeps a multi-MB
+ * telemetry run from head-of-line-blocking cheap control ops queued
+ * behind it on the same connection.
  *
  * Error codes: bad_request, too_large, overload, deadline_exceeded,
  * shutting_down, internal.
@@ -107,6 +122,8 @@ struct Request
     std::uint32_t llcWays = 0;
     /** Telemetry sampling stride; 0 = no telemetry attachment. */
     std::uint64_t telemetry = 0;
+    /** Deliver the run as incremental frames (telemetry runs only). */
+    bool stream = false;
     /** Skip the server's result cache for this request. */
     bool noCache = false;
     /**
@@ -152,6 +169,24 @@ std::string batchKey(const Request &req, std::uint64_t default_records);
  * when the request is uncacheable (telemetry, no_cache, non-run ops).
  */
 std::string cacheKey(const Request &req, std::uint64_t default_records);
+
+/**
+ * @return the dispatch shard of @p req among @p shards engine
+ * shards.  Requests hash by their measurement window — the key
+ * RunEngines are memoized under — so every request for one window
+ * lands on the shard that owns that window's warm engine and its
+ * run-alone/arena reuse.
+ */
+std::size_t shardOf(const Request &req, std::uint64_t default_records,
+                    std::size_t shards);
+
+/**
+ * @return one streaming frame envelope for @p req: `ok` true plus a
+ * "stream" object with @p seq and @p last.  The caller attaches the
+ * payload ("result" on frame 0, "telemetry" on chunk frames; the
+ * last frame carries none).
+ */
+Json streamFrame(const Request &req, std::uint64_t seq, bool last);
 
 /** @return a success envelope carrying @p result. */
 Json okResponse(const Request &req, Json result);

@@ -1,10 +1,11 @@
 #include "serve/server.hh"
 
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstring>
 #include <utility>
 
 #include "common/logging.hh"
@@ -24,15 +25,42 @@ elapsedMs(std::chrono::steady_clock::time_point start,
         .count();
 }
 
+/**
+ * Frame a result-cache hit without a Json round trip: the payload is
+ * the pre-serialized result and only the envelope (protocol version,
+ * echoed id, ok) is spliced around it.  Mirrors okResponse()'s key
+ * order; test_serve's pipelining test parses both shapes.
+ */
+std::string
+fastHitLine(const Request &req, const std::string &payload)
+{
+    std::string line = "{\"v\":\"";
+    line += kProtocolVersion;
+    line += '"';
+    if (req.hasId) {
+        line += ",\"id\":";
+        line += std::to_string(req.id);
+    }
+    line += ",\"ok\":true,\"result\":";
+    line += payload;
+    line += "}\n";
+    return line;
+}
+
 } // anonymous namespace
 
-Server::Server(ServerConfig config)
-    : cfg(std::move(config)), service(cfg.service)
+Server::Server(ServerConfig config) : cfg(std::move(config))
 {
     if (cfg.queueDepth == 0)
         cfg.queueDepth = 1;
     if (cfg.batchMax == 0)
         cfg.batchMax = 1;
+    if (cfg.shards == 0)
+        cfg.shards = 1;
+    if (cfg.maxOutboundBytes == 0)
+        cfg.maxOutboundBytes = 1;
+    for (std::size_t s = 0; s < cfg.shards; ++s)
+        shards.push_back(std::make_unique<Shard>(cfg.service));
 }
 
 Server::~Server()
@@ -48,13 +76,33 @@ Server::start(std::string &err)
         err = "cannot create the wake pipe";
         return false;
     }
-    listenFd = net::listenTcp(cfg.host, cfg.port, err);
-    if (listenFd < 0)
+    epollFd = ::epoll_create1(0);
+    if (epollFd < 0) {
+        err = std::string("epoll_create1: ") + std::strerror(errno);
         return false;
+    }
+    listenFd = net::listenTcp(cfg.host, cfg.port, err);
+    if (listenFd < 0) {
+        ::close(epollFd);
+        epollFd = -1;
+        return false;
+    }
     boundPort = net::localPort(listenFd);
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeTag;
+    ::epoll_ctl(epollFd, EPOLL_CTL_ADD, wake.readFd(), &ev);
+    ev.data.u64 = kListenTag;
+    ::epoll_ctl(epollFd, EPOLL_CTL_ADD, listenFd, &ev);
+    listenerArmed = true;
+
     started = Clock::now();
-    pollThread = std::thread(&Server::pollLoop, this);
-    dispatchThread = std::thread(&Server::dispatchLoop, this);
+    loopThread = std::thread(&Server::eventLoop, this);
+    for (auto &shard : shards) {
+        shard->thread =
+            std::thread(&Server::dispatchLoop, this, std::ref(*shard));
+    }
     return true;
 }
 
@@ -62,7 +110,8 @@ void
 Server::requestShutdown()
 {
     stopping.store(true, std::memory_order_release);
-    queueCv.notify_all();
+    for (auto &shard : shards)
+        shard->cv.notify_all();
     wake.notify();
 }
 
@@ -70,7 +119,7 @@ void
 Server::signalShutdown()
 {
     // Only async-signal-safe operations: an atomic store and one
-    // write() on the wake pipe.  The poll thread promotes this to a
+    // write() on the wake pipe.  The event loop promotes this to a
     // full requestShutdown() (condition_variable::notify is not
     // signal-safe).
     signalled.store(true, std::memory_order_release);
@@ -83,95 +132,150 @@ Server::join()
     std::lock_guard<std::mutex> lock(lifecycleMtx);
     if (threadsJoined)
         return;
-    if (pollThread.joinable())
-        pollThread.join();
-    if (dispatchThread.joinable())
-        dispatchThread.join();
+    if (loopThread.joinable())
+        loopThread.join();
+    for (auto &shard : shards) {
+        if (shard->thread.joinable())
+            shard->thread.join();
+    }
     threadsJoined = true;
 }
 
 void
-Server::pollLoop()
+Server::eventLoop()
 {
+    loopThreadId.store(std::this_thread::get_id(),
+                       std::memory_order_relaxed);
     while (true) {
         if (signalled.exchange(false, std::memory_order_acq_rel))
             requestShutdown();
 
         const bool stop = stopping.load(std::memory_order_acquire);
-        if (stop && drained.load(std::memory_order_acquire)) {
-            std::lock_guard<std::mutex> lock(connsMtx);
-            bool flushed = true;
-            for (const auto &[id, conn] : conns) {
-                (void)id;
-                if (!conn.out.empty())
-                    flushed = false;
-            }
-            if (flushed)
-                break;
+        if (stop && listenerArmed) {
+            // The listener goes quiet once shutdown starts; pending
+            // sockets in the backlog are simply never accepted.
+            ::epoll_ctl(epollFd, EPOLL_CTL_DEL, listenFd, nullptr);
+            listenerArmed = false;
         }
-
-        std::vector<pollfd> fds;
-        std::vector<std::uint64_t> ids;
-        pollfd wk{};
-        wk.fd = wake.readFd();
-        wk.events = POLLIN;
-        fds.push_back(wk);
-        pollfd ls{};
-        // A negative fd makes poll() skip the entry: once shutdown
-        // starts the listener goes quiet without a rebuild.
-        ls.fd = stop ? -1 : listenFd;
-        ls.events = POLLIN;
-        fds.push_back(ls);
-        {
-            std::lock_guard<std::mutex> lock(connsMtx);
-            for (const auto &[id, conn] : conns) {
-                pollfd p{};
-                p.fd = conn.fd;
-                p.events = POLLIN;
-                if (!conn.out.empty())
-                    p.events |= POLLOUT;
-                fds.push_back(p);
-                ids.push_back(id);
+        if (stop) {
+            bool drainedAll = true;
+            for (const auto &shard : shards) {
+                if (!shard->drained.load(std::memory_order_acquire))
+                    drainedAll = false;
+            }
+            if (drainedAll) {
+                std::lock_guard<std::mutex> lock(connsMtx);
+                bool flushed = true;
+                for (const auto &[id, conn] : conns) {
+                    (void)id;
+                    if (!flushedLocked(conn)) {
+                        flushed = false;
+                        break;
+                    }
+                }
+                if (flushed)
+                    break;
             }
         }
 
         // The timeout bounds how long a drained-but-unflushed state
         // can linger when no event arrives.
-        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 100);
-
-        if ((fds[0].revents & POLLIN) != 0)
-            wake.drain();
-        if (!stop && (fds[1].revents & POLLIN) != 0)
-            acceptPending();
-
-        for (std::size_t i = 2; i < fds.size(); ++i) {
-            const std::uint64_t id = ids[i - 2];
-            // Only this thread mutates the map, so the lookup itself
-            // needs no lock; `out` is still guarded by connsMtx.
-            const auto it = conns.find(id);
-            if (it == conns.end())
+        epoll_event events[128];
+        const int n = ::epoll_wait(epollFd, events, 128, 100);
+        if (n < 0) {
+            if (errno == EINTR)
                 continue;
-            Connection &conn = it->second;
-            const short ev = fds[i].revents;
-            if ((ev & POLLIN) != 0) {
-                if (!readFrom(id, conn)) {
-                    closeConn(id);
-                    continue;
-                }
-            } else if ((ev & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
-                closeConn(id);
+            // A broken epoll set cannot serve anything; drain and
+            // exit rather than spinning on the same errno forever.
+            warn("nucached: epoll_wait: ", std::strerror(errno));
+            requestShutdown();
+            continue;
+        }
+
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t tag = events[i].data.u64;
+            const std::uint32_t ev = events[i].events;
+            if (tag == kWakeTag) {
+                wake.drain();
                 continue;
             }
-            if ((ev & POLLOUT) != 0) {
+            if (tag == kListenTag) {
+                if (!stop)
+                    acceptPending();
+                continue;
+            }
+            // Only this thread mutates the map, so the pointer stays
+            // valid after the lookup; the buffer fields it guards are
+            // still accessed under connsMtx.
+            Connection *conn;
+            {
+                std::lock_guard<std::mutex> lock(connsMtx);
+                const auto it = conns.find(tag);
+                if (it == conns.end())
+                    continue;
+                conn = &it->second;
+            }
+            if ((ev & EPOLLIN) != 0) {
+                if (!readFrom(tag, *conn)) {
+                    closeConn(tag);
+                    continue;
+                }
+            } else if ((ev & (EPOLLERR | EPOLLHUP)) != 0) {
+                closeConn(tag);
+                continue;
+            }
+            if ((ev & EPOLLOUT) != 0) {
                 bool alive, done;
                 {
                     std::lock_guard<std::mutex> lock(connsMtx);
-                    alive = flushOut(conn);
-                    done = conn.out.empty() && conn.closeAfterFlush;
+                    alive = flushOut(*conn);
+                    done = conn->closeAfterFlush && flushedLocked(*conn);
                 }
-                if (!alive || done)
-                    closeConn(id);
+                if (!alive || done) {
+                    closeConn(tag);
+                    continue;
+                }
+                updateInterest(tag, *conn);
             }
+        }
+
+        // Connections marked by worker threads since the last pass:
+        // sheds to perform and fresh output to flush.  Flushing here
+        // (the socket is almost always writable) delivers most
+        // responses without a second epoll_wait round trip; EPOLLOUT
+        // only takes over when the kernel buffer is actually full.
+        std::vector<std::uint64_t> work;
+        {
+            std::lock_guard<std::mutex> lock(connsMtx);
+            work.swap(dirty);
+        }
+        for (const std::uint64_t id : work) {
+            Connection *conn;
+            bool kill;
+            {
+                std::lock_guard<std::mutex> lock(connsMtx);
+                const auto it = conns.find(id);
+                if (it == conns.end())
+                    continue;
+                conn = &it->second;
+                conn->inDirty = false;
+                kill = conn->kill;
+            }
+            if (kill) {
+                closeConn(id);
+                continue;
+            }
+            bool alive, done;
+            {
+                std::lock_guard<std::mutex> lock(connsMtx);
+                alive = flushOut(*conn);
+                done = conn->closeAfterFlush && flushedLocked(*conn);
+            }
+            if (!alive || done) {
+                closeConn(id);
+                continue;
+            }
+            updateInterest(id, *conn);
         }
     }
 
@@ -182,10 +286,15 @@ Server::pollLoop()
             ::close(conn.fd);
         }
         conns.clear();
+        dirty.clear();
     }
     if (listenFd >= 0) {
         ::close(listenFd);
         listenFd = -1;
+    }
+    if (epollFd >= 0) {
+        ::close(epollFd);
+        epollFd = -1;
     }
 }
 
@@ -196,6 +305,10 @@ Server::acceptPending()
         const int fd = net::acceptConnection(listenFd);
         if (fd < 0)
             return;
+        net::setNonBlocking(fd);
+        net::setNoDelay(fd);
+        if (cfg.sockSndBufBytes > 0)
+            net::setSendBuffer(fd, cfg.sockSndBufBytes);
         std::size_t count;
         {
             std::lock_guard<std::mutex> lock(connsMtx);
@@ -208,18 +321,25 @@ Server::acceptPending()
                               "connection limit reached")
                     .str(0);
             line += '\n';
-            net::writeAll(fd, line.data(), line.size());
+            // Best-effort nonblocking write: a rejected client that
+            // cannot take the error byte-for-byte just sees the
+            // close.  Never block the event loop on a stranger.
+            (void)::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
             ::close(fd);
             continue;
         }
-        net::setNonBlocking(fd);
-        net::setNoDelay(fd);
+        std::uint64_t id;
         {
             std::lock_guard<std::mutex> lock(connsMtx);
+            id = nextConnId++;
             Connection conn;
             conn.fd = fd;
-            conns.emplace(nextConnId++, std::move(conn));
+            conns.emplace(id, std::move(conn));
         }
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.u64 = id;
+        ::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev);
         ++accepted;
     }
 }
@@ -246,8 +366,8 @@ Server::readFrom(std::uint64_t conn_id, Connection &conn)
             conn.in.erase(0, nl + 1);
             if (line.size() > cfg.maxLineBytes) {
                 ++tooLarge;
-                queueResponse(
-                    conn_id,
+                queueSlotResponse(
+                    conn_id, conn.nextSeq++,
                     errorResponse(error::kTooLarge,
                                   "request line exceeds " +
                                       std::to_string(cfg.maxLineBytes) +
@@ -256,12 +376,16 @@ Server::readFrom(std::uint64_t conn_id, Connection &conn)
                 conn.in.clear();
                 return true;
             }
-            handleLine(conn_id, line);
+            handleLine(conn_id, conn, line);
+            if (conn.closeAfterFlush) {
+                conn.in.clear();
+                return true;
+            }
         }
         if (conn.in.size() > cfg.maxLineBytes) {
             ++tooLarge;
-            queueResponse(
-                conn_id,
+            queueSlotResponse(
+                conn_id, conn.nextSeq++,
                 errorResponse(error::kTooLarge,
                               "request line exceeds " +
                                   std::to_string(cfg.maxLineBytes) +
@@ -274,7 +398,8 @@ Server::readFrom(std::uint64_t conn_id, Connection &conn)
 }
 
 void
-Server::handleLine(std::uint64_t conn_id, const std::string &line)
+Server::handleLine(std::uint64_t conn_id, Connection &conn,
+                   const std::string &line)
 {
     if (line.find_first_not_of(" \t\r") == std::string::npos)
         return;
@@ -284,21 +409,25 @@ Server::handleLine(std::uint64_t conn_id, const std::string &line)
     std::string err;
     if (!parseRequest(line, req, err)) {
         ++badRequests;
-        queueResponse(conn_id, errorResponse(error::kBadRequest, err));
+        queueSlotResponse(conn_id, conn.nextSeq++,
+                          errorResponse(error::kBadRequest, err));
         return;
     }
 
     switch (req.op) {
       case Op::Health:
-        queueResponse(conn_id, okResponse(req, healthResult()));
+        queueSlotResponse(conn_id, conn.nextSeq++,
+                          okResponse(req, healthResult()));
         return;
       case Op::Stats:
-        queueResponse(conn_id, okResponse(req, statsJson()));
+        queueSlotResponse(conn_id, conn.nextSeq++,
+                          okResponse(req, statsJson()));
         return;
       case Op::Shutdown: {
         Json result = Json::object();
         result["draining"] = true;
-        queueResponse(conn_id, okResponse(req, std::move(result)));
+        queueSlotResponse(conn_id, conn.nextSeq++,
+                          okResponse(req, std::move(result)));
         requestShutdown();
         return;
       }
@@ -307,69 +436,119 @@ Server::handleLine(std::uint64_t conn_id, const std::string &line)
         break;
     }
 
-    if (shuttingDown()) {
-        ++rejectedShutdown;
-        queueResponse(conn_id,
-                      errorResponse(req, error::kShuttingDown,
-                                    "server is draining"));
-        return;
+    const bool stream = req.stream;
+    Shard &shard = *shards[shardOf(req, cfg.service.defaultRecords,
+                                   shards.size())];
+
+    // Warm fast path: a result-cache hit is answered inline by this
+    // thread — deterministic simulation makes the cached bytes
+    // authoritative, and skipping the queue → dispatcher → wake round
+    // trip is what lets pipelined warm traffic scale past the
+    // dispatcher's handoff rate.
+    if (!stream) {
+        std::string payload;
+        if (shard.service.tryCached(req, payload)) {
+            queueSlotLine(conn_id, conn.nextSeq++,
+                          fastHitLine(req, payload));
+            return;
+        }
     }
 
     Pending pending;
     pending.conn = conn_id;
+    pending.stream = stream;
     pending.enqueued = Clock::now();
     pending.deadlineMs = req.deadlineMs != 0 ? req.deadlineMs
                                              : cfg.defaultDeadlineMs;
-    pending.req = std::move(req);
-    {
-        std::lock_guard<std::mutex> lock(queueMtx);
-        if (queue.size() >= cfg.queueDepth) {
-            ++overloads;
-            queueResponse(
-                conn_id,
-                errorResponse(pending.req, error::kOverload,
-                              "admission queue full (depth " +
-                                  std::to_string(cfg.queueDepth) +
-                                  ")"));
-            return;
-        }
-        queue.push_back(std::move(pending));
+    if (stream) {
+        std::lock_guard<std::mutex> lock(connsMtx);
+        ++conn.openStreams;
+    } else {
+        pending.seq = conn.nextSeq++;
     }
-    queueCv.notify_one();
+    pending.req = std::move(req);
+
+    // The stopping check lives inside the shard's critical section:
+    // the dispatcher only declares itself drained under this mutex
+    // with the flag set and the queue empty, so a request admitted
+    // here can never slip behind a drained dispatcher and hang
+    // shutdown.
+    bool admitted = false;
+    bool draining = false;
+    {
+        std::lock_guard<std::mutex> lock(shard.mtx);
+        if (stopping.load(std::memory_order_acquire)) {
+            draining = true;
+        } else if (shard.queue.size() < cfg.queueDepth) {
+            shard.queue.push_back(std::move(pending));
+            admitted = true;
+        }
+    }
+    if (admitted) {
+        shard.cv.notify_one();
+        return;
+    }
+
+    Json rejection;
+    if (draining) {
+        ++rejectedShutdown;
+        rejection = errorResponse(pending.req, error::kShuttingDown,
+                                  "server is draining");
+    } else {
+        ++overloads;
+        rejection =
+            errorResponse(pending.req, error::kOverload,
+                          "admission queue full (depth " +
+                              std::to_string(cfg.queueDepth) + ")");
+    }
+    if (stream) {
+        {
+            std::lock_guard<std::mutex> lock(connsMtx);
+            if (conn.openStreams > 0)
+                --conn.openStreams;
+        }
+        queueOobFrame(conn_id, rejection);
+    } else {
+        // The rejection fills the sequence slot the request was
+        // assigned, so pipelined responses stay in request order.
+        queueSlotResponse(conn_id, pending.seq, rejection);
+    }
 }
 
 void
-Server::dispatchLoop()
+Server::dispatchLoop(Shard &shard)
 {
     while (true) {
         std::vector<Pending> batch;
         {
-            std::unique_lock<std::mutex> lock(queueMtx);
-            queueCv.wait(lock, [&] {
-                return !queue.empty() ||
+            std::unique_lock<std::mutex> lock(shard.mtx);
+            shard.cv.wait(lock, [&] {
+                return !shard.queue.empty() ||
                        stopping.load(std::memory_order_acquire);
             });
-            if (queue.empty()) {
-                // Shutdown with nothing left: the queue is drained.
-                drained.store(true, std::memory_order_release);
+            if (shard.queue.empty()) {
+                // Shutdown with nothing left: this shard is drained.
+                shard.drained.store(true, std::memory_order_release);
                 wake.notify();
                 return;
             }
-            batch.push_back(std::move(queue.front()));
-            queue.pop_front();
+            batch.push_back(std::move(shard.queue.front()));
+            shard.queue.pop_front();
             // Group immediately-compatible admitted requests into
             // one engine batch (same measurement window, no
             // telemetry): they run as parallel jobs on one engine
             // and share its arena cursors and run-alone cache.
-            const std::string key =
-                batchKey(batch.front().req, service.defaultRecords());
+            const std::string key = batchKey(
+                batch.front().req, shard.service.defaultRecords());
             if (!key.empty()) {
-                for (auto it = queue.begin();
-                     it != queue.end() && batch.size() < cfg.batchMax;) {
-                    if (batchKey(it->req, service.defaultRecords()) ==
+                for (auto it = shard.queue.begin();
+                     it != shard.queue.end() &&
+                     batch.size() < cfg.batchMax;) {
+                    if (batchKey(it->req,
+                                 shard.service.defaultRecords()) ==
                         key) {
                         batch.push_back(std::move(*it));
-                        it = queue.erase(it);
+                        it = shard.queue.erase(it);
                     } else {
                         ++it;
                     }
@@ -381,36 +560,91 @@ Server::dispatchLoop()
         // that already waited past its deadline gets an immediate
         // deadline_exceeded instead of burning simulation time.
         std::vector<Request> reqs;
-        std::vector<std::uint64_t> conn_ids;
+        std::vector<Pending> live;
         const Clock::time_point now = Clock::now();
         for (Pending &p : batch) {
             const double waited = elapsedMs(p.enqueued, now);
             if (waited > static_cast<double>(p.deadlineMs)) {
                 ++deadlineExpired;
-                queueResponse(
-                    p.conn,
-                    errorResponse(p.req, error::kDeadlineExceeded,
-                                  "queued " + std::to_string(waited) +
-                                      " ms, past the " +
-                                      std::to_string(p.deadlineMs) +
-                                      " ms deadline"));
+                finishResponse(
+                    p, errorResponse(p.req, error::kDeadlineExceeded,
+                                     "queued " + std::to_string(waited) +
+                                         " ms, past the " +
+                                         std::to_string(p.deadlineMs) +
+                                         " ms deadline"));
                 continue;
             }
             reqs.push_back(std::move(p.req));
-            conn_ids.push_back(p.conn);
+            live.push_back(std::move(p));
         }
         if (reqs.empty())
             continue;
-        service.executeBatch(reqs, [&](std::size_t i, Json response) {
-            queueResponse(conn_ids[i], response);
-        });
+        shard.service.executeBatch(
+            reqs,
+            [&](std::size_t i, Json response) {
+                finishResponse(live[i], response);
+            },
+            [&](std::size_t i, Json frame) {
+                queueOobFrame(live[i].conn, frame);
+            });
     }
 }
 
 void
-Server::queueResponse(std::uint64_t conn_id, const Json &response)
+Server::finishResponse(const Pending &p, const Json &response)
+{
+    if (!p.stream) {
+        queueSlotResponse(p.conn, p.seq, response);
+        return;
+    }
+    queueOobFrame(p.conn, response);
+    {
+        std::lock_guard<std::mutex> lock(connsMtx);
+        const auto it = conns.find(p.conn);
+        if (it != conns.end() && it->second.openStreams > 0)
+            --it->second.openStreams;
+    }
+    // Re-evaluate the drain condition now that the stream is closed.
+    wake.notify();
+}
+
+void
+Server::queueSlotResponse(std::uint64_t conn_id, std::uint64_t seq,
+                          const Json &response)
 {
     std::string line = response.str(0);
+    line += '\n';
+    queueSlotLine(conn_id, seq, std::move(line));
+}
+
+void
+Server::queueSlotLine(std::uint64_t conn_id, std::uint64_t seq,
+                      std::string line)
+{
+    {
+        std::lock_guard<std::mutex> lock(connsMtx);
+        const auto it = conns.find(conn_id);
+        if (it == conns.end()) {
+            ++droppedResponses;
+            return;
+        }
+        Connection &conn = it->second;
+        conn.slotBytes += line.size();
+        conn.slots.emplace(seq, std::move(line));
+        pumpLocked(conn);
+        capCheckLocked(conn_id, conn);
+        markDirtyLocked(conn_id);
+    }
+    ++responses;
+    if (std::this_thread::get_id() !=
+        loopThreadId.load(std::memory_order_relaxed))
+        wake.notify();
+}
+
+void
+Server::queueOobFrame(std::uint64_t conn_id, const Json &frame)
+{
+    std::string line = frame.str(0);
     line += '\n';
     {
         std::lock_guard<std::mutex> lock(connsMtx);
@@ -419,10 +653,62 @@ Server::queueResponse(std::uint64_t conn_id, const Json &response)
             ++droppedResponses;
             return;
         }
-        it->second.out += line;
+        Connection &conn = it->second;
+        conn.out += line;
+        capCheckLocked(conn_id, conn);
+        markDirtyLocked(conn_id);
     }
     ++responses;
-    wake.notify();
+    if (std::this_thread::get_id() !=
+        loopThreadId.load(std::memory_order_relaxed))
+        wake.notify();
+}
+
+void
+Server::pumpLocked(Connection &conn)
+{
+    while (true) {
+        const auto it = conn.slots.find(conn.nextFlush);
+        if (it == conn.slots.end())
+            break;
+        conn.slotBytes -= it->second.size();
+        conn.out += it->second;
+        conn.slots.erase(it);
+        ++conn.nextFlush;
+    }
+}
+
+bool
+Server::capCheckLocked(std::uint64_t conn_id, Connection &conn)
+{
+    (void)conn_id;
+    if (conn.kill)
+        return true;
+    if (conn.out.size() + conn.slotBytes <= cfg.maxOutboundBytes)
+        return false;
+    // The client has stopped reading while responses pile up: shed
+    // it.  The loop thread performs the close; nothing is flushed
+    // (the socket is stalled anyway) and nothing ever blocks.
+    conn.kill = true;
+    ++slowClients;
+    return true;
+}
+
+void
+Server::markDirtyLocked(std::uint64_t conn_id)
+{
+    const auto it = conns.find(conn_id);
+    if (it == conns.end() || it->second.inDirty)
+        return;
+    it->second.inDirty = true;
+    dirty.push_back(conn_id);
+}
+
+bool
+Server::flushedLocked(const Connection &conn) const
+{
+    return conn.out.empty() && conn.slots.empty() &&
+           conn.nextFlush == conn.nextSeq && conn.openStreams == 0;
 }
 
 bool
@@ -443,12 +729,30 @@ Server::flushOut(Connection &conn)
 }
 
 void
+Server::updateInterest(std::uint64_t conn_id, Connection &conn)
+{
+    bool want;
+    {
+        std::lock_guard<std::mutex> lock(connsMtx);
+        want = !conn.out.empty();
+    }
+    if (want == conn.wantWrite)
+        return;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want ? EPOLLOUT : 0);
+    ev.data.u64 = conn_id;
+    ::epoll_ctl(epollFd, EPOLL_CTL_MOD, conn.fd, &ev);
+    conn.wantWrite = want;
+}
+
+void
 Server::closeConn(std::uint64_t conn_id)
 {
     std::lock_guard<std::mutex> lock(connsMtx);
     const auto it = conns.find(conn_id);
     if (it == conns.end())
         return;
+    ::epoll_ctl(epollFd, EPOLL_CTL_DEL, it->second.fd, nullptr);
     ::close(it->second.fd);
     conns.erase(it);
 }
@@ -460,6 +764,7 @@ Server::healthResult() const
     r["status"] = shuttingDown() ? "draining" : "ok";
     r["version"] = kProtocolVersion;
     r["uptime_ms"] = elapsedMs(started, Clock::now());
+    r["serve_shards"] = std::uint64_t{shards.size()};
     return r;
 }
 
@@ -472,13 +777,17 @@ Server::statsJson() const
         std::lock_guard<std::mutex> lock(connsMtx);
         s["connections"] = std::uint64_t{conns.size()};
     }
-    {
-        std::lock_guard<std::mutex> lock(queueMtx);
-        s["queue_len"] = std::uint64_t{queue.size()};
+    std::uint64_t queued = 0;
+    for (const auto &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mtx);
+        queued += shard->queue.size();
     }
+    s["queue_len"] = queued;
     s["queue_depth"] = std::uint64_t{cfg.queueDepth};
+    s["serve_shards"] = std::uint64_t{shards.size()};
     s["batch_max"] = std::uint64_t{cfg.batchMax};
     s["max_connections"] = std::uint64_t{cfg.maxConnections};
+    s["max_outbound_bytes"] = std::uint64_t{cfg.maxOutboundBytes};
     s["accepted"] = accepted.load();
     s["rejected_connections"] = rejectedConns.load();
     s["requests"] = requests.load();
@@ -489,7 +798,28 @@ Server::statsJson() const
     s["deadline_expired"] = deadlineExpired.load();
     s["rejected_shutting_down"] = rejectedShutdown.load();
     s["dropped_responses"] = droppedResponses.load();
-    s["service"] = service.statsJson();
+    s["slow_clients"] = slowClients.load();
+    // Aggregate the per-shard service counters into one block (the
+    // pre-sharding shape tools already parse); per-engine state like
+    // jobs and the process-global arena count come from shard 0.
+    Json agg = Json::object();
+    bool first = true;
+    for (const auto &shard : shards) {
+        const Json one = shard->service.statsJson();
+        if (first) {
+            agg = one;
+            first = false;
+            continue;
+        }
+        for (const auto &[key, value] : one.members()) {
+            if (key == "jobs" || key == "default_records" ||
+                key == "arena_materializations")
+                continue;
+            if (value.isNumber())
+                agg[key] = agg.at(key).asUint() + value.asUint();
+        }
+    }
+    s["service"] = std::move(agg);
     return s;
 }
 

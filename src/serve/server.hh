@@ -5,26 +5,50 @@
  * with explicit admission control in front of the simulation
  * service.
  *
- * Threading model — three kinds of threads, two owned here:
- *  - the poll thread owns every socket: it accepts connections,
- *    splits the byte stream into request lines, answers the cheap
- *    control ops (health, stats, shutdown) inline, admits run
- *    requests to the bounded queue, and flushes response buffers;
- *  - the dispatcher thread pops admitted requests, groups
+ * Threading model — an event loop, per-shard dispatchers, and the
+ * engine workers behind them:
+ *  - the event-loop thread owns every socket and a level-triggered
+ *    epoll set: it accepts connections, splits the byte stream into
+ *    request lines, answers the cheap control ops (health, stats,
+ *    shutdown) inline, admits run requests to a bounded per-shard
+ *    queue, and flushes per-connection outbound buffers on
+ *    EPOLLOUT.  Nothing on this thread ever blocks on a socket: all
+ *    fds are nonblocking and every response is queued, so one
+ *    stalled client cannot freeze the loop (the head-of-line block
+ *    the old single poll thread had);
+ *  - each engine shard (`--serve-shards`) runs one dispatcher
+ *    thread: it pops admitted requests from its own queue, groups
  *    consecutive compatible ones (equal batchKey(), up to batchMax)
  *    into one engine batch, enforces queue deadlines, and hands the
- *    batch to the SimulationService;
- *  - the service's engine workers run the simulations and emit
- *    responses back through queueResponse(), which appends to the
- *    connection's output buffer and wakes the poll thread.
+ *    batch to its own SimulationService (own memoized RunEngines,
+ *    own result cache).  Requests hash to shards by measurement
+ *    window, so a window's warm engine is always reused;
+ *  - the services' engine workers run the simulations and emit
+ *    responses back through the connection's response slots.
  *
- * Backpressure is explicit: a full admission queue answers
- * `overload` immediately instead of stalling the socket, a request
- * older than its deadline answers `deadline_exceeded` instead of
- * burning simulation time, and past the connection cap new sockets
- * get one `overload` line and a close.  Graceful shutdown (SIGINT /
- * SIGTERM / the shutdown op) stops admitting, drains everything
- * already admitted, flushes every response, then exits.
+ * Pipelining: clients may send many request lines before reading.
+ * Each request is assigned a per-connection sequence number at parse
+ * time and responses are delivered strictly in request order, no
+ * matter which shard or worker finishes first (completed responses
+ * park in a per-connection reorder map until their turn).  The one
+ * exception is a `"stream": true` run, whose frames are delivered
+ * out-of-band as they are produced — correlate by id — precisely so
+ * a long telemetry run cannot head-of-line-block control ops queued
+ * behind it.
+ *
+ * Slow clients: every connection has a bounded outbound buffer
+ * (`maxOutboundBytes`).  A client that stops reading while responses
+ * accumulate past the cap is shed — the connection is closed, the
+ * `slow_clients` counter bumps — instead of blocking the loop or
+ * growing without bound.
+ *
+ * Backpressure is explicit: a full shard queue answers `overload`
+ * immediately instead of stalling the socket, a request older than
+ * its deadline answers `deadline_exceeded` instead of burning
+ * simulation time, and past the connection cap new sockets get one
+ * `overload` line (best-effort, nonblocking) and a close.  Graceful
+ * shutdown (SIGINT / SIGTERM / the shutdown op) stops admitting,
+ * drains every shard, flushes every response, then exits.
  */
 
 #ifndef NUCACHE_SERVE_SERVER_HH
@@ -36,6 +60,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -55,17 +80,34 @@ struct ServerConfig
     std::string host = "127.0.0.1";
     /** TCP port; 0 binds an ephemeral port (tests), see port(). */
     std::uint16_t port = 7411;
-    /** Admission-queue depth; a full queue answers `overload`. */
-    std::size_t queueDepth = 64;
+    /**
+     * Engine shards.  Each shard owns one dispatcher thread, one
+     * SimulationService (memoized RunEngines, result cache) and one
+     * admission queue of `queueDepth`; requests hash to shards by
+     * measurement window (see shardOf()).
+     */
+    std::size_t shards = 1;
+    /** Admission-queue depth per shard; a full queue answers
+     *  `overload`. */
+    std::size_t queueDepth = 512;
     /** Queue deadline for requests that do not set "deadline_ms". */
     std::uint64_t defaultDeadlineMs = 30'000;
     /** Most requests dispatched as one engine batch. */
     std::size_t batchMax = 8;
     /** Connection cap; extra sockets get `overload` and a close. */
-    std::size_t maxConnections = 256;
+    std::size_t maxConnections = 1024;
     /** Per-line framing cap; longer lines get `too_large`. */
     std::size_t maxLineBytes = kMaxRequestBytes;
-    /** Simulation-side configuration (jobs, caches, windows). */
+    /**
+     * Per-connection outbound buffer cap: queued responses past this
+     * shed the connection as a slow client (never block the loop).
+     */
+    std::size_t maxOutboundBytes = 8 * 1024 * 1024;
+    /** SO_SNDBUF for accepted sockets; 0 = kernel default.  Tests
+     *  shrink it to make slow-client shedding deterministic. */
+    int sockSndBufBytes = 0;
+    /** Simulation-side configuration (jobs, caches, windows),
+     *  applied to every shard's service. */
     ServiceConfig service;
 };
 
@@ -82,7 +124,8 @@ class Server
     Server &operator=(const Server &) = delete;
 
     /**
-     * Bind the listener and start the poll + dispatcher threads.
+     * Bind the listener, create the epoll set, and start the event
+     * loop + one dispatcher thread per shard.
      * @param err filled with the reason on failure.
      * @return whether the server is now serving.
      */
@@ -92,8 +135,8 @@ class Server
     std::uint16_t port() const { return boundPort; }
 
     /**
-     * Begin graceful shutdown: stop admitting, drain admitted work,
-     * flush responses, exit both threads.  Thread-safe; not
+     * Begin graceful shutdown: stop admitting, drain every shard,
+     * flush responses, exit all threads.  Thread-safe; not
      * async-signal-safe (see signalShutdown()).
      */
     void requestShutdown();
@@ -101,11 +144,11 @@ class Server
     /**
      * Async-signal-safe shutdown trigger for SIGINT/SIGTERM
      * handlers: an atomic flag plus one write() to the wake pipe.
-     * The poll thread converts it into requestShutdown().
+     * The event loop converts it into requestShutdown().
      */
     void signalShutdown();
 
-    /** Block until both server threads have exited. */
+    /** Block until every server thread has exited. */
     void join();
 
     /** @return whether shutdown has been requested. */
@@ -114,35 +157,72 @@ class Server
         return stopping.load(std::memory_order_acquire);
     }
 
-    /** @return server + service counters (op "stats"). */
+    /** @return server + aggregated service counters (op "stats"). */
     Json statsJson() const;
 
   private:
     using Clock = std::chrono::steady_clock;
 
-    /** One client connection (sockets owned by the poll thread). */
+    /** One client connection (sockets owned by the loop thread). */
     struct Connection
     {
         int fd = -1;
-        /** Partial input line (poll thread only). */
+        /** Partial input line (loop thread only). */
         std::string in;
-        /** Pending output bytes (guarded by connsMtx). */
+        /** Bytes ready to write (guarded by connsMtx). */
         std::string out;
-        /** Close once `out` drains. */
+        /**
+         * Completed responses waiting for their turn, keyed by the
+         * request sequence number (guarded by connsMtx).  pump()
+         * moves slots into `out` strictly in sequence order.
+         */
+        std::map<std::uint64_t, std::string> slots;
+        /** Bytes parked in `slots` (guarded by connsMtx). */
+        std::size_t slotBytes = 0;
+        /** Next sequence number to assign (loop thread only). */
+        std::uint64_t nextSeq = 0;
+        /** Next sequence number to flush (guarded by connsMtx). */
+        std::uint64_t nextFlush = 0;
+        /** Streaming runs admitted but not yet finished. */
+        std::uint32_t openStreams = 0;
+        /** Already queued on the dirty list (guarded by connsMtx);
+         *  keeps a 16-deep pipelined burst from enqueueing the same
+         *  connection 16 times. */
+        bool inDirty = false;
+        /** Close once every response has been delivered. */
         bool closeAfterFlush = false;
+        /** Shed without flushing (slow client); loop thread closes. */
+        bool kill = false;
+        /** Whether the epoll interest currently includes EPOLLOUT. */
+        bool wantWrite = false;
     };
 
-    /** One admitted run request waiting for dispatch. */
+    /** One admitted run request waiting for a shard dispatcher. */
     struct Pending
     {
         Request req;
         std::uint64_t conn = 0;
+        /** Response slot on the connection (unused when stream). */
+        std::uint64_t seq = 0;
+        bool stream = false;
         Clock::time_point enqueued;
         std::uint64_t deadlineMs = 0;
     };
 
-    void pollLoop();
-    void dispatchLoop();
+    /** One engine shard: dispatcher + service + admission queue. */
+    struct Shard
+    {
+        explicit Shard(const ServiceConfig &cfg) : service(cfg) {}
+        SimulationService service;
+        std::thread thread;
+        std::mutex mtx;
+        std::condition_variable cv;
+        std::deque<Pending> queue;
+        std::atomic<bool> drained{false};
+    };
+
+    void eventLoop();
+    void dispatchLoop(Shard &shard);
 
     /** Accept until EAGAIN, enforcing the connection cap. */
     void acceptPending();
@@ -152,44 +232,85 @@ class Server
     bool readFrom(std::uint64_t conn_id, Connection &conn);
 
     /** Route one complete request line from @p conn_id. */
-    void handleLine(std::uint64_t conn_id, const std::string &line);
+    void handleLine(std::uint64_t conn_id, Connection &conn,
+                    const std::string &line);
 
-    /** Serialize @p response onto @p conn_id's output buffer. */
-    void queueResponse(std::uint64_t conn_id, const Json &response);
+    /**
+     * Park @p response in @p seq's slot on @p conn_id and pump the
+     * in-order prefix into the outbound buffer.
+     */
+    void queueSlotResponse(std::uint64_t conn_id, std::uint64_t seq,
+                           const Json &response);
 
-    /** Flush @p conn's output buffer. @return connection survives. */
+    /** queueSlotResponse for an already-framed response @p line
+     *  (newline included) — the result-cache fast path. */
+    void queueSlotLine(std::uint64_t conn_id, std::uint64_t seq,
+                       std::string line);
+
+    /** Append an out-of-band (streaming) @p frame to @p conn_id. */
+    void queueOobFrame(std::uint64_t conn_id, const Json &frame);
+
+    /** Deliver a dispatch-side final response for @p p. */
+    void finishResponse(const Pending &p, const Json &response);
+
+    /** Move in-order completed slots into `out` (connsMtx held). */
+    void pumpLocked(Connection &conn);
+
+    /** Shed @p conn as a slow client when past the buffer cap
+     *  (connsMtx held). @return whether the connection was shed. */
+    bool capCheckLocked(std::uint64_t conn_id, Connection &conn);
+
+    /** Queue @p conn_id for loop-thread attention (connsMtx held). */
+    void markDirtyLocked(std::uint64_t conn_id);
+
+    /** @return whether every response has been delivered
+     *  (connsMtx held). */
+    bool flushedLocked(const Connection &conn) const;
+
+    /** Flush @p conn's outbound buffer (nonblocking).
+     *  @return whether the connection survives. */
     bool flushOut(Connection &conn);
+
+    /** Update @p conn's epoll interest to match its state. */
+    void updateInterest(std::uint64_t conn_id, Connection &conn);
 
     void closeConn(std::uint64_t conn_id);
 
     Json healthResult() const;
 
     ServerConfig cfg;
-    SimulationService service;
     net::WakePipe wake;
     int listenFd = -1;
+    int epollFd = -1;
+    bool listenerArmed = false;
     std::uint16_t boundPort = 0;
     Clock::time_point started;
 
-    std::thread pollThread;
-    std::thread dispatchThread;
+    std::vector<std::unique_ptr<Shard>> shards;
+    std::thread loopThread;
+    /** Set by the event loop at entry; responses queued *from* the
+     *  loop thread skip the wake-pipe syscall (the loop flushes its
+     *  dirty list at the end of the same iteration anyway). */
+    std::atomic<std::thread::id> loopThreadId{};
     std::mutex lifecycleMtx;
     bool threadsJoined = false;
 
     std::atomic<bool> stopping{false};
     std::atomic<bool> signalled{false};
-    /** Dispatcher has drained the queue after a shutdown request. */
-    std::atomic<bool> drained{false};
 
     mutable std::mutex connsMtx;
     std::map<std::uint64_t, Connection> conns;
-    std::uint64_t nextConnId = 1;
+    /** Connections needing loop-thread attention (kill / enable
+     *  EPOLLOUT); guarded by connsMtx. */
+    std::vector<std::uint64_t> dirty;
+    std::uint64_t nextConnId = kFirstConnId;
 
-    mutable std::mutex queueMtx;
-    std::condition_variable queueCv;
-    std::deque<Pending> queue;
+    /** epoll user-data tags below the first connection id. */
+    static constexpr std::uint64_t kWakeTag = 0;
+    static constexpr std::uint64_t kListenTag = 1;
+    static constexpr std::uint64_t kFirstConnId = 2;
 
-    /** Counters (atomics: bumped on poll/dispatch/worker threads). */
+    /** Counters (atomics: bumped on loop/dispatch/worker threads). */
     std::atomic<std::uint64_t> accepted{0};
     std::atomic<std::uint64_t> rejectedConns{0};
     std::atomic<std::uint64_t> requests{0};
@@ -200,6 +321,7 @@ class Server
     std::atomic<std::uint64_t> deadlineExpired{0};
     std::atomic<std::uint64_t> rejectedShutdown{0};
     std::atomic<std::uint64_t> droppedResponses{0};
+    std::atomic<std::uint64_t> slowClients{0};
 };
 
 } // namespace nucache::serve

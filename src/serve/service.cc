@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <fstream>
+#include <shared_mutex>
 
 #include "check/check_mode.hh"
 #include "obs/obs_mode.hh"
@@ -18,6 +19,18 @@ namespace
 {
 
 using Clock = std::chrono::steady_clock;
+
+/**
+ * Process-wide telemetry gate.  Telemetry runs mutate process-wide
+ * observer state (obs::setTelemetryInterval and the TelemetryHub),
+ * so with engine shards running batches concurrently a telemetry run
+ * must exclude *every* other simulation, not just its own shard's:
+ * ordinary runs hold this shared, telemetry runs hold it exclusively.
+ */
+std::shared_mutex gTelemetryGate;
+
+/** Serialized-size budget of one streamed telemetry frame. */
+constexpr std::size_t kStreamChunkBytes = 256 * 1024;
 
 /** @return elapsed ms since @p start. */
 double
@@ -121,9 +134,29 @@ SimulationService::cacheLookup(const std::string &key, Json &result)
         return false;
     }
     ++stats.cacheHits;
-    cacheOrder.remove(key);
-    cacheOrder.push_front(key);
-    result = it->second;
+    cacheOrder.splice(cacheOrder.begin(), cacheOrder,
+                      it->second.pos);
+    result = it->second.result;
+    return true;
+}
+
+bool
+SimulationService::tryCached(const Request &req,
+                             std::string &result_payload)
+{
+    if (cfg.resultCacheEntries == 0)
+        return false;
+    const std::string key = cacheKey(req, cfg.defaultRecords);
+    if (key.empty())
+        return false;
+    std::lock_guard<std::mutex> lock(mtx);
+    const auto it = cache.find(key);
+    if (it == cache.end())
+        return false;
+    ++stats.cacheHits;
+    cacheOrder.splice(cacheOrder.begin(), cacheOrder,
+                      it->second.pos);
+    result_payload = it->second.hitPayload;
     return true;
 }
 
@@ -132,10 +165,17 @@ SimulationService::cacheStore(const std::string &key, const Json &result)
 {
     if (key.empty() || cfg.resultCacheEntries == 0)
         return;
+    // The hit payload is frozen here: serve-side hint counters inside
+    // its server block (alone_runs, arena_materializations) reflect
+    // store time, which cached responses are allowed to do.
+    Json hit = result;
+    attachServerInfo(hit, true, 1, 0.0);
+    std::string payload = hit.str(0);
     std::lock_guard<std::mutex> lock(mtx);
     if (cache.find(key) == cache.end()) {
         cacheOrder.push_front(key);
-        cache.emplace(key, result);
+        cache.emplace(key, CacheEntry{result, std::move(payload),
+                                      cacheOrder.begin()});
     }
     while (cache.size() > cfg.resultCacheEntries) {
         cache.erase(cacheOrder.back());
@@ -216,7 +256,8 @@ SimulationService::runTraceResult(const Request &req, std::string &err)
 
 void
 SimulationService::executeBatch(const std::vector<Request> &batch,
-                                const Emit &emit)
+                                const Emit &emit,
+                                const EmitFrame &frame)
 {
     if (batch.empty())
         return;
@@ -243,6 +284,7 @@ SimulationService::executeBatch(const std::vector<Request> &batch,
                 std::lock_guard<std::mutex> lock(mtx);
                 ++stats.runTrace;
             }
+            std::shared_lock<std::shared_mutex> gate(gTelemetryGate);
             std::string err;
             Json result = runTraceResult(req, err);
             if (!err.empty()) {
@@ -260,7 +302,8 @@ SimulationService::executeBatch(const std::vector<Request> &batch,
         // run_mix with telemetry attachment: exclusive execution (the
         // sampling interval and the TelemetryHub are process-wide, so
         // nothing else may build Systems while it runs — guaranteed
-        // by the serial dispatcher plus the engine being idle here).
+        // by the exclusive telemetry gate across every shard plus the
+        // serial per-shard dispatcher leaving this engine idle here).
         {
             std::lock_guard<std::mutex> lock(mtx);
             ++stats.runMix;
@@ -269,12 +312,22 @@ SimulationService::executeBatch(const std::vector<Request> &batch,
         const std::uint64_t records =
             req.records != 0 ? req.records : cfg.defaultRecords;
         RunEngine &engine = engineFor(records);
-        obs::TelemetryHub::instance().clear();
-        obs::setTelemetryInterval(req.telemetry);
-        Json result = runMixResult(engine, req);
-        obs::setTelemetryInterval(0);
-        result["telemetry"] =
-            obs::TelemetryHub::instance().drainJson();
+        Json result, telemetry;
+        {
+            std::unique_lock<std::shared_mutex> gate(gTelemetryGate);
+            obs::TelemetryHub::instance().clear();
+            obs::setTelemetryInterval(req.telemetry);
+            result = runMixResult(engine, req);
+            obs::setTelemetryInterval(0);
+            telemetry = obs::TelemetryHub::instance().drainJson();
+        }
+        if (req.stream && frame) {
+            attachServerInfo(result, false, 1, msSince(start));
+            emitStream(i, batch[i], std::move(result),
+                       std::move(telemetry), emit, frame);
+            continue;
+        }
+        result["telemetry"] = std::move(telemetry);
         attachServerInfo(result, false, 1, msSince(start));
         emit(i, okResponse(req, std::move(result)));
     }
@@ -289,6 +342,7 @@ SimulationService::executeBatch(const std::vector<Request> &batch,
     // Cache hits answer immediately; misses fan out as engine jobs
     // (all pooled requests share a batchKey, hence one measurement
     // window and one engine) and emit from their worker callbacks.
+    std::shared_lock<std::shared_mutex> gate(gTelemetryGate);
     const std::uint64_t records = batch[pooled.front()].records != 0
                                       ? batch[pooled.front()].records
                                       : cfg.defaultRecords;
@@ -320,6 +374,54 @@ SimulationService::executeBatch(const std::vector<Request> &batch,
             });
     }
     engine.waitIdle();
+}
+
+void
+SimulationService::emitStream(std::size_t i, const Request &req,
+                              Json result, Json telemetry,
+                              const Emit &emit, const EmitFrame &frame)
+{
+    std::uint64_t seq = 0;
+    Json head = streamFrame(req, seq++, false);
+    head["result"] = std::move(result);
+    frame(i, std::move(head));
+
+    // Chunk the telemetry series into bounded frames so no single
+    // response line grows with the run length: each frame carries a
+    // self-contained nucache-telemetry/v1 document holding a slice
+    // of the series.
+    Json pending = Json::array();
+    std::size_t pendingBytes = 0;
+    auto flush = [&] {
+        if (pending.size() == 0)
+            return;
+        Json doc = Json::object();
+        doc["schema"] = "nucache-telemetry/v1";
+        doc["series"] = std::move(pending);
+        Json f = streamFrame(req, seq++, false);
+        f["telemetry"] = std::move(doc);
+        frame(i, std::move(f));
+        pending = Json::array();
+        pendingBytes = 0;
+    };
+    if (const Json *series = telemetry.find("series");
+        series != nullptr && series->isArray()) {
+        for (const Json &s : series->elements()) {
+            const std::size_t bytes = s.str(0).size();
+            if (pending.size() != 0 &&
+                pendingBytes + bytes > kStreamChunkBytes)
+                flush();
+            pending.push(s);
+            pendingBytes += bytes;
+        }
+    }
+    flush();
+    emit(i, streamFrame(req, seq, true));
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        ++stats.streamedRuns;
+        stats.streamFrames += seq + 1;
+    }
 }
 
 void
@@ -359,6 +461,8 @@ SimulationService::statsJson() const
     s["batched_cells"] = stats.batchedCells;
     s["max_batch"] = stats.maxBatch;
     s["telemetry_runs"] = stats.telemetryRuns;
+    s["streamed_runs"] = stats.streamedRuns;
+    s["stream_frames"] = stats.streamFrames;
     s["engines"] = std::uint64_t{engines.size()};
     s["engines_built"] = stats.enginesBuilt;
     s["engines_evicted"] = stats.enginesEvicted;

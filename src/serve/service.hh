@@ -11,7 +11,14 @@
  * The service is transport-free (no sockets): the Server's
  * dispatcher feeds it admitted batches, and tests can drive it
  * directly.  executeBatch() must not be called concurrently with
- * itself (one dispatcher); the stats accessors are thread-safe.
+ * itself *on one instance* (one dispatcher per service); the Server
+ * runs one instance per engine shard (`--serve-shards`), so distinct
+ * instances do run concurrently.  A process-wide reader/writer gate
+ * keeps telemetry runs exclusive across every shard: telemetry
+ * mutates process-wide observer state (the sampling interval and the
+ * TelemetryHub), so a telemetry run takes the gate exclusively while
+ * ordinary runs on other shards hold it shared.  The stats accessors
+ * are thread-safe.
  */
 
 #ifndef NUCACHE_SERVE_SERVICE_HH
@@ -61,20 +68,43 @@ class SimulationService
 
     /**
      * Response sink: invoked exactly once per batch element with its
-     * index and the complete response envelope.  Calls may arrive
-     * from engine worker threads, in any order.
+     * index and the complete (final) response envelope.  Calls may
+     * arrive from engine worker threads, in any order.
      */
     using Emit = std::function<void(std::size_t, Json)>;
+
+    /**
+     * Sink for the non-final frames of a streaming ("stream": true)
+     * run: invoked zero or more times before the element's final
+     * Emit, each time with one self-contained frame envelope.
+     */
+    using EmitFrame = std::function<void(std::size_t, Json)>;
 
     /**
      * Execute one admitted batch.  Every element must be a run_mix /
      * run_trace request, and all elements must share a batchKey()
      * (the dispatcher's grouping invariant); telemetry-attaching
      * requests arrive as singleton batches and run exclusively.
-     * Blocks until every response has been emitted.
+     * Streaming requests deliver their payload through @p frame and
+     * close with a final frame through @p emit (when @p frame is
+     * null they fall back to one monolithic response).  Blocks until
+     * every response has been emitted.
      */
     void executeBatch(const std::vector<Request> &batch,
-                      const Emit &emit);
+                      const Emit &emit, const EmitFrame &frame = {});
+
+    /**
+     * Lock-briefly fast path for the server's event loop: when @p req
+     * is a cacheable run_mix whose result is already in the result
+     * cache, copies the pre-serialized hit payload (the result JSON
+     * with its server block marked cached, frozen at store time) into
+     * @p result_payload and returns true.  A miss is free — it is not
+     * counted (the dispatcher's authoritative lookup will count it)
+     * and touches no engine, so warm traffic can be answered inline
+     * without the queue → dispatcher → wake round trip, and without
+     * re-serializing the result per hit.
+     */
+    bool tryCached(const Request &req, std::string &result_payload);
 
     /** @return service counters as a JSON object (for op "stats"). */
     Json statsJson() const;
@@ -96,6 +126,14 @@ class SimulationService
     void attachServerInfo(Json &result, bool cached,
                           std::size_t batch_size, double wall_ms);
 
+    /**
+     * Deliver one finished streaming run as frames: the result,
+     * bounded telemetry chunks, then the final frame through @p emit.
+     */
+    void emitStream(std::size_t i, const Request &req, Json result,
+                    Json telemetry, const Emit &emit,
+                    const EmitFrame &frame);
+
     /** Look up @p key in the result cache (empty key misses). */
     bool cacheLookup(const std::string &key, Json &result);
 
@@ -108,8 +146,18 @@ class SimulationService
     /** Engines keyed by measurement window, newest-used first. */
     std::list<std::pair<std::uint64_t, std::unique_ptr<RunEngine>>>
         engines;
-    /** Result cache: canonical request key -> result payload. */
-    std::map<std::string, Json> cache;
+    /** One cached result plus its pre-serialized hit payload. */
+    struct CacheEntry
+    {
+        Json result;
+        /** result serialized with a cached=true server block, built
+         *  once at store time for the event loop's fast path. */
+        std::string hitPayload;
+        /** This entry's position in cacheOrder (O(1) LRU touch). */
+        std::list<std::string>::iterator pos;
+    };
+    /** Result cache: canonical request key -> entry. */
+    std::map<std::string, CacheEntry> cache;
     /** Cache keys, most recently used first (LRU order). */
     std::list<std::string> cacheOrder;
 
@@ -124,6 +172,8 @@ class SimulationService
         std::uint64_t batchedCells = 0;
         std::uint64_t maxBatch = 0;
         std::uint64_t telemetryRuns = 0;
+        std::uint64_t streamedRuns = 0;
+        std::uint64_t streamFrames = 0;
         std::uint64_t enginesBuilt = 0;
         std::uint64_t enginesEvicted = 0;
         std::uint64_t failures = 0;

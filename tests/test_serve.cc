@@ -3,8 +3,9 @@
  * Loopback integration tests for the nucached server: request/response
  * over a real TCP socket, result-cache and run-alone/arena reuse,
  * concurrent clients, hostile input (garbage and oversized lines),
- * explicit backpressure on a full admission queue, and shutdown
- * draining admitted work.
+ * explicit backpressure on a full admission queue, pipelined in-order
+ * delivery, slow-client shedding, streamed telemetry frames, engine
+ * shards, and shutdown draining admitted work.
  */
 
 #include <gtest/gtest.h>
@@ -238,13 +239,14 @@ TEST_F(ServeTest, FullQueueAnswersOverload)
     Json first, second;
     ASSERT_TRUE(client.recv(first));
     ASSERT_TRUE(client.recv(second));
-    // The overload for id 3 is emitted immediately; id 2 completes
-    // after the blocker finishes.
-    EXPECT_EQ(first.at("id").asUint(), 3u);
-    EXPECT_FALSE(first.at("ok").asBool());
-    EXPECT_EQ(first.at("error").at("code").asString(), "overload");
-    EXPECT_EQ(second.at("id").asUint(), 2u);
-    EXPECT_TRUE(second.at("ok").asBool());
+    // The overload for id 3 is produced immediately, but pipelined
+    // responses are delivered in request order: it parks in its
+    // response slot until id 2 completes behind the blocker.
+    EXPECT_EQ(first.at("id").asUint(), 2u);
+    EXPECT_TRUE(first.at("ok").asBool());
+    EXPECT_EQ(second.at("id").asUint(), 3u);
+    EXPECT_FALSE(second.at("ok").asBool());
+    EXPECT_EQ(second.at("error").at("code").asString(), "overload");
 
     // Control ops bypass the admission queue entirely.
     EXPECT_TRUE(client.call(R"({"op":"health"})").at("ok").asBool());
@@ -311,6 +313,160 @@ TEST_F(ServeTest, ShutdownDrainsAdmittedWork)
 
     server->join();
     EXPECT_TRUE(server->shuttingDown());
+}
+
+TEST_F(ServeTest, PipelinedResponsesArriveInRequestOrder)
+{
+    startServer(baseConfig());
+    TestClient client(server->port());
+
+    // 16 requests written before any response is read: a slow run
+    // first, cheap inline control ops behind it, and a final run.
+    // The old server would answer the health probes first; the
+    // in-order contract requires responses in request order, with
+    // the probes parked behind the simulation in their slots.
+    constexpr int kInFlight = 16;
+    std::string burst;
+    for (int i = 0; i < kInFlight; ++i) {
+        if (i == 0 || i == kInFlight - 1) {
+            burst += R"({"op":"run_mix","id":)" + std::to_string(i) +
+                     R"(,"params":{"mix":"mix2_01","no_cache":true}})";
+        } else {
+            burst +=
+                R"({"op":"health","id":)" + std::to_string(i) + "}";
+        }
+        burst += "\n";
+    }
+    ASSERT_TRUE(
+        net::writeAll(client.fd, burst.data(), burst.size()));
+    for (int i = 0; i < kInFlight; ++i) {
+        Json doc;
+        ASSERT_TRUE(client.recv(doc)) << "response " << i;
+        EXPECT_EQ(doc.at("id").asUint(),
+                  static_cast<std::uint64_t>(i));
+        EXPECT_TRUE(doc.at("ok").asBool()) << doc.str(0);
+    }
+}
+
+TEST_F(ServeTest, SlowReaderIsShedWhileOthersAreServed)
+{
+    serve::ServerConfig cfg = baseConfig();
+    // Tiny buffers make the shed deterministic: the kernel absorbs a
+    // few KiB at most, so an unread response backlog crosses the
+    // outbound cap after a handful of responses.
+    cfg.maxOutboundBytes = 32 * 1024;
+    cfg.sockSndBufBytes = 4096;
+    startServer(cfg);
+
+    // Prime the result cache so the stalled client's requests answer
+    // instantly and pile up in its outbound buffer.
+    TestClient(server->port()).call(kMixLine);
+
+    TestClient stalled(server->port());
+    net::setRecvBuffer(stalled.fd, 1024);
+    const std::string line = std::string(kMixLine) + "\n";
+    std::string burst;
+    for (int i = 0; i < 200; ++i)
+        burst += line;
+    // The stalled client writes requests and never reads.  The write
+    // itself may fail midway once the server sheds the connection.
+    (void)net::writeAll(stalled.fd, burst.data(), burst.size());
+
+    // A well-behaved client on another connection is served promptly
+    // the whole time — the loop thread never blocks on the stalled
+    // socket (the old server wedged every connection here).
+    TestClient healthy(server->port());
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(healthy.call(kMixLine).at("ok").asBool());
+
+    // The stalled connection must be closed by the server: draining
+    // whatever was buffered ends in EOF, never a hang.
+    Json doc;
+    while (stalled.recv(doc)) {
+    }
+    const Json stats = healthy.call(R"({"op":"stats"})");
+    EXPECT_GE(stats.at("result").at("slow_clients").asUint(), 1u);
+}
+
+TEST_F(ServeTest, StreamedTelemetryRunDeliversOrderedFrames)
+{
+    startServer(baseConfig());
+    TestClient client(server->port());
+    ASSERT_TRUE(client.send(
+        R"({"op":"run_mix","id":5,"params":{"mix":"mix2_01",)"
+        R"("telemetry":500,"stream":true}})"));
+
+    bool saw_result = false, saw_telemetry = false;
+    std::uint64_t expect_seq = 0;
+    while (true) {
+        Json doc;
+        ASSERT_TRUE(client.recv(doc));
+        ASSERT_TRUE(doc.at("ok").asBool()) << doc.str(0);
+        EXPECT_EQ(doc.at("id").asUint(), 5u);
+        const Json &stream = doc.at("stream");
+        EXPECT_EQ(stream.at("seq").asUint(), expect_seq);
+        ++expect_seq;
+        if (doc.find("result") != nullptr)
+            saw_result = true;
+        if (const Json *t = doc.find("telemetry"); t != nullptr) {
+            saw_telemetry = true;
+            EXPECT_EQ(t->at("schema").asString(),
+                      "nucache-telemetry/v1");
+        }
+        if (stream.at("last").asBool())
+            break;
+    }
+    EXPECT_TRUE(saw_result);
+    EXPECT_TRUE(saw_telemetry);
+    EXPECT_GE(expect_seq, 2u);
+
+    // The connection still serves ordinary requests after a stream.
+    EXPECT_TRUE(client.call(R"({"op":"health"})").at("ok").asBool());
+}
+
+TEST_F(ServeTest, StreamWithoutTelemetryIsRejected)
+{
+    startServer(baseConfig());
+    TestClient client(server->port());
+    const Json doc = client.call(
+        R"({"op":"run_mix","params":{"mix":"mix2_01","stream":true}})");
+    EXPECT_FALSE(doc.at("ok").asBool());
+    EXPECT_EQ(doc.at("error").at("code").asString(), "bad_request");
+}
+
+TEST_F(ServeTest, ShardedServerServesDistinctWindows)
+{
+    serve::ServerConfig cfg = baseConfig();
+    cfg.shards = 2;
+    startServer(cfg);
+    TestClient client(server->port());
+
+    // Distinct measurement windows hash to (potentially) different
+    // shards; both must serve and cache independently.
+    const char *win_a =
+        R"({"op":"run_mix","id":1,"params":{"mix":"mix2_01",)"
+        R"("records":2000}})";
+    const char *win_b =
+        R"({"op":"run_mix","id":2,"params":{"mix":"mix2_01",)"
+        R"("records":4000}})";
+    const Json a1 = client.call(win_a);
+    const Json b1 = client.call(win_b);
+    ASSERT_TRUE(a1.at("ok").asBool()) << a1.str(0);
+    ASSERT_TRUE(b1.at("ok").asBool()) << b1.str(0);
+    EXPECT_FALSE(a1.at("result").at("server").at("cached").asBool());
+    EXPECT_FALSE(b1.at("result").at("server").at("cached").asBool());
+
+    const Json a2 = client.call(win_a);
+    const Json b2 = client.call(win_b);
+    EXPECT_TRUE(a2.at("result").at("server").at("cached").asBool());
+    EXPECT_TRUE(b2.at("result").at("server").at("cached").asBool());
+    EXPECT_EQ(a2.at("result").at("weighted_speedup").str(0),
+              a1.at("result").at("weighted_speedup").str(0));
+    EXPECT_EQ(b2.at("result").at("weighted_speedup").str(0),
+              b1.at("result").at("weighted_speedup").str(0));
+
+    const Json stats = client.call(R"({"op":"stats"})");
+    EXPECT_EQ(stats.at("result").at("serve_shards").asUint(), 2u);
 }
 
 TEST_F(ServeTest, NewRunsRejectedWhileShuttingDown)

@@ -8,18 +8,30 @@
  *   nucache_client --op=run_mix --mix=mix2_01 --policy=nucache
  *   nucache_client --op=run_mix --workloads=loop_medium,stream_pure \
  *       --records=62500 [--telemetry[=N]] [--no-cache] [--repeat=K]
+ *   nucache_client --op=run_mix --mix=mix2_01 --telemetry --stream
  *   nucache_client --op=run_trace a.nutrace b.nutrace
  *   nucache_client --raw='{"op":"health"}'
  *
  * --repeat sends the same request K times on one connection and
  * prints each latency (cold first request vs warm repeats).
+ * --stream (with --telemetry) requests chunked delivery: every
+ * stream frame is printed as it arrives, so a long telemetry run
+ * shows incremental progress instead of one giant response.
  *
- * Load mode (--bench N) opens N concurrent connections, sends
- * --requests M run requests each after one cold priming request, and
- * prints requests/sec, latency percentiles, a log2-bucketed latency
- * histogram and the cold/warm split; --json=FILE additionally writes
- * the `nucache-bench/v1` document.  Exits non-zero on any error
- * response or dropped connection.
+ * Load mode (--bench N) opens N concurrent connections and drives a
+ * cold priming phase followed by a measured phase of M=--requests
+ * run requests per connection.  By default the measured phase is
+ * closed-loop with --pipeline=D requests in flight per connection
+ * (D=1 reproduces classic one-at-a-time round trips); responses are
+ * matched to requests in order, which the server's in-order delivery
+ * contract guarantees.  --rate=R switches the measured phase to
+ * open-loop: sends are paced to R req/s total across connections and
+ * latency is measured from each request's *scheduled* send time, so
+ * server queueing delay (coordinated omission) is not hidden.  The
+ * report prints requests/sec plus per-phase latency percentiles and
+ * log2-bucketed histograms ("n/a" where a phase has no samples);
+ * --json=FILE additionally writes the `nucache-bench/v1` document.
+ * Exits non-zero on any error response or dropped connection.
  *
  * --slices=S / --shard-jobs=J forward the sliced-LLC execution knobs
  * as request params (results are bit-identical at any value).
@@ -29,9 +41,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <deque>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -116,6 +131,8 @@ buildRequest(const CliArgs &args, std::uint64_t id)
         params["llc_ways"] = args.getInt("llc-ways", 0);
     if (args.has("telemetry"))
         params["telemetry"] = args.getInt("telemetry", 50'000);
+    if (args.has("stream"))
+        params["stream"] = true;
     if (args.has("no-cache"))
         params["no_cache"] = true;
     if (args.has("slices"))
@@ -146,15 +163,25 @@ class ClientConn
             ::close(fd);
     }
 
+    bool
+    send(const std::string &line)
+    {
+        std::string framed = line;
+        framed += '\n';
+        return net::writeAll(fd, framed.data(), framed.size());
+    }
+
+    bool
+    recv(std::string &response)
+    {
+        return reader->readLine(response);
+    }
+
     /** Send @p line and read one response line. */
     bool
     roundTrip(const std::string &line, std::string &response)
     {
-        std::string framed = line;
-        framed += '\n';
-        if (!net::writeAll(fd, framed.data(), framed.size()))
-            return false;
-        return reader->readLine(response);
+        return send(line) && recv(response);
     }
 
   private:
@@ -174,14 +201,43 @@ responseOk(const std::string &response_line)
     return ok != nullptr && ok->isBool() && ok->asBool();
 }
 
+/**
+ * @return whether @p response_line is a non-final streaming frame
+ * (its "stream" object says more frames follow).
+ */
+bool
+responseContinues(const std::string &response_line)
+{
+    Json doc;
+    std::string err;
+    if (!Json::parse(response_line, doc, err) || !doc.isObject())
+        return false;
+    const Json *stream = doc.find("stream");
+    if (stream == nullptr || !stream->isObject())
+        return false;
+    const Json *last = stream->find("last");
+    return last != nullptr && last->isBool() && !last->asBool();
+}
+
 double
-percentile(std::vector<double> sorted, double p)
+percentile(const std::vector<double> &sorted, double p)
 {
     if (sorted.empty())
         return 0.0;
     const std::size_t idx = static_cast<std::size_t>(
         p * static_cast<double>(sorted.size() - 1));
     return sorted[idx];
+}
+
+/** @return @p ms formatted, or "n/a" when the phase had no samples. */
+std::string
+fmtMs(double ms, bool have_samples)
+{
+    if (!have_samples)
+        return "n/a";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", ms);
+    return buf;
 }
 
 /** One log2-spaced latency histogram bucket. */
@@ -218,6 +274,176 @@ latencyHistogram(const std::vector<double> &sorted)
     return buckets;
 }
 
+/** Print one phase's percentiles and histogram ("n/a" when empty). */
+void
+printPhase(const char *name, const std::vector<double> &sorted)
+{
+    const bool have = !sorted.empty();
+    std::printf("%s phase: %llu samples, latency ms p50 %s  p90 %s  "
+                "p99 %s  max %s\n",
+                name, static_cast<unsigned long long>(sorted.size()),
+                fmtMs(percentile(sorted, 0.50), have).c_str(),
+                fmtMs(percentile(sorted, 0.90), have).c_str(),
+                fmtMs(percentile(sorted, 0.99), have).c_str(),
+                fmtMs(have ? sorted.back() : 0.0, have).c_str());
+    if (!have) {
+        std::printf("  histogram: n/a (no samples)\n");
+        return;
+    }
+    double lower = 0.0;
+    for (const LatencyBucket &bucket : latencyHistogram(sorted)) {
+        if (bucket.count != 0) {
+            std::printf("  %7.2f..%7.2f ms  %llu\n", lower, bucket.leMs,
+                        static_cast<unsigned long long>(bucket.count));
+        }
+        lower = bucket.leMs;
+    }
+}
+
+/** One phase's block of the nucache-bench/v1 document. */
+Json
+phaseJson(const std::vector<double> &sorted)
+{
+    Json p = Json::object();
+    p["samples"] = std::uint64_t{sorted.size()};
+    if (sorted.empty())
+        return p; // no latency keys: the JSON shape of "n/a"
+    p["p50_ms"] = percentile(sorted, 0.50);
+    p["p90_ms"] = percentile(sorted, 0.90);
+    p["p99_ms"] = percentile(sorted, 0.99);
+    p["max_ms"] = sorted.back();
+    Json hist = Json::array();
+    for (const LatencyBucket &bucket : latencyHistogram(sorted)) {
+        Json b = Json::object();
+        b["le_ms"] = bucket.leMs;
+        b["count"] = bucket.count;
+        hist.push(std::move(b));
+    }
+    p["histogram_ms"] = std::move(hist);
+    return p;
+}
+
+/**
+ * Cheap ok-check for the bench hot loop: a full Json parse of every
+ * response costs more than the server spends producing it, so the
+ * harness looks for the envelope's `"ok":true` marker instead (error
+ * envelopes carry `"ok":false`; result payloads never embed the
+ * marker).  Non-bench paths keep the strict parse.
+ */
+bool
+responseOkFast(const std::string &response_line)
+{
+    return response_line.find("\"ok\":true") != std::string::npos;
+}
+
+/**
+ * One bench connection of the measured phase: a writer thread sends
+ * (pipelined or paced) while this thread reads responses, matching
+ * each to its send timestamp in order — sound because the server
+ * delivers pipelined responses strictly in request order.
+ */
+struct BenchWorker
+{
+    std::vector<double> latencies;
+    std::uint64_t ok = 0;
+    std::uint64_t errors = 0;
+    bool dropped = false;
+
+    void
+    run(const CliArgs &args, const std::string &host,
+        std::uint16_t port, unsigned conn_index, unsigned per_conn,
+        unsigned pipeline, double interval_s, Clock::time_point epoch)
+    {
+        ClientConn conn;
+        std::string err;
+        if (!conn.open(host, port, err)) {
+            dropped = true;
+            return;
+        }
+
+        std::mutex mtx;
+        std::condition_variable cv;
+        std::deque<Clock::time_point> sendTimes;
+        bool writeFailed = false;
+
+        // One request line per connection, built once: responses are
+        // matched to requests by order (the server's in-order
+        // contract), so per-request ids buy nothing in the hot loop.
+        const std::string line =
+            buildRequest(args, std::uint64_t{conn_index} + 2);
+
+        std::thread writer([&] {
+            for (unsigned r = 0; r < per_conn; ++r) {
+                Clock::time_point stamp;
+                if (interval_s > 0.0) {
+                    // Open loop: send on the connection's schedule and
+                    // stamp the *scheduled* time, so time a request
+                    // spends waiting behind a slow server counts as
+                    // latency instead of silently stretching the run.
+                    stamp = epoch +
+                            std::chrono::duration_cast<
+                                Clock::duration>(
+                                std::chrono::duration<double>(
+                                    interval_s *
+                                    static_cast<double>(r)));
+                    std::this_thread::sleep_until(stamp);
+                } else {
+                    // Closed loop: at most `pipeline` in flight.
+                    std::unique_lock<std::mutex> lock(mtx);
+                    cv.wait(lock, [&] {
+                        return sendTimes.size() < pipeline ||
+                               writeFailed;
+                    });
+                    if (writeFailed)
+                        return;
+                    stamp = Clock::now();
+                }
+                {
+                    std::lock_guard<std::mutex> lock(mtx);
+                    sendTimes.push_back(stamp);
+                }
+                if (!conn.send(line)) {
+                    std::lock_guard<std::mutex> lock(mtx);
+                    writeFailed = true;
+                    return;
+                }
+            }
+        });
+
+        for (unsigned r = 0; r < per_conn; ++r) {
+            std::string response;
+            if (!conn.recv(response)) {
+                dropped = true;
+                break;
+            }
+            Clock::time_point sent;
+            {
+                std::lock_guard<std::mutex> lock(mtx);
+                sent = sendTimes.front();
+                sendTimes.pop_front();
+            }
+            cv.notify_one();
+            latencies.push_back(
+                std::chrono::duration<double, std::milli>(
+                    Clock::now() - sent)
+                    .count());
+            if (responseOkFast(response))
+                ++ok;
+            else
+                ++errors;
+        }
+        {
+            // A dead reader must release a writer parked on the
+            // pipeline window.
+            std::lock_guard<std::mutex> lock(mtx);
+            writeFailed = writeFailed || dropped;
+        }
+        cv.notify_one();
+        writer.join();
+        dropped = dropped || writeFailed;
+    }
+};
+
 /** The --bench load mode. @return the process exit code. */
 int
 runBench(const CliArgs &args, const std::string &host,
@@ -227,14 +453,24 @@ runBench(const CliArgs &args, const std::string &host,
         static_cast<unsigned>(args.getInt("bench", 4));
     const unsigned per_conn =
         static_cast<unsigned>(args.getInt("requests", 32));
-    if (conns == 0 || per_conn == 0)
-        fatal("--bench and --requests must be at least 1");
+    const unsigned pipeline =
+        static_cast<unsigned>(args.getInt("pipeline", 1));
+    const double rate =
+        static_cast<double>(args.getInt("rate", 0));
+    if (conns == 0 || per_conn == 0 || pipeline == 0)
+        fatal("--bench, --requests and --pipeline must be at least 1");
+    if (args.has("rate") && rate <= 0.0)
+        fatal("--rate must be a positive total req/s");
+    // Per-connection send interval; 0 selects the closed loop.
+    const double interval_s =
+        rate > 0.0 ? static_cast<double>(conns) / rate : 0.0;
 
-    // One cold priming request on its own connection: its latency is
-    // the uncached cost, and it warms the server's arena buffers,
-    // run-alone IPC cache and result cache for the measured run.
+    // Cold phase: one priming request on its own connection.  Its
+    // latency is the uncached cost, and it warms the server's arena
+    // buffers, run-alone IPC cache and result cache for the measured
+    // phase.
     const std::string request = buildRequest(args, 1);
-    double cold_ms = 0.0;
+    std::vector<double> cold_lats;
     {
         ClientConn conn;
         std::string err, response;
@@ -244,43 +480,26 @@ runBench(const CliArgs &args, const std::string &host,
         if (!conn.roundTrip(request, response) ||
             !responseOk(response))
             fatal("bench: cold priming request failed");
-        cold_ms = msSince(t0);
+        cold_lats.push_back(msSince(t0));
     }
+    const double cold_ms = cold_lats.empty() ? 0.0 : cold_lats.front();
 
-    struct WorkerResult
-    {
-        std::vector<double> latencies;
-        std::uint64_t ok = 0;
-        std::uint64_t errors = 0;
-        bool dropped = false;
-    };
-    std::vector<WorkerResult> results(conns);
+    std::vector<BenchWorker> results(conns);
     std::vector<std::thread> workers;
     const Clock::time_point bench_start = Clock::now();
     for (unsigned c = 0; c < conns; ++c) {
         workers.emplace_back([&, c] {
-            WorkerResult &res = results[c];
-            ClientConn conn;
-            std::string err;
-            if (!conn.open(host, port, err)) {
-                res.dropped = true;
-                return;
-            }
-            for (unsigned r = 0; r < per_conn; ++r) {
-                const std::string line = buildRequest(
-                    args, std::uint64_t{c} * per_conn + r + 2);
-                std::string response;
-                const Clock::time_point t0 = Clock::now();
-                if (!conn.roundTrip(line, response)) {
-                    res.dropped = true;
-                    return;
-                }
-                res.latencies.push_back(msSince(t0));
-                if (responseOk(response))
-                    ++res.ok;
-                else
-                    ++res.errors;
-            }
+            // Open-loop connections are phase-staggered across one
+            // send period so the aggregate arrival stream is smooth,
+            // not a burst of `conns` requests every interval.
+            const Clock::time_point epoch =
+                bench_start +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        interval_s * static_cast<double>(c) /
+                        static_cast<double>(conns)));
+            results[c].run(args, host, port, c, per_conn, pipeline,
+                           interval_s, epoch);
         });
     }
     for (auto &w : workers)
@@ -291,7 +510,7 @@ runBench(const CliArgs &args, const std::string &host,
 
     std::vector<double> lats;
     std::uint64_t ok = 0, errors = 0, dropped = 0;
-    for (const WorkerResult &res : results) {
+    for (const BenchWorker &res : results) {
         lats.insert(lats.end(), res.latencies.begin(),
                     res.latencies.end());
         ok += res.ok;
@@ -299,39 +518,34 @@ runBench(const CliArgs &args, const std::string &host,
         dropped += res.dropped ? 1 : 0;
     }
     std::sort(lats.begin(), lats.end());
+    std::sort(cold_lats.begin(), cold_lats.end());
 
-    std::printf("bench: %u connections x %u requests against %s:%u\n",
-                conns, per_conn, host.c_str(), port);
+    if (interval_s > 0.0) {
+        std::printf("bench: open loop, %u connections, %.0f req/s "
+                    "target, %u requests each against %s:%u\n",
+                    conns, rate, per_conn, host.c_str(), port);
+    } else {
+        std::printf("bench: closed loop, %u connections x %u "
+                    "requests, pipeline %u against %s:%u\n",
+                    conns, per_conn, pipeline, host.c_str(), port);
+    }
     std::printf("requests: %llu ok, %llu errors, %llu dropped "
                 "connections, wall %.2f s\n",
                 static_cast<unsigned long long>(ok),
                 static_cast<unsigned long long>(errors),
                 static_cast<unsigned long long>(dropped), wall_s);
-    const std::vector<LatencyBucket> histogram = latencyHistogram(lats);
     if (!lats.empty() && wall_s > 0.0) {
         std::printf("throughput: %.1f req/s\n",
                     static_cast<double>(lats.size()) / wall_s);
-        std::printf("latency ms: p50 %.2f  p90 %.2f  p99 %.2f  "
-                    "max %.2f\n",
-                    percentile(lats, 0.50), percentile(lats, 0.90),
-                    percentile(lats, 0.99), lats.back());
         const double warm_p50 = percentile(lats, 0.50);
-        std::printf("cold vs warm: first (uncached) %.2f ms, "
-                    "warm p50 %.2f ms (%.1fx)\n",
-                    cold_ms, warm_p50,
+        std::printf("cold vs warm: first (uncached) %s ms, "
+                    "warm p50 %s ms (%.1fx)\n",
+                    fmtMs(cold_ms, !cold_lats.empty()).c_str(),
+                    fmtMs(warm_p50, true).c_str(),
                     warm_p50 > 0.0 ? cold_ms / warm_p50 : 0.0);
-        std::printf("latency histogram:\n");
-        double lower = 0.0;
-        for (const LatencyBucket &bucket : histogram) {
-            if (bucket.count != 0) {
-                std::printf("  %7.2f..%7.2f ms  %llu\n", lower,
-                            bucket.leMs,
-                            static_cast<unsigned long long>(
-                                bucket.count));
-            }
-            lower = bucket.leMs;
-        }
     }
+    printPhase("cold", cold_lats);
+    printPhase("warm", lats);
 
     const std::string json_path = args.get("json", "");
     if (!json_path.empty()) {
@@ -339,8 +553,12 @@ runBench(const CliArgs &args, const std::string &host,
         doc["schema"] = "nucache-bench/v1";
         doc["host"] = host;
         doc["port"] = std::uint64_t{port};
+        doc["mode"] = interval_s > 0.0 ? "open_loop" : "closed_loop";
         doc["connections"] = std::uint64_t{conns};
         doc["requests_per_connection"] = std::uint64_t{per_conn};
+        doc["pipeline"] = std::uint64_t{pipeline};
+        if (interval_s > 0.0)
+            doc["target_rps"] = rate;
         doc["ok"] = ok;
         doc["errors"] = errors;
         doc["dropped_connections"] = dropped;
@@ -348,24 +566,10 @@ runBench(const CliArgs &args, const std::string &host,
         doc["throughput_rps"] =
             wall_s > 0.0 ? static_cast<double>(lats.size()) / wall_s
                          : 0.0;
-        Json lat = Json::object();
-        lat["p50"] = percentile(lats, 0.50);
-        lat["p90"] = percentile(lats, 0.90);
-        lat["p99"] = percentile(lats, 0.99);
-        lat["max"] = lats.empty() ? 0.0 : lats.back();
-        doc["latency_ms"] = std::move(lat);
-        Json split = Json::object();
-        split["cold_ms"] = cold_ms;
-        split["warm_p50_ms"] = percentile(lats, 0.50);
-        doc["cold_warm"] = std::move(split);
-        Json hist = Json::array();
-        for (const LatencyBucket &bucket : histogram) {
-            Json b = Json::object();
-            b["le_ms"] = bucket.leMs;
-            b["count"] = bucket.count;
-            hist.push(std::move(b));
-        }
-        doc["histogram_ms"] = std::move(hist);
+        Json phases = Json::object();
+        phases["cold"] = phaseJson(cold_lats);
+        phases["warm"] = phaseJson(lats);
+        doc["phases"] = std::move(phases);
         std::ofstream os(json_path);
         if (!os)
             fatal("cannot write bench JSON to '", json_path, "'");
@@ -382,7 +586,8 @@ runBench(const CliArgs &args, const std::string &host,
 int
 main(int argc, char **argv)
 {
-    const CliArgs args(argc, argv, {"no-cache", "telemetry", "compact"});
+    const CliArgs args(argc, argv,
+                       {"no-cache", "telemetry", "compact", "stream"});
     const std::string host = args.get("host", "127.0.0.1");
     const std::uint16_t port =
         static_cast<std::uint16_t>(args.getInt("port", 7411));
@@ -406,6 +611,18 @@ main(int argc, char **argv)
         const Clock::time_point t0 = Clock::now();
         if (!conn.roundTrip(request, response))
             fatal("nucache_client: connection closed by server");
+        // A streaming run answers in frames; print each as it lands
+        // and keep reading until the final frame closes the stream.
+        while (responseContinues(response)) {
+            Json frame;
+            std::string perr;
+            if (Json::parse(response, frame, perr))
+                std::cout << frame.str(args.has("compact") ? 0 : 2)
+                          << "\n";
+            all_ok = all_ok && responseOk(response);
+            if (!conn.recv(response))
+                fatal("nucache_client: connection closed mid-stream");
+        }
         const double ms = msSince(t0);
         if (repeat > 1)
             std::fprintf(stderr, "request %llu: %.2f ms%s\n",

@@ -7,10 +7,19 @@
  *
  * Usage:
  *   nucached [--host=127.0.0.1] [--port=7411] [--jobs=N]
- *            [--records=250000] [--queue-depth=64] [--batch-max=8]
- *            [--deadline-ms=30000] [--max-conns=256] [--cache=256]
- *            [--slices=S] [--slice-hash=mod|xor] [--shard-jobs=J]
+ *            [--serve-shards=1] [--records=250000]
+ *            [--queue-depth=512] [--batch-max=8]
+ *            [--deadline-ms=30000] [--max-conns=1024] [--cache=256]
+ *            [--max-outbound-kib=8192] [--slices=S]
+ *            [--slice-hash=mod|xor] [--shard-jobs=J]
  *            [--check] [--port-file=FILE] [--quiet]
+ *
+ * --serve-shards runs N independent engine shards, each with its own
+ * dispatcher thread, memoized engines, result cache and admission
+ * queue; requests hash to shards by measurement window.
+ * --max-outbound-kib caps each connection's outbound buffer: a
+ * client that stops reading past the cap is shed (slow_clients in
+ * stats) instead of blocking the event loop.
  *
  * --slices / --slice-hash / --shard-jobs set the server-wide sliced
  * LLC defaults; requests may override per run with the "slices" and
@@ -67,6 +76,14 @@ main(int argc, char **argv)
         args.getInt("deadline-ms", cfg.defaultDeadlineMs);
     cfg.batchMax = args.getInt("batch-max", cfg.batchMax);
     cfg.maxConnections = args.getInt("max-conns", cfg.maxConnections);
+    cfg.shards = args.getInt("serve-shards", cfg.shards);
+    if (cfg.shards == 0 || cfg.shards > 64)
+        fatal("--serve-shards must be in [1, 64]");
+    cfg.maxOutboundBytes =
+        args.getInt("max-outbound-kib", cfg.maxOutboundBytes / 1024) *
+        std::size_t{1024};
+    if (cfg.maxOutboundBytes == 0)
+        fatal("--max-outbound-kib must be positive");
     cfg.service.jobs = static_cast<unsigned>(
         args.getInt("jobs", ThreadPool::hardwareConcurrency()));
     cfg.service.defaultRecords =
@@ -105,10 +122,10 @@ main(int argc, char **argv)
     // The "listening" line is the readiness signal scripts wait for;
     // --port-file additionally persists the (possibly ephemeral)
     // bound port for them.
-    std::printf("nucached listening on %s:%u (jobs=%u, queue=%zu, "
-                "batch=%zu, records=%llu)\n",
+    std::printf("nucached listening on %s:%u (jobs=%u, shards=%zu, "
+                "queue=%zu, batch=%zu, records=%llu)\n",
                 cfg.host.c_str(), server.port(), cfg.service.jobs,
-                cfg.queueDepth, cfg.batchMax,
+                cfg.shards, cfg.queueDepth, cfg.batchMax,
                 static_cast<unsigned long long>(
                     cfg.service.defaultRecords));
     std::fflush(stdout);
