@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Estimate-tier calibration harness: runs every catalog workload and
+ * every canonical dual/quad/eight-core mix under {lru, nru, nucache,
+ * ucp, pipp} twice — exactly on the RunEngine and analytically
+ * through src/model/ — and reports the estimate-vs-exact error
+ * (per-core LLC hit-rate and relative IPC) next to the model's
+ * evaluation latency and the profile-pass cost.
+ *
+ * The JSON mirror is the `estimate_tier` section of the
+ * nucache-bench/v1 document; the copy committed in
+ * BENCH_throughput.json carries the per-family error bounds CI
+ * gates against (kErrorBounds here), so the model cannot silently
+ * degrade: the harness itself exits non-zero when any family's
+ * measured worst-case hit-rate error exceeds its bound.  --quick sweeps a fixed subset
+ * of the grid (the CI perf-smoke lane); the full sweep runs
+ * nightly.
+ */
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "model/predictor.hh"
+#include "model/profile.hh"
+#include "sim/mixes.hh"
+#include "trace/workloads.hh"
+
+namespace
+{
+
+using namespace nucache;
+using namespace nucache::bench;
+
+/** Policy families the estimate tier models (calibration columns). */
+constexpr const char *kPolicies[] = {
+    "lru", "nru", "nucache", "ucp", "pipp",
+};
+
+/**
+ * Committed worst-case bounds on the per-core LLC hit-rate error
+ * (absolute, in fraction-of-accesses units), per policy family.
+ * Both the full and the --quick sweep must stay under them; CI
+ * compares fresh --quick runs against the copies committed in
+ * BENCH_throughput.json.
+ *
+ * The bounds are deliberately per-family because the model's one
+ * structural blind spot is concentrated in UCP: the model solves the
+ * partition's steady state, but the real policy's UMON must observe
+ * a full reuse period before the lookahead grants ways, the grant
+ * lands at a repartition-epoch boundary, and the granted ways then
+ * refill at miss speed.  On runs only a few epochs long that
+ * transient can consume the whole window (mix4_08: a cliff workload
+ * the steady-state partition serves perfectly never warms up and
+ * measures zero hits), and phased workloads (mix2_08) oscillate the
+ * quota in ways no static curve reproduces.  Typical UCP cells sit
+ * under 0.1, but the transient cells are genuinely ~0.7 and a
+ * steady-state model cannot chase them without breaking the cells
+ * it gets right.  The other families have no epoch machinery and
+ * stay tight; their bounds are real regression gates.
+ *
+ * Measured worst cases on the full 250k-record sweep (the nightly
+ * grid; --quick runs the same cells at a smaller window and
+ * measures lower): lru 0.248, nru 0.300, nucache 0.372, ucp 0.778,
+ * pipp 0.350.  The bounds sit one knife-edge cell above those: the
+ * residual nucache/pipp worst cells are capacity-cliff mixes where
+ * the effective capacity lands within one histogram bucket of the
+ * reuse cliff, so a small remodel can move a cell by the cliff
+ * height without the model being wrong on average (the means are
+ * 0.06-0.07).
+ */
+struct FamilyBound
+{
+    const char *policy;
+    double bound;
+};
+constexpr FamilyBound kErrorBounds[] = {
+    {"lru", 0.30},     {"nru", 0.35}, {"nucache", 0.45},
+    {"ucp", 0.85},     {"pipp", 0.45},
+};
+
+double
+errorBound(const std::string &policy)
+{
+    for (const FamilyBound &b : kErrorBounds)
+        if (policy == b.policy)
+            return b.bound;
+    return 0.0;
+}
+
+double
+percentileOf(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+}
+
+/** Error accumulator (per policy and overall). */
+struct ErrorStats
+{
+    double maxAbsHit = 0.0;
+    double sumAbsHit = 0.0;
+    double maxRelIpc = 0.0;
+    std::uint64_t cores = 0;
+
+    void
+    add(double abs_hit_err, double rel_ipc_err)
+    {
+        maxAbsHit = std::max(maxAbsHit, abs_hit_err);
+        sumAbsHit += abs_hit_err;
+        maxRelIpc = std::max(maxRelIpc, rel_ipc_err);
+        ++cores;
+    }
+
+    double
+    meanAbsHit() const
+    {
+        return cores != 0
+                   ? sumAbsHit / static_cast<double>(cores)
+                   : 0.0;
+    }
+};
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args = bench::benchArgs(argc, argv);
+    const BenchOptions opt = parseOptions(args, 250'000);
+    JsonReport report(opt, "estimate");
+
+    banner(std::cout, "estimate",
+           "analytical-model calibration: estimate vs exact by "
+           "policy and mix",
+           opt.records);
+
+    // The calibration grid: every catalog workload as a single-core
+    // mix plus the canonical multiprogrammed mixes.  --quick keeps a
+    // fixed, representative slice so the CI lane stays fast.
+    std::vector<WorkloadMix> mixes;
+    if (args.has("quick")) {
+        for (const char *w :
+             {"loop_medium", "stream_pure", "zipf_hot", "chase_small"})
+            mixes.push_back({w, {w}});
+        mixes.push_back(dualCoreMixes()[0]);
+        mixes.push_back(dualCoreMixes()[1]);
+        mixes.push_back(quadCoreMixes()[0]);
+        mixes.push_back(eightCoreMixes()[0]);
+    } else {
+        for (const std::string &w : workloadNames())
+            mixes.push_back({w, {w}});
+        for (const auto &mixList :
+             {dualCoreMixes(), quadCoreMixes(), eightCoreMixes()})
+            mixes.insert(mixes.end(), mixList.begin(), mixList.end());
+    }
+
+    const std::vector<std::string> policies(std::begin(kPolicies),
+                                            std::end(kPolicies));
+
+    // Profile passes first (memoized process-wide), timed separately:
+    // this is the one-off cost a server pays before its estimates go
+    // sub-millisecond.
+    model::ProfileStore &store = model::ProfileStore::instance();
+    const auto prof_start = std::chrono::steady_clock::now();
+    for (const auto &mix : mixes)
+        for (const std::string &w : mix.workloads)
+            store.get(w, opt.records);
+    const double profile_s =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - prof_start)
+            .count();
+    const std::uint64_t profile_builds = store.built();
+    std::cout << "\nprofile passes: " << profile_builds << " in "
+              << profile_s << " s\n\n";
+
+    RunEngine engine(opt.records, opt.jobs, opt.check);
+    Json cells = Json::array();
+    std::map<std::string, ErrorStats> byPolicy;
+    ErrorStats overall;
+    std::vector<double> eval_us;
+
+    TextTable table;
+    table.header({"mix", "policy", "max|dhit|", "max relIPC err",
+                  "eval_us"});
+    Progress progress;
+    std::size_t done = 0;
+    for (const auto &mix : mixes) {
+        const HierarchyConfig hier =
+            defaultHierarchy(static_cast<unsigned>(mix.workloads.size()));
+        std::vector<model::ProfilePtr> profiles;
+        for (const std::string &w : mix.workloads)
+            profiles.push_back(store.get(w, opt.records));
+        for (const std::string &policy : policies) {
+            const MixResult exact = engine.runMix(mix, policy, hier);
+
+            const auto t0 = std::chrono::steady_clock::now();
+            const model::MixEstimate est =
+                model::estimateMix(profiles, hier, policy);
+            const double us =
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            eval_us.push_back(us);
+
+            ErrorStats cellErr;
+            for (std::size_t c = 0; c < exact.system.cores.size();
+                 ++c) {
+                const auto &core = exact.system.cores[c];
+                const double exact_hit = 1.0 - core.llc.missRate();
+                const double abs_hit =
+                    std::abs(est.cores[c].hitRate - exact_hit);
+                const double rel_ipc =
+                    core.ipc > 0.0
+                        ? std::abs(est.cores[c].ipc - core.ipc) /
+                              core.ipc
+                        : 0.0;
+                cellErr.add(abs_hit, rel_ipc);
+                byPolicy[policy].add(abs_hit, rel_ipc);
+                overall.add(abs_hit, rel_ipc);
+            }
+            table.row()
+                .cell(mix.name)
+                .cell(policy)
+                .cell(cellErr.maxAbsHit)
+                .cell(cellErr.maxRelIpc)
+                .cell(us);
+
+            Json c = Json::object();
+            c["mix"] = mix.name;
+            c["policy"] = policy;
+            c["cores"] =
+                static_cast<std::uint64_t>(mix.workloads.size());
+            c["max_abs_hit_rate_error"] = cellErr.maxAbsHit;
+            c["max_rel_ipc_error"] = cellErr.maxRelIpc;
+            c["exact_weighted_speedup"] = exact.weightedSpeedup;
+            c["est_weighted_speedup"] = est.weightedSpeedup;
+            c["eval_us"] = us;
+            cells.push(std::move(c));
+            progress(++done, mixes.size() * policies.size());
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\n# estimate-vs-exact error by policy\n";
+    TextTable summary;
+    summary.header({"policy", "max|dhit|", "mean|dhit|",
+                    "max relIPC err", "bound"});
+    for (const std::string &policy : policies) {
+        const ErrorStats &e = byPolicy[policy];
+        summary.row()
+            .cell(policy)
+            .cell(e.maxAbsHit)
+            .cell(e.meanAbsHit())
+            .cell(e.maxRelIpc)
+            .cell(errorBound(policy));
+    }
+    summary.print(std::cout);
+
+    std::sort(eval_us.begin(), eval_us.end());
+    const double p50 = percentileOf(eval_us, 0.50);
+    const double p90 = percentileOf(eval_us, 0.90);
+    const double mx = eval_us.empty() ? 0.0 : eval_us.back();
+    std::cout << "\nmodel eval latency: p50 " << p50 << " us, p90 "
+              << p90 << " us, max " << mx << " us over "
+              << eval_us.size() << " evals\n"
+              << "overall max |dhit| " << overall.maxAbsHit << "\n";
+
+    if (report.enabled()) {
+        Json &s = report.section("estimate_tier", "estimate_tier");
+        s["model_version"] = model::kModelVersion;
+        s["records_per_core"] = opt.records;
+        s["quick"] = args.has("quick");
+        s["max_abs_hit_rate_error"] = overall.maxAbsHit;
+        s["mean_abs_hit_rate_error"] = overall.meanAbsHit();
+        s["max_rel_ipc_error"] = overall.maxRelIpc;
+        Json pols = Json::array();
+        for (const std::string &policy : policies) {
+            const ErrorStats &e = byPolicy[policy];
+            Json p = Json::object();
+            p["policy"] = policy;
+            p["error_bound_abs_hit_rate"] = errorBound(policy);
+            p["max_abs_hit_rate_error"] = e.maxAbsHit;
+            p["mean_abs_hit_rate_error"] = e.meanAbsHit();
+            p["max_rel_ipc_error"] = e.maxRelIpc;
+            pols.push(std::move(p));
+        }
+        s["policies"] = std::move(pols);
+        Json lat = Json::object();
+        lat["evals"] = std::uint64_t{eval_us.size()};
+        lat["p50_us"] = p50;
+        lat["p90_us"] = p90;
+        lat["max_us"] = mx;
+        lat["profile_builds"] = profile_builds;
+        lat["profile_build_s"] = profile_s;
+        s["latency"] = std::move(lat);
+        s["cells"] = std::move(cells);
+    }
+    report.write();
+
+    bool failed = false;
+    for (const std::string &policy : policies) {
+        const double bound = errorBound(policy);
+        if (byPolicy[policy].maxAbsHit > bound) {
+            std::cout << "FAIL: " << policy << " max hit-rate error "
+                      << byPolicy[policy].maxAbsHit
+                      << " exceeds its committed bound " << bound
+                      << "\n";
+            failed = true;
+        }
+    }
+    if (failed)
+        return 1;
+    std::cout << "OK: every policy family within its committed "
+                 "bound\n";
+    return 0;
+}

@@ -89,6 +89,29 @@ if [ -n "${MIN_RPS-}" ]; then
     }' "$bench_out"
 fi
 
+if [ -n "${ESTIMATE-}" ]; then
+    echo "== estimate tier fast path"
+    est_out="$workdir/estimate.txt"
+    "$client" --port="$port" --op=run_mix --mix=mix2_01 \
+        --records=10000 --mode=estimate --bench=8 --requests=50 \
+        --pipeline=8 | tee "$est_out"
+    # The warm estimate phase must answer inline on the loop thread:
+    # gate its median at EST_P50_MS milliseconds (default 1 ms).
+    awk -v floor="${EST_P50_MS-1.0}" '/^estimate phase:/ {
+        if ($8 + 0 > floor + 0) {
+            printf "serve smoke: estimate p50 %s ms above %s ms\n", \
+                $8, floor
+            exit 1
+        }
+        found = 1
+    } END {
+        if (!found) {
+            print "serve smoke: no estimate phase in bench output"
+            exit 1
+        }
+    }' "$est_out"
+fi
+
 echo "== graceful shutdown drains"
 "$client" --port="$port" --raw='{"op":"shutdown"}' --compact
 # Bounded shutdown wait: the drain must finish within 30 s.

@@ -5,6 +5,7 @@
 
 #include "common/bitutil.hh"
 #include "mem/shard_mode.hh"
+#include "model/predictor.hh"
 #include "obs/obs_mode.hh"
 #include "sim/policies.hh"
 #include "trace/workloads.hh"
@@ -188,6 +189,31 @@ parseRunParams(const Json &params, Request &out, std::string &err)
         out.noCache = no_cache->asBool();
     }
 
+    const Json *mode = params.find("mode");
+    if (mode != nullptr) {
+        if (!mode->isString() || (mode->asString() != "exact" &&
+                                  mode->asString() != "estimate")) {
+            err = "'mode' must be \"exact\" or \"estimate\"";
+            return false;
+        }
+        out.mode = mode->asString() == "estimate" ? Mode::Estimate
+                                                  : Mode::Exact;
+    }
+    if (out.mode == Mode::Estimate) {
+        if (out.op == Op::RunTrace) {
+            err = "'mode': 'estimate' applies to run_mix only (use "
+                  "run_trace --mode=estimate client-side)";
+            return false;
+        }
+        if (out.telemetry != 0 || out.stream) {
+            err = "'mode': 'estimate' cannot attach telemetry or "
+                  "stream (the model does not simulate)";
+            return false;
+        }
+        if (!model::estimateSupported(out.policy, err))
+            return false;
+    }
+
     // The final geometry must satisfy the constraints Cache's
     // constructor enforces with fatal(); reject here instead.
     return validGeometry(requestHierarchy(out), err);
@@ -261,7 +287,7 @@ knownParamKeys(Op op, const Json &params, std::string &err)
 {
     static const std::vector<std::string> shared = {
         "policy", "records", "llc_kib", "llc_ways", "telemetry",
-        "stream", "no_cache", "slices", "shard_jobs"};
+        "stream", "no_cache", "slices", "shard_jobs", "mode"};
     for (const auto &[key, value] : params.members()) {
         (void)value;
         bool known =
@@ -431,6 +457,14 @@ batchKey(const Request &req, std::uint64_t default_records)
 {
     if (req.op != Op::RunMix || req.telemetry != 0)
         return "";
+    // Estimates never touch an engine, so they gain nothing from
+    // sharing a batch with exact runs; still keyed (separately) so
+    // bursts of estimate traffic drain as one dispatch.
+    if (req.mode == Mode::Estimate) {
+        const std::uint64_t records =
+            req.records != 0 ? req.records : default_records;
+        return "estimate|records=" + std::to_string(records);
+    }
     const std::uint64_t records =
         req.records != 0 ? req.records : default_records;
     return "run_mix|records=" + std::to_string(records);
@@ -441,6 +475,17 @@ cacheKey(const Request &req, std::uint64_t default_records)
 {
     if (req.op != Op::RunMix || req.telemetry != 0 || req.noCache)
         return "";
+    // Key audit — every field that can change the response bytes is
+    // rendered here:
+    //   mix identity, policy spec, measurement window, resolved LLC
+    //   geometry (llc_kib/llc_ways fold into sizeBytes/ways), and
+    //   the execution tier (an estimate must never be served for an
+    //   exact request or vice versa).
+    // Deliberately absent: `slices` and `shard_jobs`.  Both are
+    // execution-shape knobs with bit-identical results at every
+    // value (DESIGN.md "Sliced LLC"; tests/test_serve.cc pins the
+    // sharing and tests/test_sliced.cc the identity), so folding
+    // them in would only fragment the cache.
     const HierarchyConfig hier = requestHierarchy(req);
     std::ostringstream key;
     key << "run_mix|" << req.mix.name;
@@ -449,6 +494,8 @@ cacheKey(const Request &req, std::uint64_t default_records)
     key << "|" << req.policy << "|"
         << (req.records != 0 ? req.records : default_records) << "|"
         << hier.llc.sizeBytes << "/" << hier.llc.ways;
+    if (req.mode == Mode::Estimate)
+        key << "|estimate";
     return key.str();
 }
 

@@ -25,6 +25,14 @@
  * run_trace params: {"traces": ["/path/a.nutrace", ...]} plus the
  *                  same "policy"/"records"/"llc_kib"/"llc_ways".
  *
+ * run_mix additionally accepts "mode": "exact" (default) runs the
+ * simulator; "estimate" answers from the analytical reuse-distance
+ * model (src/model/) — sub-millisecond once the per-workload
+ * profiles are warm, with the response carrying "estimated": true
+ * plus a "model_version" tag.  Estimate mode rejects telemetry /
+ * stream attachments and policy families outside the model (lru,
+ * nru, ucp, pipp and the nucache variants are covered).
+ *
  * Response line:
  *   {"v": "nucache-rpc/v1", "id": 7, "ok": true,  "result": {...}}
  *   {"v": "nucache-rpc/v1", "id": 7, "ok": false,
@@ -86,6 +94,15 @@ inline constexpr const char *kShuttingDown = "shutting_down";
 inline constexpr const char *kInternal = "internal";
 } // namespace error
 
+/** Execution tier of a run_mix request. */
+enum class Mode
+{
+    /** Full simulation (the default; byte-stable results). */
+    Exact,
+    /** Analytical reuse-distance estimate (src/model/). */
+    Estimate,
+};
+
 /** The request verbs of nucache-rpc/v1. */
 enum class Op
 {
@@ -126,6 +143,8 @@ struct Request
     bool stream = false;
     /** Skip the server's result cache for this request. */
     bool noCache = false;
+    /** Execution tier: exact simulation or analytical estimate. */
+    Mode mode = Mode::Exact;
     /**
      * Sliced-LLC execution knobs; 0 = server default.  Both are
      * layout/scheduling choices only: results are bit-identical at

@@ -445,9 +445,18 @@ Server::handleLine(std::uint64_t conn_id, Connection &conn,
     // authoritative, and skipping the queue → dispatcher → wake round
     // trip is what lets pipelined warm traffic scale past the
     // dispatcher's handoff rate.
+    // Estimate-mode requests take the same inline path one step
+    // further: with warm profiles the analytical model itself is
+    // cheap enough to evaluate right here, so the first estimate for
+    // a (mix, policy, geometry) is sub-millisecond too — only a cold
+    // workload profile falls through to the dispatcher.
     if (!stream) {
         std::string payload;
-        if (shard.service.tryCached(req, payload)) {
+        const bool hit =
+            req.mode == Mode::Estimate
+                ? shard.service.tryEstimate(req, payload)
+                : shard.service.tryCached(req, payload);
+        if (hit) {
             queueSlotLine(conn_id, conn.nextSeq++,
                           fastHitLine(req, payload));
             return;

@@ -6,6 +6,8 @@
 #include <shared_mutex>
 
 #include "check/check_mode.hh"
+#include "model/predictor.hh"
+#include "model/profile.hh"
 #include "obs/obs_mode.hh"
 #include "obs/telemetry.hh"
 #include "sim/policies.hh"
@@ -86,6 +88,48 @@ mixResultJson(const MixResult &res, std::uint64_t records,
     c["llc_misses"] = misses;
     c["llc_writebacks"] = res.system.llcWritebacks;
     c["dram_reads"] = res.system.dramReads;
+    c["cores"] = std::move(cores);
+    return c;
+}
+
+/** The estimate-mode run_mix payload (mirrors mixResultJson). */
+Json
+estimateResultJson(const model::MixEstimate &est,
+                   const WorkloadMix &mix, const std::string &policy,
+                   std::uint64_t records, const HierarchyConfig &hier)
+{
+    Json c = Json::object();
+    c["mix"] = mix.name;
+    c["policy"] = policy;
+    c["records_per_core"] = records;
+    c["hierarchy"] = hierarchyJson(hier);
+    c["estimated"] = true;
+    c["model_version"] = model::kModelVersion;
+    c["weighted_speedup"] = est.weightedSpeedup;
+    c["hmean_speedup"] = est.hmeanSpeedup;
+    c["antt"] = est.antt;
+    c["fairness"] = est.fairness;
+    double accesses = 0.0, misses = 0.0;
+    Json cores = Json::array();
+    for (const model::CoreEstimate &core : est.cores) {
+        Json cj = Json::object();
+        cj["workload"] = core.workload;
+        cj["ipc"] = core.ipc;
+        cj["ipc_alone"] = core.ipcAlone;
+        cj["llc_accesses"] =
+            static_cast<std::uint64_t>(core.llcAccesses + 0.5);
+        cj["llc_misses"] =
+            static_cast<std::uint64_t>(core.llcMisses + 0.5);
+        cj["llc_hit_rate"] = core.hitRate;
+        if (core.deliHitRate > 0.0)
+            cj["deli_hit_rate"] = core.deliHitRate;
+        accesses += core.llcAccesses;
+        misses += core.llcMisses;
+        cores.push(std::move(cj));
+    }
+    c["llc_accesses"] = static_cast<std::uint64_t>(accesses + 0.5);
+    c["llc_misses"] = static_cast<std::uint64_t>(misses + 0.5);
+    c["llc_hit_rate"] = est.llcHitRate;
     c["cores"] = std::move(cores);
     return c;
 }
@@ -192,6 +236,54 @@ SimulationService::runMixResult(RunEngine &engine, const Request &req)
 }
 
 Json
+SimulationService::estimateResult(const Request &req,
+                                  bool build_profiles)
+{
+    const std::uint64_t records =
+        req.records != 0 ? req.records : cfg.defaultRecords;
+    std::vector<model::ProfilePtr> profiles;
+    profiles.reserve(req.mix.workloads.size());
+    auto &store = model::ProfileStore::instance();
+    for (const std::string &w : req.mix.workloads) {
+        model::ProfilePtr p = build_profiles
+                                  ? store.get(w, records)
+                                  : store.peek(w, records);
+        if (p == nullptr)
+            return Json();
+        profiles.push_back(std::move(p));
+    }
+    const HierarchyConfig hier = requestHierarchy(req);
+    const model::MixEstimate est =
+        model::estimateMix(profiles, hier, req.policy);
+    return estimateResultJson(est, req.mix, req.policy, records,
+                              hier);
+}
+
+bool
+SimulationService::tryEstimate(const Request &req,
+                               std::string &result_payload)
+{
+    if (req.op != Op::RunMix || req.mode != Mode::Estimate)
+        return false;
+    if (tryCached(req, result_payload))
+        return true;
+    const Clock::time_point start = Clock::now();
+    Json result = estimateResult(req, /*build_profiles=*/false);
+    if (result.isNull())
+        return false;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        ++stats.runMix;
+        ++stats.estimates;
+        ++stats.estimatesInline;
+    }
+    cacheStore(cacheKey(req, cfg.defaultRecords), result);
+    attachServerInfo(result, false, 1, msSince(start));
+    result_payload = result.str(0);
+    return true;
+}
+
+Json
 SimulationService::runTraceResult(const Request &req, std::string &err)
 {
     std::vector<TraceSourcePtr> traces;
@@ -274,6 +366,35 @@ SimulationService::executeBatch(const std::vector<Request> &batch,
     std::vector<std::size_t> pooled;
     for (std::size_t i = 0; i < batch.size(); ++i) {
         const Request &req = batch[i];
+        if (req.op == Op::RunMix && req.telemetry == 0 &&
+            req.mode == Mode::Estimate) {
+            // Estimate tier: answer from the result cache, else
+            // evaluate the analytical model (building any cold
+            // workload profiles — Systems, hence the shared gate).
+            const Clock::time_point start = Clock::now();
+            {
+                std::lock_guard<std::mutex> lock(mtx);
+                ++stats.runMix;
+                ++stats.estimates;
+            }
+            Json result;
+            if (cacheLookup(cacheKey(req, cfg.defaultRecords),
+                            result)) {
+                attachServerInfo(result, true, batch.size(), 0.0);
+                emit(i, okResponse(req, std::move(result)));
+                continue;
+            }
+            {
+                std::shared_lock<std::shared_mutex> gate(
+                    gTelemetryGate);
+                result = estimateResult(req, /*build_profiles=*/true);
+            }
+            cacheStore(cacheKey(req, cfg.defaultRecords), result);
+            attachServerInfo(result, false, batch.size(),
+                             msSince(start));
+            emit(i, okResponse(req, std::move(result)));
+            continue;
+        }
         if (req.op == Op::RunMix && req.telemetry == 0) {
             pooled.push_back(i);
             continue;
@@ -461,6 +582,9 @@ SimulationService::statsJson() const
     s["batched_cells"] = stats.batchedCells;
     s["max_batch"] = stats.maxBatch;
     s["telemetry_runs"] = stats.telemetryRuns;
+    s["estimates"] = stats.estimates;
+    s["estimates_inline"] = stats.estimatesInline;
+    s["profiles_built"] = model::ProfileStore::instance().built();
     s["streamed_runs"] = stats.streamedRuns;
     s["stream_frames"] = stats.streamFrames;
     s["engines"] = std::uint64_t{engines.size()};

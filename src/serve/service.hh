@@ -106,6 +106,19 @@ class SimulationService
      */
     bool tryCached(const Request &req, std::string &result_payload);
 
+    /**
+     * Inline fast path for estimate-mode requests: answers from the
+     * result cache when the estimate is already cached, else — when
+     * every workload profile the request needs is warm in the
+     * process-wide ProfileStore — evaluates the analytical model
+     * right here (pure arithmetic, tens of microseconds) and caches
+     * the response.  Returns false without blocking when a profile
+     * is cold; the dispatcher path then builds it.  Safe on the
+     * event-loop thread: never builds a System, never takes the
+     * telemetry gate.
+     */
+    bool tryEstimate(const Request &req, std::string &result_payload);
+
     /** @return service counters as a JSON object (for op "stats"). */
     Json statsJson() const;
 
@@ -121,6 +134,14 @@ class SimulationService
 
     /** Execute one run_trace request on the calling thread. */
     Json runTraceResult(const Request &req, std::string &err);
+
+    /**
+     * Evaluate one estimate-mode run_mix.  @p build_profiles selects
+     * the blocking path (dispatcher: cold profiles are collected,
+     * one pass per workload) or the non-blocking one (event loop:
+     * returns an empty Json when any profile is cold).
+     */
+    Json estimateResult(const Request &req, bool build_profiles);
 
     /** Append the "server" block (cache/batch/reuse hints). */
     void attachServerInfo(Json &result, bool cached,
@@ -172,6 +193,8 @@ class SimulationService
         std::uint64_t batchedCells = 0;
         std::uint64_t maxBatch = 0;
         std::uint64_t telemetryRuns = 0;
+        std::uint64_t estimates = 0;
+        std::uint64_t estimatesInline = 0;
         std::uint64_t streamedRuns = 0;
         std::uint64_t streamFrames = 0;
         std::uint64_t enginesBuilt = 0;

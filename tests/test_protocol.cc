@@ -187,6 +187,45 @@ TEST(Protocol, RejectsBadSlicedExecutionKnobs)
                R"("llc_kib":64,"slices":128}})");
 }
 
+TEST(Protocol, ParsesEstimateMode)
+{
+    const Request dflt = mustParse(
+        R"({"op":"run_mix","params":{"mix":"mix2_01"}})");
+    EXPECT_EQ(dflt.mode, serve::Mode::Exact);
+
+    const Request exact = mustParse(
+        R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+        R"("mode":"exact"}})");
+    EXPECT_EQ(exact.mode, serve::Mode::Exact);
+
+    const Request est = mustParse(
+        R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+        R"("mode":"estimate","policy":"ucp"}})");
+    EXPECT_EQ(est.mode, serve::Mode::Estimate);
+    EXPECT_EQ(est.policy, "ucp");
+}
+
+TEST(Protocol, RejectsUnsupportableEstimates)
+{
+    mustReject(R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+               R"("mode":"guess"}})");
+    // The model cannot attach observers or stream frames.
+    mustReject(R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+               R"("mode":"estimate","telemetry":1000}})");
+    mustReject(R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+               R"("mode":"estimate","telemetry":1000,)"
+               R"("stream":true}})");
+    // Policy families outside the model are a parse-time error, not
+    // a wrong answer.
+    const std::string err =
+        mustReject(R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+                   R"("mode":"estimate","policy":"ship"}})");
+    EXPECT_NE(err.find("estimate"), std::string::npos) << err;
+    // Server-side estimates apply to run_mix only.
+    mustReject(R"({"op":"run_trace","params":{"traces":["/x"],)"
+               R"("mode":"estimate"}})");
+}
+
 TEST(Protocol, BatchKeyGroupsCompatibleRequests)
 {
     const Request a = mustParse(
@@ -242,6 +281,62 @@ TEST(Protocol, CacheKeyIsCanonicalAndOptOutable)
 
     const Request health = mustParse(R"({"op":"health"})");
     EXPECT_TRUE(serve::cacheKey(health, 250'000).empty());
+}
+
+TEST(Protocol, CacheKeyAuditsEveryResultAffectingField)
+{
+    const Request base = mustParse(
+        R"({"op":"run_mix","params":{"mix":"mix2_01"}})");
+    const std::string key = serve::cacheKey(base, 250'000);
+
+    // `slices` and `shard_jobs` are execution-shape knobs with
+    // bit-identical results (tests/test_sliced.cc), so requests
+    // differing only there must SHARE a cache entry — keying them
+    // would fragment the cache for no correctness gain.
+    const Request shaped = mustParse(
+        R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+        R"("slices":4,"shard_jobs":2}})");
+    EXPECT_EQ(serve::cacheKey(shaped, 250'000), key);
+
+    // Everything that changes the response bytes must change the key:
+    // geometry, window, policy, mix, and the execution tier.
+    const Request geometry = mustParse(
+        R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+        R"("llc_kib":512,"llc_ways":8}})");
+    EXPECT_NE(serve::cacheKey(geometry, 250'000), key);
+
+    const Request window = mustParse(
+        R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+        R"("records":10000}})");
+    EXPECT_NE(serve::cacheKey(window, 250'000), key);
+
+    const Request estimate = mustParse(
+        R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+        R"("mode":"estimate"}})");
+    EXPECT_NE(serve::cacheKey(estimate, 250'000), key);
+    // ... and an estimate at different geometry is again distinct.
+    const Request estGeom = mustParse(
+        R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+        R"("mode":"estimate","llc_kib":512}})");
+    EXPECT_NE(serve::cacheKey(estGeom, 250'000),
+              serve::cacheKey(estimate, 250'000));
+
+    // An explicit exact mode is byte-identical to the default tier.
+    const Request exact = mustParse(
+        R"({"op":"run_mix","params":{"mix":"mix2_01",)"
+        R"("mode":"exact"}})");
+    EXPECT_EQ(serve::cacheKey(exact, 250'000), key);
+
+    // Estimates batch separately from exact runs (they never touch
+    // an engine) but still batch with each other.
+    const Request estimate2 = mustParse(
+        R"({"op":"run_mix","params":{"mix":"mix4_01",)"
+        R"("mode":"estimate"}})");
+    EXPECT_FALSE(serve::batchKey(estimate, 250'000).empty());
+    EXPECT_EQ(serve::batchKey(estimate, 250'000),
+              serve::batchKey(estimate2, 250'000));
+    EXPECT_NE(serve::batchKey(estimate, 250'000),
+              serve::batchKey(base, 250'000));
 }
 
 TEST(Protocol, ResponseEnvelopesRoundTrip)

@@ -18,6 +18,7 @@
 
 #include "common/json.hh"
 #include "common/net.hh"
+#include "model/profile.hh"
 #include "serve/server.hh"
 
 namespace nucache
@@ -467,6 +468,84 @@ TEST_F(ServeTest, ShardedServerServesDistinctWindows)
 
     const Json stats = client.call(R"({"op":"stats"})");
     EXPECT_EQ(stats.at("result").at("serve_shards").asUint(), 2u);
+}
+
+TEST_F(ServeTest, EstimateModeAnswersFromTheModel)
+{
+    // Cold-start the profile store so the first estimate provably
+    // takes the worker (profile-building) path.
+    model::ProfileStore::instance().clear();
+    startServer(baseConfig());
+    TestClient client(server->port());
+
+    // Cold estimate: the profiles are not built yet, so the request
+    // takes the worker path (which builds them), but still answers
+    // from the model, tagged as such.
+    const char *estimate =
+        R"({"op":"run_mix","id":1,"params":{"mix":"mix2_01",)"
+        R"("mode":"estimate"}})";
+    const Json first = client.call(estimate);
+    ASSERT_TRUE(first.at("ok").asBool()) << first.str(0);
+    const Json &result = first.at("result");
+    EXPECT_TRUE(result.at("estimated").asBool());
+    EXPECT_EQ(result.at("model_version").asString(),
+              "nucache-estimate/v1");
+    EXPECT_GT(result.at("weighted_speedup").asDouble(), 0.0);
+    EXPECT_FALSE(result.at("server").at("cached").asBool());
+
+    // Identical request: served from the result cache.
+    const Json second = client.call(estimate);
+    EXPECT_TRUE(second.at("result").at("server").at("cached").asBool());
+    EXPECT_EQ(second.at("result").at("weighted_speedup").str(0),
+              result.at("weighted_speedup").str(0));
+
+    // Warm profiles + cache opt-out: answered inline on the loop
+    // thread (the sub-millisecond fast path), counted as such.
+    const char *uncached =
+        R"({"op":"run_mix","id":2,"params":{"mix":"mix2_01",)"
+        R"("mode":"estimate","no_cache":true}})";
+    const Json third = client.call(uncached);
+    ASSERT_TRUE(third.at("ok").asBool()) << third.str(0);
+    EXPECT_TRUE(third.at("result").at("estimated").asBool());
+    // Estimates are deterministic: the inline answer is numerically
+    // identical to the worker-path answer.
+    EXPECT_EQ(third.at("result").at("weighted_speedup").str(0),
+              result.at("weighted_speedup").str(0));
+
+    const Json stats = client.call(R"({"op":"stats"})");
+    const Json &svc = stats.at("result").at("service");
+    EXPECT_EQ(svc.at("estimates").asUint(), 2u);
+    EXPECT_EQ(svc.at("estimates_inline").asUint(), 1u);
+}
+
+TEST_F(ServeTest, EstimateAndExactResultsAreCachedSeparately)
+{
+    startServer(baseConfig());
+    TestClient client(server->port());
+
+    const char *exact =
+        R"({"op":"run_mix","id":1,"params":{"mix":"mix2_01"}})";
+    const Json sim = client.call(exact);
+    ASSERT_TRUE(sim.at("ok").asBool()) << sim.str(0);
+    EXPECT_EQ(sim.at("result").find("estimated"), nullptr);
+
+    // The estimate for the same (mix, policy, window, geometry) must
+    // not be served from the exact run's cache entry — the tier is
+    // part of the key.
+    const char *estimate =
+        R"({"op":"run_mix","id":2,"params":{"mix":"mix2_01",)"
+        R"("mode":"estimate"}})";
+    const Json est = client.call(estimate);
+    ASSERT_TRUE(est.at("ok").asBool()) << est.str(0);
+    EXPECT_FALSE(est.at("result").at("server").at("cached").asBool());
+    EXPECT_TRUE(est.at("result").at("estimated").asBool());
+
+    // And the exact rerun still returns the simulation payload.
+    const Json again = client.call(exact);
+    EXPECT_TRUE(again.at("result").at("server").at("cached").asBool());
+    EXPECT_EQ(again.at("result").find("estimated"), nullptr);
+    EXPECT_EQ(again.at("result").at("weighted_speedup").str(0),
+              sim.at("result").at("weighted_speedup").str(0));
 }
 
 TEST_F(ServeTest, NewRunsRejectedWhileShuttingDown)

@@ -35,6 +35,14 @@
  *
  * --slices=S / --shard-jobs=J forward the sliced-LLC execution knobs
  * as request params (results are bit-identical at any value).
+ *
+ * --mode=exact|estimate forwards the run_mix execution tier.  With
+ * --bench, --mode=estimate appends an *estimate phase* after the
+ * exact measured phase: one unmeasured priming request builds the
+ * server's workload profiles, then the same connection fleet drives
+ * estimate-path requests so estimate req/s and percentiles print
+ * next to the exact-path numbers (and land in the JSON document as
+ * the "estimate" phase).
  */
 
 #include <unistd.h>
@@ -86,9 +94,15 @@ splitList(const std::string &csv)
     return out;
 }
 
-/** Build the request line from the command-line flags. */
+/**
+ * Build the request line from the command-line flags.
+ * @param mode_override when non-null, forces the run_mix "mode"
+ * param (the bench harness builds exact and estimate variants of
+ * one flag set); null forwards --mode as given.
+ */
 std::string
-buildRequest(const CliArgs &args, std::uint64_t id)
+buildRequest(const CliArgs &args, std::uint64_t id,
+             const char *mode_override = nullptr)
 {
     const std::string raw = args.get("raw", "");
     if (!raw.empty())
@@ -135,6 +149,10 @@ buildRequest(const CliArgs &args, std::uint64_t id)
         params["stream"] = true;
     if (args.has("no-cache"))
         params["no_cache"] = true;
+    if (mode_override != nullptr)
+        params["mode"] = std::string(mode_override);
+    else if (args.has("mode"))
+        params["mode"] = args.get("mode", "exact");
     if (args.has("slices"))
         params["slices"] = args.getInt("slices", 0);
     if (args.has("shard-jobs"))
@@ -350,9 +368,9 @@ struct BenchWorker
     bool dropped = false;
 
     void
-    run(const CliArgs &args, const std::string &host,
-        std::uint16_t port, unsigned conn_index, unsigned per_conn,
-        unsigned pipeline, double interval_s, Clock::time_point epoch)
+    run(const std::string &line, const std::string &host,
+        std::uint16_t port, unsigned per_conn, unsigned pipeline,
+        double interval_s, Clock::time_point epoch)
     {
         ClientConn conn;
         std::string err;
@@ -366,11 +384,10 @@ struct BenchWorker
         std::deque<Clock::time_point> sendTimes;
         bool writeFailed = false;
 
-        // One request line per connection, built once: responses are
-        // matched to requests by order (the server's in-order
-        // contract), so per-request ids buy nothing in the hot loop.
-        const std::string line =
-            buildRequest(args, std::uint64_t{conn_index} + 2);
+        // One request line per phase, built once by the caller:
+        // responses are matched to requests by order (the server's
+        // in-order contract), so per-request ids buy nothing in the
+        // hot loop.
 
         std::thread writer([&] {
             for (unsigned r = 0; r < per_conn; ++r) {
@@ -444,6 +461,70 @@ struct BenchWorker
     }
 };
 
+/** Aggregated outcome of one measured bench phase. */
+struct PhaseResult
+{
+    std::vector<double> lats; // sorted ascending
+    std::uint64_t ok = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t dropped = 0;
+    double wallS = 0.0;
+
+    double
+    rps() const
+    {
+        return wallS > 0.0
+                   ? static_cast<double>(lats.size()) / wallS
+                   : 0.0;
+    }
+};
+
+/**
+ * Drive one measured phase: @p conns connections each send
+ * @p per_conn copies of @p line (closed-loop with @p pipeline in
+ * flight, or open-loop when @p interval_s > 0).
+ */
+PhaseResult
+runMeasuredPhase(const std::string &line, const std::string &host,
+                 std::uint16_t port, unsigned conns,
+                 unsigned per_conn, unsigned pipeline,
+                 double interval_s)
+{
+    std::vector<BenchWorker> results(conns);
+    std::vector<std::thread> workers;
+    const Clock::time_point start = Clock::now();
+    for (unsigned c = 0; c < conns; ++c) {
+        workers.emplace_back([&, c] {
+            // Open-loop connections are phase-staggered across one
+            // send period so the aggregate arrival stream is smooth,
+            // not a burst of `conns` requests every interval.
+            const Clock::time_point epoch =
+                start +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        interval_s * static_cast<double>(c) /
+                        static_cast<double>(conns)));
+            results[c].run(line, host, port, per_conn, pipeline,
+                           interval_s, epoch);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    PhaseResult out;
+    out.wallS =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    for (const BenchWorker &res : results) {
+        out.lats.insert(out.lats.end(), res.latencies.begin(),
+                        res.latencies.end());
+        out.ok += res.ok;
+        out.errors += res.errors;
+        out.dropped += res.dropped ? 1 : 0;
+    }
+    std::sort(out.lats.begin(), out.lats.end());
+    return out;
+}
+
 /** The --bench load mode. @return the process exit code. */
 int
 runBench(const CliArgs &args, const std::string &host,
@@ -465,11 +546,18 @@ runBench(const CliArgs &args, const std::string &host,
     const double interval_s =
         rate > 0.0 ? static_cast<double>(conns) / rate : 0.0;
 
+    // With --mode=estimate the cold/warm phases stay on the exact
+    // path (that is the baseline the estimate numbers sit next to);
+    // the estimate tier gets its own phase below.
+    const bool estimate_phase =
+        args.get("mode", "exact") == "estimate";
+
     // Cold phase: one priming request on its own connection.  Its
     // latency is the uncached cost, and it warms the server's arena
     // buffers, run-alone IPC cache and result cache for the measured
     // phase.
-    const std::string request = buildRequest(args, 1);
+    const std::string request =
+        buildRequest(args, 1, estimate_phase ? "exact" : nullptr);
     std::vector<double> cold_lats;
     {
         ClientConn conn;
@@ -484,41 +572,35 @@ runBench(const CliArgs &args, const std::string &host,
     }
     const double cold_ms = cold_lats.empty() ? 0.0 : cold_lats.front();
 
-    std::vector<BenchWorker> results(conns);
-    std::vector<std::thread> workers;
-    const Clock::time_point bench_start = Clock::now();
-    for (unsigned c = 0; c < conns; ++c) {
-        workers.emplace_back([&, c] {
-            // Open-loop connections are phase-staggered across one
-            // send period so the aggregate arrival stream is smooth,
-            // not a burst of `conns` requests every interval.
-            const Clock::time_point epoch =
-                bench_start +
-                std::chrono::duration_cast<Clock::duration>(
-                    std::chrono::duration<double>(
-                        interval_s * static_cast<double>(c) /
-                        static_cast<double>(conns)));
-            results[c].run(args, host, port, c, per_conn, pipeline,
-                           interval_s, epoch);
-        });
-    }
-    for (auto &w : workers)
-        w.join();
-    const double wall_s =
-        std::chrono::duration<double>(Clock::now() - bench_start)
-            .count();
-
-    std::vector<double> lats;
-    std::uint64_t ok = 0, errors = 0, dropped = 0;
-    for (const BenchWorker &res : results) {
-        lats.insert(lats.end(), res.latencies.begin(),
-                    res.latencies.end());
-        ok += res.ok;
-        errors += res.errors;
-        dropped += res.dropped ? 1 : 0;
-    }
-    std::sort(lats.begin(), lats.end());
+    const PhaseResult warm = runMeasuredPhase(
+        request, host, port, conns, per_conn, pipeline, interval_s);
+    const std::vector<double> &lats = warm.lats;
+    const std::uint64_t ok = warm.ok;
+    const std::uint64_t errors = warm.errors;
+    const std::uint64_t dropped = warm.dropped;
+    const double wall_s = warm.wallS;
     std::sort(cold_lats.begin(), cold_lats.end());
+
+    // Estimate phase: one unmeasured priming request builds the
+    // per-workload profiles (and caches the estimate), then the same
+    // fleet drives the estimate fast path.
+    std::vector<double> est_cold_lats;
+    PhaseResult est;
+    if (estimate_phase) {
+        const std::string est_request =
+            buildRequest(args, 1, "estimate");
+        ClientConn conn;
+        std::string err, response;
+        if (!conn.open(host, port, err))
+            fatal("bench: ", err);
+        const Clock::time_point t0 = Clock::now();
+        if (!conn.roundTrip(est_request, response) ||
+            !responseOk(response))
+            fatal("bench: estimate priming request failed");
+        est_cold_lats.push_back(msSince(t0));
+        est = runMeasuredPhase(est_request, host, port, conns,
+                               per_conn, pipeline, interval_s);
+    }
 
     if (interval_s > 0.0) {
         std::printf("bench: open loop, %u connections, %.0f req/s "
@@ -546,6 +628,19 @@ runBench(const CliArgs &args, const std::string &host,
     }
     printPhase("cold", cold_lats);
     printPhase("warm", lats);
+    if (estimate_phase) {
+        std::printf("estimate requests: %llu ok, %llu errors, %llu "
+                    "dropped connections, wall %.2f s\n",
+                    static_cast<unsigned long long>(est.ok),
+                    static_cast<unsigned long long>(est.errors),
+                    static_cast<unsigned long long>(est.dropped),
+                    est.wallS);
+        if (!est.lats.empty() && est.wallS > 0.0)
+            std::printf("estimate throughput: %.1f req/s\n",
+                        est.rps());
+        printPhase("estimate_cold", est_cold_lats);
+        printPhase("estimate", est.lats);
+    }
 
     const std::string json_path = args.get("json", "");
     if (!json_path.empty()) {
@@ -569,6 +664,13 @@ runBench(const CliArgs &args, const std::string &host,
         Json phases = Json::object();
         phases["cold"] = phaseJson(cold_lats);
         phases["warm"] = phaseJson(lats);
+        if (estimate_phase) {
+            phases["estimate_cold"] = phaseJson(est_cold_lats);
+            phases["estimate"] = phaseJson(est.lats);
+            doc["estimate_ok"] = est.ok;
+            doc["estimate_errors"] = est.errors;
+            doc["estimate_throughput_rps"] = est.rps();
+        }
         doc["phases"] = std::move(phases);
         std::ofstream os(json_path);
         if (!os)
@@ -578,7 +680,10 @@ runBench(const CliArgs &args, const std::string &host,
         std::fprintf(stderr, "wrote bench JSON to %s\n",
                      json_path.c_str());
     }
-    return errors == 0 && dropped == 0 ? 0 : 1;
+    return errors == 0 && dropped == 0 && est.errors == 0 &&
+                   est.dropped == 0
+               ? 0
+               : 1;
 }
 
 } // anonymous namespace

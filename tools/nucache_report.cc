@@ -103,6 +103,50 @@ require(bool ok, const std::string &why, std::vector<std::string> &errs)
     return ok;
 }
 
+/**
+ * Validate an estimate_tier calibration section: every policy row
+ * must carry its committed error bound and a measured error at or
+ * under it, and the latency block must be present.  This is the
+ * nightly gate that keeps the committed BENCH_throughput.json honest
+ * — a sweep whose errors burst their bounds fails --check even if
+ * the producing bench was not re-run.
+ */
+void
+checkEstimateTier(const Json &s, const std::string &where,
+                  std::vector<std::string> &errs)
+{
+    const Json *pols = s.find("policies");
+    if (!require(pols != nullptr && pols->isArray(),
+                 where + " lacks a policies array", errs))
+        return;
+    for (std::size_t i = 0; i < pols->size(); ++i) {
+        const Json &p = pols->at(i);
+        const std::string pwhere =
+            where + " policy " + std::to_string(i);
+        if (!require(p.isObject(), pwhere + " is not an object", errs))
+            continue;
+        const Json *bound = p.find("error_bound_abs_hit_rate");
+        const Json *err = p.find("max_abs_hit_rate_error");
+        if (!require(bound != nullptr && bound->isNumber(),
+                     pwhere + " lacks its committed error bound",
+                     errs) ||
+            !require(err != nullptr && err->isNumber(),
+                     pwhere + " lacks a measured max error", errs)) {
+            continue;
+        }
+        require(err->asDouble() <= bound->asDouble(),
+                pwhere + " error " +
+                    std::to_string(err->asDouble()) +
+                    " exceeds its bound " +
+                    std::to_string(bound->asDouble()),
+                errs);
+    }
+    const Json *lat = s.find("latency");
+    require(lat != nullptr && lat->isObject() &&
+                lat->find("p50_us") != nullptr,
+            where + " lacks a latency block with p50_us", errs);
+}
+
 void
 checkBench(const Json &doc, std::vector<std::string> &errs)
 {
@@ -122,6 +166,10 @@ checkBench(const Json &doc, std::vector<std::string> &errs)
         const Json *kind = s.find("kind");
         require(kind != nullptr && kind->isString(),
                 where + " lacks a string kind", errs);
+        if (kind != nullptr && kind->isString() &&
+            kind->asString() == "estimate_tier") {
+            checkEstimateTier(s, where, errs);
+        }
     }
 }
 
@@ -277,6 +325,26 @@ summarizeBench(const Json &doc)
                     .cell(c.at("hit_rate").asDouble());
             }
             t.print(std::cout);
+        } else if (kind == "estimate_tier" &&
+                   s.find("policies") != nullptr) {
+            TextTable t;
+            t.header({"policy", "max|dhit|", "mean|dhit|", "bound"});
+            for (const Json &p : s.at("policies").elements()) {
+                t.row()
+                    .cell(p.at("policy").asString())
+                    .cell(p.at("max_abs_hit_rate_error").asDouble())
+                    .cell(p.at("mean_abs_hit_rate_error").asDouble())
+                    .cell(
+                        p.at("error_bound_abs_hit_rate").asDouble());
+            }
+            t.print(std::cout);
+            if (const Json *lat = s.find("latency")) {
+                std::cout << "model eval latency us: p50 "
+                          << lat->at("p50_us").asDouble() << ", p90 "
+                          << lat->at("p90_us").asDouble() << ", max "
+                          << lat->at("max_us").asDouble() << " over "
+                          << lat->at("evals").asUint() << " evals\n";
+            }
         } else if (kind == "lookups_per_sec") {
             std::cout << "lookups/sec: "
                       << static_cast<std::uint64_t>(

@@ -10,6 +10,7 @@
  *             [--llc-ways=16] [--check] [--json=FILE]
  *             [--telemetry[=N]] [--trace-out=FILE]
  *             [--slices=S] [--slice-hash=mod|xor] [--shard-jobs=J]
+ *             [--mode=exact|estimate]
  *             a.nutrace [b.nutrace ...]
  *
  * One trace per core; the LLC defaults to the canonical configuration
@@ -17,6 +18,14 @@
  * observability probes every N LLC accesses and writes the
  * `nucache-telemetry/v1` document next to --json (or telemetry.json);
  * --trace-out captures a Chrome trace_event timeline of the run.
+ *
+ * --mode=estimate skips the multicore simulation: each trace gets one
+ * single-core profiling pass (src/model/), then the analytical
+ * reuse-distance model predicts per-core IPC and LLC miss rates for
+ * the requested geometry and policy.  The report and the JSON
+ * document carry "estimated": true plus the model version;
+ * --telemetry / --check / --trace-out do not apply (the model does
+ * not simulate the mix).
  */
 
 #include <fstream>
@@ -28,6 +37,8 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "mem/shard_mode.hh"
+#include "model/predictor.hh"
+#include "model/profile.hh"
 #include "obs/obs_mode.hh"
 #include "obs/telemetry.hh"
 #include "obs/tracer.hh"
@@ -80,6 +91,82 @@ main(int argc, char **argv)
             static_cast<std::uint32_t>(
                 args.getInt("llc-ways", hier.llc.ways)),
             64};
+    }
+
+    const std::string mode = args.get("mode", "exact");
+    if (mode != "exact" && mode != "estimate")
+        fatal("--mode must be 'exact' or 'estimate', got '", mode,
+              "'");
+    if (mode == "estimate") {
+        std::string err;
+        if (!model::estimateSupported(policy, err))
+            fatal("--mode=estimate: ", err);
+        if (args.has("telemetry") || args.has("check") ||
+            args.has("trace-out"))
+            fatal("--mode=estimate does not simulate: --telemetry, "
+                  "--check and --trace-out do not apply");
+
+        std::vector<model::ProfilePtr> profiles;
+        for (std::size_t c = 0; c < traces.size(); ++c) {
+            profiles.push_back(model::collectProfileFromTrace(
+                args.positional()[c], std::move(traces[c]), records));
+        }
+        const model::MixEstimate est =
+            model::estimateMix(profiles, hier, policy);
+
+        std::cout << cores << " core(s), LLC "
+                  << (hier.llc.sizeBytes >> 10) << " KiB "
+                  << hier.llc.ways << "-way, policy " << policy
+                  << ", " << records
+                  << " records/core (estimated, " << model::kModelVersion
+                  << ")\n\n";
+        TextTable table;
+        table.header({"core", "trace", "est IPC", "est LLC miss"});
+        for (std::size_t c = 0; c < est.cores.size(); ++c) {
+            table.row()
+                .cell(std::uint64_t{c})
+                .cell(profiles[c]->workload)
+                .cell(est.cores[c].ipc)
+                .cell(est.cores[c].missRate);
+        }
+        table.print(std::cout);
+        std::cout << "\nestimated mix LLC hit rate: " << est.llcHitRate
+                  << ", weighted speedup: " << est.weightedSpeedup
+                  << "\n";
+
+        const std::string json_path = args.get("json", "");
+        if (!json_path.empty()) {
+            Json doc = Json::object();
+            doc["schema"] = "nucache-run/v1";
+            doc["estimated"] = true;
+            doc["model_version"] = model::kModelVersion;
+            doc["policy"] = policy;
+            doc["records_per_core"] = records;
+            doc["cores"] = static_cast<std::uint64_t>(cores);
+            Json stats = Json::array();
+            for (std::size_t c = 0; c < est.cores.size(); ++c) {
+                Json core = Json::object();
+                core["trace"] = profiles[c]->workload;
+                core["ipc"] = est.cores[c].ipc;
+                core["llc_hit_rate"] = est.cores[c].hitRate;
+                core["llc_miss_rate"] = est.cores[c].missRate;
+                if (est.cores[c].deliHitRate > 0.0)
+                    core["deli_hit_rate"] = est.cores[c].deliHitRate;
+                stats.push(std::move(core));
+            }
+            doc["stats"] = std::move(stats);
+            doc["llc_hit_rate"] = est.llcHitRate;
+            doc["weighted_speedup"] = est.weightedSpeedup;
+            std::ofstream os(json_path);
+            if (!os)
+                fatal("cannot write JSON results to '", json_path,
+                      "'");
+            doc.dump(os);
+            os << "\n";
+            std::fprintf(stderr, "wrote JSON results to %s\n",
+                         json_path.c_str());
+        }
+        return 0;
     }
 
     if (args.has("check"))
