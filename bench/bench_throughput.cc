@@ -16,15 +16,24 @@
  * and ignored: cells are timed serially so they never contend.
  */
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "bench_common.hh"
+#include "common/net.hh"
 #include "common/rng.hh"
 #include "core/pc_selection.hh"
 #include "mem/cache.hh"
+#include "obs/metrics.hh"
+#include "serve/server.hh"
 #include "sim/system.hh"
 #include "trace/workloads.hh"
 
@@ -248,6 +257,67 @@ runScalingCell(std::uint64_t records, std::uint32_t slices,
     return res;
 }
 
+/**
+ * One closed-loop pipelined loopback trial against an in-process
+ * nucached: @p conns connections blast @p per_conn copies of @p line
+ * (a result-cache hit, answered inline on the event loop) and read
+ * every response.  @return aggregate requests/second.
+ */
+double
+serveLoopbackRps(std::uint16_t port, unsigned conns,
+                 unsigned per_conn, const std::string &line)
+{
+    std::string framed = line;
+    framed += '\n';
+    std::vector<std::thread> workers;
+    std::atomic<std::uint64_t> served{0};
+    const auto start = std::chrono::steady_clock::now();
+    for (unsigned c = 0; c < conns; ++c) {
+        workers.emplace_back([&] {
+            std::string err;
+            const int fd = net::connectTcp("127.0.0.1", port, err);
+            if (fd < 0)
+                fatal("serve_loopback: ", err);
+            net::LineReader reader(fd);
+            // Writer pipelines every request; the kernel's socket
+            // buffers throttle it while this thread drains responses.
+            std::thread writer([&framed, fd, per_conn] {
+                for (unsigned r = 0; r < per_conn; ++r) {
+                    if (!net::writeAll(fd, framed.data(),
+                                       framed.size()))
+                        return;
+                }
+            });
+            std::string response;
+            std::uint64_t got = 0;
+            for (unsigned r = 0; r < per_conn; ++r) {
+                if (!reader.readLine(response))
+                    break;
+                ++got;
+            }
+            writer.join();
+            ::close(fd);
+            served.fetch_add(got);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    if (served.load() != std::uint64_t{conns} * per_conn)
+        fatal("serve_loopback: dropped responses");
+    return secs > 0.0 ? static_cast<double>(served.load()) / secs
+                      : 0.0;
+}
+
+double
+median(std::vector<double> v)
+{
+    std::sort(v.begin(), v.end());
+    return v.empty() ? 0.0 : v[v.size() / 2];
+}
+
 } // anonymous namespace
 
 int
@@ -364,6 +434,95 @@ main(int argc, char **argv)
               << "4 workers) " << shard.seconds << " s: " << speedup
               << "x on " << hw_threads
               << " hardware threads (stats identical)\n";
+
+    // Serve-loopback A/B: prove the always-on server observability
+    // plane (per-request tracing + histograms) costs nothing beyond
+    // noise on the hottest path, the inline result-cache hit.  Trials
+    // alternate metrics off/on so drift (thermal, page cache, noisy
+    // neighbours) hits both arms equally; the gate compares medians.
+    Json &serveSec = report.section("serve_loopback", "serve_ab");
+    {
+        serve::ServerConfig scfg;
+        scfg.port = 0;
+        scfg.shards = 2;
+        scfg.service.jobs = 1;
+        scfg.service.defaultRecords = 2'000;
+        serve::Server server(scfg);
+        std::string err;
+        if (!server.start(err))
+            fatal("serve_loopback: ", err);
+
+        const std::string hit_line =
+            R"({"op":"run_mix","params":{"mix":"mix2_01"}})";
+        const unsigned conns = 2;
+        const unsigned per_conn = args.has("quick") ? 2'000 : 5'000;
+        const unsigned pairs = args.has("quick") ? 3 : 5;
+        const double tolerance = args.has("quick") ? 0.85 : 0.90;
+
+        // Prime the result cache (and warm sockets/allocators with
+        // one untimed trial) so every measured request is an inline
+        // cache hit.
+        serveLoopbackRps(server.port(), 1, 1, hit_line);
+        serveLoopbackRps(server.port(), conns, per_conn / 2,
+                         hit_line);
+
+        std::vector<double> off_rps, on_rps;
+        for (unsigned p = 0; p < pairs; ++p) {
+            obs::setServeMetricsEnabled(false);
+            off_rps.push_back(serveLoopbackRps(server.port(), conns,
+                                               per_conn, hit_line));
+            obs::setServeMetricsEnabled(true);
+            on_rps.push_back(serveLoopbackRps(server.port(), conns,
+                                              per_conn, hit_line));
+        }
+        obs::setServeMetricsEnabled(true);
+
+        const double off_med = median(off_rps);
+        const double on_med = median(on_rps);
+        const double ratio = off_med > 0.0 ? on_med / off_med : 0.0;
+        const bool within = ratio >= tolerance;
+
+        serveSec["connections"] = std::uint64_t{conns};
+        serveSec["requests_per_connection"] = std::uint64_t{per_conn};
+        serveSec["pairs"] = std::uint64_t{pairs};
+        Json offArr = Json::array(), onArr = Json::array();
+        for (const double r : off_rps)
+            offArr.push(r);
+        for (const double r : on_rps)
+            onArr.push(r);
+        serveSec["rps_off"] = std::move(offArr);
+        serveSec["rps_on"] = std::move(onArr);
+        serveSec["median_off_rps"] = off_med;
+        serveSec["median_on_rps"] = on_med;
+        serveSec["ab_ratio"] = ratio;
+        serveSec["noise_tolerance"] = tolerance;
+        serveSec["within_noise"] = within;
+        std::cout << "\n# serve loopback A/B, inline cache hits, "
+                  << conns << " conns x " << per_conn
+                  << " reqs, " << pairs << " off/on pairs\n"
+                  << "metrics off median " << off_med / 1000.0
+                  << " kreq/s, on median " << on_med / 1000.0
+                  << " kreq/s, ratio " << ratio
+                  << (within ? " (within noise)\n"
+                             : " (REGRESSION)\n");
+
+        // --serve-metrics-json: persist the metrics scrape the A/B
+        // traffic produced (CI validates it with nucache_report
+        // --check, proving the document shape under real load).
+        const std::string metrics_path =
+            args.get("serve-metrics-json", "");
+        if (!metrics_path.empty()) {
+            std::ofstream os(metrics_path);
+            if (!os)
+                fatal("cannot write '", metrics_path, "'");
+            server.metricsJson().dump(os);
+            os << "\n";
+            std::cout << "wrote serve metrics to " << metrics_path
+                      << "\n";
+        }
+        server.requestShutdown();
+        server.join();
+    }
 
     report.write();
     return 0;

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # End-to-end loopback smoke of the nucached simulation server: boot
-# on an ephemeral port, probe health, run a mix twice (the repeat
-# must come back from the result cache), stream a telemetry run,
-# drive the concurrent pipelined load bench, and shut down
-# gracefully.  The client exits non-zero on any error response or
-# dropped connection, and this script forwards it.
+# on an ephemeral port (with --trace-out armed), probe health, run a
+# mix twice (the repeat must come back from the result cache), stream
+# a telemetry run, drive the concurrent pipelined load bench, scrape
+# and validate the metrics op (JSON + Prometheus + nucache_top), and
+# shut down gracefully — checking the Chrome trace the server wrote.
+# The client exits non-zero on any error response or dropped
+# connection, and this script forwards it.
 # Usage: scripts/serve_smoke.sh [build_dir]
 #   MIN_RPS=<n>  optionally gate the pipelined bench on a throughput
 #                floor (leave unset on noisy or sanitizer-built
@@ -15,6 +17,8 @@ set -euo pipefail
 build="${1-build}"
 nucached="$build/tools/nucached"
 client="$build/tools/nucache_client"
+top="$build/tools/nucache_top"
+report="$build/tools/nucache_report"
 [ -x "$nucached" ] && [ -x "$client" ] || {
     echo "serve smoke: build tools/nucached and tools/nucache_client" \
         "first" >&2
@@ -32,8 +36,9 @@ cleanup() {
 trap cleanup EXIT
 
 shards="${SHARDS-1}"
+trace_file="$workdir/trace.json"
 "$nucached" --port=0 --port-file="$port_file" --records=10000 \
-    --serve-shards="$shards" \
+    --serve-shards="$shards" --trace-out="$trace_file" \
     --jobs="$(nproc 2>/dev/null || echo 2)" >"$log" 2>&1 &
 server_pid=$!
 
@@ -112,6 +117,47 @@ if [ -n "${ESTIMATE-}" ]; then
     }' "$est_out"
 fi
 
+echo "== metrics scrape (JSON + Prometheus + nucache_top)"
+metrics_file="$workdir/metrics.json"
+"$client" --port="$port" --metrics --compact >"$metrics_file"
+if [ -x "$report" ]; then
+    "$report" --check "$metrics_file"
+fi
+# Core series must exist and be nonzero after the traffic above.
+python3 - "$metrics_file" "$shards" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+shards = int(sys.argv[2])
+assert m["schema"] == "nucache-metrics/v1", m.get("schema")
+srv = m["server"]
+assert srv["requests"] > 0, "no requests counted"
+assert srv["responses"] > 0, "no responses counted"
+assert srv["outbound_hwm_bytes"] > 0, "outbound high-water never moved"
+assert len(m["shards"]) == shards, "wrong shard count"
+assert sum(s["dispatched"] for s in m["shards"]) > 0, "nothing dispatched"
+classes = {k: v["count"] for k, v in m["requests"].items()}
+assert classes.get("cache_hit", 0) > 0, f"no cache_hit samples: {classes}"
+assert classes.get("exact", 0) > 0, f"no exact samples: {classes}"
+assert m["phases"]["flush"]["count"] > 0, "no flush phase samples"
+assert m["cache"]["result_hits"] > 0, "no result-cache hits aggregated"
+assert len(m["slow_requests"]) > 0, "slow-request log empty"
+print("metrics document: core series present and nonzero")
+EOF
+prom_file="$workdir/metrics.prom"
+"$client" --port="$port" --metrics --format=prometheus >"$prom_file"
+grep -q '^nucache_requests_total [1-9]' "$prom_file" || {
+    echo "serve smoke: prometheus exposition lacks a nonzero" \
+        "nucache_requests_total" >&2
+    exit 1
+}
+grep -q '^nucache_request_duration_us_bucket' "$prom_file" || {
+    echo "serve smoke: prometheus exposition lacks histograms" >&2
+    exit 1
+}
+if [ -x "$top" ]; then
+    "$top" --port="$port" --once
+fi
+
 echo "== graceful shutdown drains"
 "$client" --port="$port" --raw='{"op":"shutdown"}' --compact
 # Bounded shutdown wait: the drain must finish within 30 s.
@@ -133,4 +179,19 @@ grep -q "drained and stopped" "$log" || {
     cat "$log" >&2
     exit 1
 }
+# The armed tracer must have written a Chrome trace of the traffic.
+[ -s "$trace_file" ] || {
+    echo "serve smoke: no trace written to $trace_file" >&2
+    cat "$log" >&2
+    exit 1
+}
+python3 - "$trace_file" <<'EOF'
+import json, sys
+t = json.load(open(sys.argv[1]))
+names = [e["name"] for e in t["traceEvents"]]
+assert any(n.startswith("req ") for n in names), \
+    f"no per-request spans in trace ({len(names)} events)"
+assert "flush" in names, "no flush phase spans in trace"
+print(f"server trace: {len(names)} events with per-request spans")
+EOF
 echo "serve smoke OK"

@@ -1,0 +1,146 @@
+#include "obs/metrics.hh"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+namespace nucache::obs
+{
+
+namespace
+{
+
+std::atomic<bool> serveMetricsFlag{true};
+
+} // anonymous namespace
+
+bool
+serveMetricsEnabled()
+{
+    return serveMetricsFlag.load(std::memory_order_relaxed);
+}
+
+void
+setServeMetricsEnabled(bool on)
+{
+    serveMetricsFlag.store(on, std::memory_order_relaxed);
+}
+
+void
+atomicMax(std::atomic<std::uint64_t> &hwm, std::uint64_t value)
+{
+    std::uint64_t seen = hwm.load(std::memory_order_relaxed);
+    while (seen < value &&
+           !hwm.compare_exchange_weak(seen, value,
+                                      std::memory_order_relaxed))
+        ;
+}
+
+std::uint64_t
+processRssBytes()
+{
+    // /proc/self/statm field 2 is the resident page count.
+    std::ifstream is("/proc/self/statm");
+    std::uint64_t size = 0, resident = 0;
+    if (!(is >> size >> resident))
+        return 0;
+    const long page = ::sysconf(_SC_PAGESIZE);
+    return resident * static_cast<std::uint64_t>(page > 0 ? page : 4096);
+}
+
+std::uint64_t
+processThreadCount()
+{
+    std::ifstream is("/proc/self/status");
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.rfind("Threads:", 0) == 0) {
+            std::istringstream fields(line.substr(8));
+            std::uint64_t threads = 0;
+            if (fields >> threads)
+                return threads;
+            return 0;
+        }
+    }
+    return 0;
+}
+
+void
+LatencyHistogram::Snapshot::merge(const Snapshot &other)
+{
+    for (unsigned b = 0; b < kBuckets; ++b)
+        buckets[b] += other.buckets[b];
+    overflow += other.overflow;
+    count += other.count;
+    sumUs += other.sumUs;
+}
+
+double
+LatencyHistogram::Snapshot::quantileUs(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    const double target = q * static_cast<double>(count);
+    double seen = 0.0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        if (buckets[b] == 0)
+            continue;
+        const double next = seen + static_cast<double>(buckets[b]);
+        if (next >= target) {
+            // Interpolate inside the bucket between its bounds.
+            const double low =
+                b == 0 ? 0.0
+                       : static_cast<double>(bucketLeUs(b - 1));
+            const double high = static_cast<double>(bucketLeUs(b));
+            const double frac =
+                (target - seen) / static_cast<double>(buckets[b]);
+            return low + frac * (high - low);
+        }
+        seen = next;
+    }
+    // Only overflow samples remain: report the covered range's edge.
+    return static_cast<double>(bucketLeUs(kBuckets - 1));
+}
+
+Json
+LatencyHistogram::Snapshot::json() const
+{
+    Json h = Json::object();
+    h["count"] = count;
+    h["sum_us"] = sumUs;
+    h["p50_us"] = quantileUs(0.50);
+    h["p90_us"] = quantileUs(0.90);
+    h["p99_us"] = quantileUs(0.99);
+    Json rows = Json::array();
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        if (buckets[b] == 0)
+            continue;
+        Json row = Json::object();
+        row["le_us"] = bucketLeUs(b);
+        row["count"] = buckets[b];
+        rows.push(std::move(row));
+    }
+    h["buckets"] = std::move(rows);
+    h["overflow"] = overflow;
+    return h;
+}
+
+LatencyHistogram::Snapshot
+LatencyHistogram::snapshot() const
+{
+    Snapshot s;
+    for (unsigned b = 0; b < kBuckets; ++b)
+        s.buckets[b] = buckets[b].load(std::memory_order_relaxed);
+    s.overflow = overflow.load(std::memory_order_relaxed);
+    s.count = count.load(std::memory_order_relaxed);
+    s.sumUs = sumUs.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace nucache::obs

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Continuous metrics primitives: the always-on half of src/obs/.
+ *
+ * Where tracer.hh records *timelines* (opt-in, per-run), this header
+ * provides the building blocks for metrics that stay on in
+ * production: relaxed-atomic log2-bucketed latency histograms that
+ * many threads record into without locking, snapshotted and merged
+ * only at scrape time, plus process gauges (RSS, thread count) read
+ * from /proc.
+ *
+ * Hot-path discipline mirrors the rest of the observability layer:
+ * recording one sample is a handful of relaxed fetch_adds on cached
+ * cache lines — no locks, no allocation, no syscalls.  The scrape
+ * path (snapshot / merge / percentiles / JSON) is the only place
+ * that iterates buckets, and it runs on whoever asked for metrics,
+ * never on a serving thread.
+ *
+ * The `serve metrics` toggle below exists for one consumer: the A/B
+ * arm of bench_throughput's serve_loopback section, which alternates
+ * it off/on to prove the always-on plane costs nothing beyond noise.
+ * Production code never turns it off.
+ */
+
+#ifndef NUCACHE_OBS_METRICS_HH
+#define NUCACHE_OBS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+#include "common/json.hh"
+
+namespace nucache::obs
+{
+
+/** @return whether the server metrics plane records samples.  On by
+ *  default; only the bench A/B harness flips it. */
+bool serveMetricsEnabled();
+
+/** Enable/disable server metrics recording (bench A/B only). */
+void setServeMetricsEnabled(bool on);
+
+/** Raise @p hwm to at least @p value (relaxed CAS max). */
+void atomicMax(std::atomic<std::uint64_t> &hwm, std::uint64_t value);
+
+/** @return resident set size in bytes (0 when /proc is unreadable). */
+std::uint64_t processRssBytes();
+
+/** @return live thread count (0 when /proc is unreadable). */
+std::uint64_t processThreadCount();
+
+/**
+ * A latency histogram with power-of-two microsecond buckets that any
+ * number of threads record into concurrently.  Bucket i counts
+ * samples in (2^(i-1), 2^i] µs (bucket 0 is <= 1 µs); kBuckets spans
+ * 1 µs .. ~33.5 s, past which samples land in `overflow`.
+ *
+ * Recording is wait-free: a bucket fetch_add plus count/sum updates,
+ * all relaxed (per-sample ordering carries no information — only the
+ * totals at scrape time do).
+ */
+class LatencyHistogram
+{
+  public:
+    /** Power-of-two µs buckets: le 2^0 .. 2^(kBuckets-1). */
+    static constexpr unsigned kBuckets = 26;
+
+    /** @return the bucket index of a @p us microsecond sample, or
+     *  kBuckets when it overflows the covered range. */
+    static unsigned
+    bucketOf(std::uint64_t us)
+    {
+        if (us <= 1)
+            return 0;
+        const unsigned b = std::bit_width(us - 1);
+        return b < kBuckets ? b : kBuckets;
+    }
+
+    /** @return the inclusive upper bound of bucket @p b in µs. */
+    static std::uint64_t
+    bucketLeUs(unsigned b)
+    {
+        return std::uint64_t{1} << b;
+    }
+
+    /** Record one sample of @p ns nanoseconds. */
+    void
+    recordNs(std::uint64_t ns)
+    {
+        const std::uint64_t us = ns / 1000;
+        const unsigned b = bucketOf(us);
+        if (b < kBuckets)
+            buckets[b].fetch_add(1, std::memory_order_relaxed);
+        else
+            overflow.fetch_add(1, std::memory_order_relaxed);
+        count.fetch_add(1, std::memory_order_relaxed);
+        sumUs.fetch_add(us, std::memory_order_relaxed);
+    }
+
+    /** A plain (non-atomic) copy of the counters at one instant —
+     *  the unit of merging and reporting. */
+    struct Snapshot
+    {
+        std::array<std::uint64_t, kBuckets> buckets{};
+        std::uint64_t overflow = 0;
+        std::uint64_t count = 0;
+        std::uint64_t sumUs = 0;
+
+        /** Accumulate @p other bucket-wise. */
+        void merge(const Snapshot &other);
+
+        /**
+         * @return the approximate @p q quantile in µs (linear
+         * interpolation inside the winning bucket; 0 when empty).
+         */
+        double quantileUs(double q) const;
+
+        /**
+         * @return the histogram as a JSON object: count, sum_us,
+         * p50/p90/p99_us, overflow, and a `buckets` array of
+         * {le_us, count} rows for every non-empty bucket.
+         */
+        Json json() const;
+    };
+
+    /** @return a coherent-enough copy for reporting (individual
+     *  loads are relaxed; in-flight samples may straddle). */
+    Snapshot snapshot() const;
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> overflow{0};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sumUs{0};
+};
+
+} // namespace nucache::obs
+
+#endif // NUCACHE_OBS_METRICS_HH

@@ -291,11 +291,14 @@ knownParamKeys(Op op, const Json &params, std::string &err)
     for (const auto &[key, value] : params.members()) {
         (void)value;
         bool known =
+            op != Op::Metrics &&
             std::find(shared.begin(), shared.end(), key) != shared.end();
         if (op == Op::RunMix)
             known = known || key == "mix" || key == "workloads";
         if (op == Op::RunTrace)
             known = known || key == "traces";
+        if (op == Op::Metrics)
+            known = key == "format";
         if (!known) {
             err = "unknown parameter '" + key + "' for op '" +
                   opName(op) + "'";
@@ -327,6 +330,8 @@ opName(Op op)
         return "run_trace";
       case Op::Stats:
         return "stats";
+      case Op::Metrics:
+        return "metrics";
       case Op::Health:
         return "health";
       case Op::Shutdown:
@@ -374,8 +379,8 @@ parseRequest(const std::string &line, Request &out, std::string &err)
     const std::string &opname = op->asString();
     static const std::vector<std::pair<std::string, Op>> ops = {
         {"run_mix", Op::RunMix},     {"run_trace", Op::RunTrace},
-        {"stats", Op::Stats},        {"health", Op::Health},
-        {"shutdown", Op::Shutdown},
+        {"stats", Op::Stats},        {"metrics", Op::Metrics},
+        {"health", Op::Health},      {"shutdown", Op::Shutdown},
     };
     const auto it =
         std::find_if(ops.begin(), ops.end(),
@@ -414,6 +419,19 @@ parseRequest(const std::string &line, Request &out, std::string &err)
         if (!parseRunTraceParams(p, req, err))
             return false;
         break;
+      case Op::Metrics: {
+        const Json *format = p.find("format");
+        if (format != nullptr) {
+            if (!format->isString() ||
+                (format->asString() != "json" &&
+                 format->asString() != "prometheus")) {
+                err = "'format' must be \"json\" or \"prometheus\"";
+                return false;
+            }
+            req.promFormat = format->asString() == "prometheus";
+        }
+        break;
+      }
       case Op::Stats:
       case Op::Health:
       case Op::Shutdown:

@@ -6,9 +6,22 @@
  * Request line:
  *   {"v": "nucache-rpc/v1",      // optional, v1 assumed
  *    "id": 7,                    // optional u64, echoed back
- *    "op": "run_mix" | "run_trace" | "stats" | "health" | "shutdown",
+ *    "op": "run_mix" | "run_trace" | "stats" | "metrics" |
+ *          "health" | "shutdown",
  *    "deadline_ms": 30000,       // optional queue deadline override
  *    "params": { ... }}          // op-specific, see below
+ *
+ * metrics params:  {"format": "json" | "prometheus"} (optional,
+ *                  default "json").  "json" answers the
+ *                  nucache-metrics/v1 document (latency histograms
+ *                  by request class and phase, per-shard queue/
+ *                  dispatch state, cache hit ratios, shed/overload
+ *                  counters, process gauges, the slow-request
+ *                  sample log); "prometheus" answers
+ *                  {"content_type": "text/plain; version=0.0.4",
+ *                  "text": "..."} carrying the same series in
+ *                  Prometheus text exposition format.  Answered
+ *                  inline on the event loop, like health/stats.
  *
  * run_mix params:  {"workloads": ["loop_medium", "stream_pure"]} or
  *                  {"mix": "mix2_01"} (a canonical 2/4/8-core mix),
@@ -109,6 +122,7 @@ enum class Op
     RunMix,
     RunTrace,
     Stats,
+    Metrics,
     Health,
     Shutdown,
 };
@@ -153,6 +167,9 @@ struct Request
      */
     std::uint32_t slices = 0;
     std::uint32_t shardJobs = 0;
+    /** metrics: answer as Prometheus text exposition instead of the
+     *  nucache-metrics/v1 JSON document. */
+    bool promFormat = false;
 };
 
 /**

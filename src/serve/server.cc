@@ -4,11 +4,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace nucache::serve
 {
@@ -45,6 +47,38 @@ fastHitLine(const Request &req, const std::string &payload)
     line += payload;
     line += "}\n";
     return line;
+}
+
+/** @return the latency-series class of a dispatcher-path response:
+ *  errors, then the answer source (cache / model / simulator). */
+RequestClass
+classifyResponse(const Request &req, const Json &response)
+{
+    const Json *ok = response.find("ok");
+    if (ok == nullptr || !ok->isBool() || !ok->asBool())
+        return RequestClass::Error;
+    if (req.op == Op::RunTrace)
+        return RequestClass::Trace;
+    if (const Json *result = response.find("result");
+        result != nullptr) {
+        if (const Json *server = result->find("server");
+            server != nullptr) {
+            const Json *cached = server->find("cached");
+            if (cached != nullptr && cached->isBool() &&
+                cached->asBool())
+                return RequestClass::CacheHit;
+        }
+    }
+    return req.mode == Mode::Estimate ? RequestClass::Estimate
+                                      : RequestClass::Exact;
+}
+
+/** @return a sum over the aggregated service stats @p svc. */
+std::uint64_t
+svcCount(const Json &svc, const char *key)
+{
+    const Json *v = svc.find(key);
+    return v != nullptr && v->isNumber() ? v->asUint() : 0;
 }
 
 } // anonymous namespace
@@ -283,6 +317,7 @@ Server::eventLoop()
         std::lock_guard<std::mutex> lock(connsMtx);
         for (auto &[id, conn] : conns) {
             (void)id;
+            metrics.outboundSub(conn.slotBytes + conn.out.size());
             ::close(conn.fd);
         }
         conns.clear();
@@ -371,7 +406,8 @@ Server::readFrom(std::uint64_t conn_id, Connection &conn)
                     errorResponse(error::kTooLarge,
                                   "request line exceeds " +
                                       std::to_string(cfg.maxLineBytes) +
-                                      " bytes"));
+                                      " bytes"),
+                    ReqTrace{});
                 conn.closeAfterFlush = true;
                 conn.in.clear();
                 return true;
@@ -389,7 +425,8 @@ Server::readFrom(std::uint64_t conn_id, Connection &conn)
                 errorResponse(error::kTooLarge,
                               "request line exceeds " +
                                   std::to_string(cfg.maxLineBytes) +
-                                  " bytes without a newline"));
+                                  " bytes without a newline"),
+                ReqTrace{});
             conn.closeAfterFlush = true;
             conn.in.clear();
             return true;
@@ -405,29 +442,63 @@ Server::handleLine(std::uint64_t conn_id, Connection &conn,
         return;
     ++requests;
 
+    // The request's phase trace starts here; inline answers stamp
+    // `executed` just before queueing, dispatched runs carry the
+    // trace through their Pending.
+    ReqTrace trace;
+    trace.live = obs::serveMetricsEnabled();
+    if (trace.live)
+        trace.parsed = Clock::now();
+
     Request req;
     std::string err;
     if (!parseRequest(line, req, err)) {
         ++badRequests;
+        trace.cls = RequestClass::Error;
+        if (trace.live)
+            trace.executed = Clock::now();
         queueSlotResponse(conn_id, conn.nextSeq++,
-                          errorResponse(error::kBadRequest, err));
+                          errorResponse(error::kBadRequest, err),
+                          trace);
         return;
     }
 
     switch (req.op) {
       case Op::Health:
+        if (trace.live)
+            trace.executed = Clock::now();
         queueSlotResponse(conn_id, conn.nextSeq++,
-                          okResponse(req, healthResult()));
+                          okResponse(req, healthResult()), trace);
         return;
       case Op::Stats:
+        if (trace.live)
+            trace.executed = Clock::now();
         queueSlotResponse(conn_id, conn.nextSeq++,
-                          okResponse(req, statsJson()));
+                          okResponse(req, statsJson()), trace);
         return;
+      case Op::Metrics: {
+        metrics.scrapes.fetch_add(1, std::memory_order_relaxed);
+        Json result;
+        if (req.promFormat) {
+            result = Json::object();
+            result["content_type"] = "text/plain; version=0.0.4";
+            result["text"] = prometheusText(metricsJson());
+        } else {
+            result = metricsJson();
+        }
+        if (trace.live)
+            trace.executed = Clock::now();
+        queueSlotResponse(conn_id, conn.nextSeq++,
+                          okResponse(req, std::move(result)), trace);
+        return;
+      }
       case Op::Shutdown: {
         Json result = Json::object();
         result["draining"] = true;
+        if (trace.live)
+            trace.executed = Clock::now();
         queueSlotResponse(conn_id, conn.nextSeq++,
-                          okResponse(req, std::move(result)));
+                          okResponse(req, std::move(result)), trace);
         requestShutdown();
         return;
       }
@@ -437,8 +508,10 @@ Server::handleLine(std::uint64_t conn_id, Connection &conn,
     }
 
     const bool stream = req.stream;
-    Shard &shard = *shards[shardOf(req, cfg.service.defaultRecords,
-                                   shards.size())];
+    const std::size_t shardIdx =
+        shardOf(req, cfg.service.defaultRecords, shards.size());
+    Shard &shard = *shards[shardIdx];
+    trace.shard = static_cast<std::uint32_t>(shardIdx);
 
     // Warm fast path: a result-cache hit is answered inline by this
     // thread — deterministic simulation makes the cached bytes
@@ -457,8 +530,13 @@ Server::handleLine(std::uint64_t conn_id, Connection &conn,
                 ? shard.service.tryEstimate(req, payload)
                 : shard.service.tryCached(req, payload);
         if (hit) {
+            trace.cls = req.mode == Mode::Estimate
+                            ? RequestClass::EstimateInline
+                            : RequestClass::CacheHit;
+            if (trace.live)
+                trace.executed = Clock::now();
             queueSlotLine(conn_id, conn.nextSeq++,
-                          fastHitLine(req, payload));
+                          fastHitLine(req, payload), trace);
             return;
         }
     }
@@ -472,9 +550,14 @@ Server::handleLine(std::uint64_t conn_id, Connection &conn,
     if (stream) {
         std::lock_guard<std::mutex> lock(connsMtx);
         ++conn.openStreams;
+        // Streamed runs have no single flush instant; they are
+        // covered by the service counters, not per-request tracing.
+        trace.live = false;
     } else {
         pending.seq = conn.nextSeq++;
     }
+    trace.enqueued = pending.enqueued;
+    pending.trace = trace;
     pending.req = std::move(req);
 
     // The stopping check lives inside the shard's critical section:
@@ -490,6 +573,9 @@ Server::handleLine(std::uint64_t conn_id, Connection &conn,
             draining = true;
         } else if (shard.queue.size() < cfg.queueDepth) {
             shard.queue.push_back(std::move(pending));
+            shard.metrics.queueDepthHwm =
+                std::max(shard.metrics.queueDepthHwm,
+                         std::uint64_t{shard.queue.size()});
             admitted = true;
         }
     }
@@ -520,7 +606,10 @@ Server::handleLine(std::uint64_t conn_id, Connection &conn,
     } else {
         // The rejection fills the sequence slot the request was
         // assigned, so pipelined responses stay in request order.
-        queueSlotResponse(conn_id, pending.seq, rejection);
+        trace.cls = RequestClass::Error;
+        if (trace.live)
+            trace.executed = Clock::now();
+        queueSlotResponse(conn_id, pending.seq, rejection, trace);
     }
 }
 
@@ -565,6 +654,11 @@ Server::dispatchLoop(Shard &shard)
             }
         }
 
+        shard.metrics.dispatched.fetch_add(
+            batch.size(), std::memory_order_relaxed);
+        shard.metrics.lastBatch.store(batch.size(),
+                                      std::memory_order_relaxed);
+
         // Queue deadlines are enforced here, at dispatch: a request
         // that already waited past its deadline gets an immediate
         // deadline_exceeded instead of burning simulation time.
@@ -572,6 +666,8 @@ Server::dispatchLoop(Shard &shard)
         std::vector<Pending> live;
         const Clock::time_point now = Clock::now();
         for (Pending &p : batch) {
+            if (p.trace.live)
+                p.trace.dispatched = now;
             const double waited = elapsedMs(p.enqueued, now);
             if (waited > static_cast<double>(p.deadlineMs)) {
                 ++deadlineExpired;
@@ -603,7 +699,12 @@ void
 Server::finishResponse(const Pending &p, const Json &response)
 {
     if (!p.stream) {
-        queueSlotResponse(p.conn, p.seq, response);
+        ReqTrace trace = p.trace;
+        if (trace.live) {
+            trace.executed = Clock::now();
+            trace.cls = classifyResponse(p.req, response);
+        }
+        queueSlotResponse(p.conn, p.seq, response, trace);
         return;
     }
     queueOobFrame(p.conn, response);
@@ -619,17 +720,18 @@ Server::finishResponse(const Pending &p, const Json &response)
 
 void
 Server::queueSlotResponse(std::uint64_t conn_id, std::uint64_t seq,
-                          const Json &response)
+                          const Json &response, ReqTrace trace)
 {
     std::string line = response.str(0);
     line += '\n';
-    queueSlotLine(conn_id, seq, std::move(line));
+    queueSlotLine(conn_id, seq, std::move(line), trace);
 }
 
 void
 Server::queueSlotLine(std::uint64_t conn_id, std::uint64_t seq,
-                      std::string line)
+                      std::string line, ReqTrace trace)
 {
+    const std::size_t bytes = line.size();
     {
         std::lock_guard<std::mutex> lock(connsMtx);
         const auto it = conns.find(conn_id);
@@ -638,8 +740,11 @@ Server::queueSlotLine(std::uint64_t conn_id, std::uint64_t seq,
             return;
         }
         Connection &conn = it->second;
-        conn.slotBytes += line.size();
-        conn.slots.emplace(seq, std::move(line));
+        if (trace.live)
+            trace.queued = Clock::now();
+        conn.slotBytes += bytes;
+        conn.slots.emplace(seq, Slot{std::move(line), trace});
+        metrics.outboundAdd(bytes);
         pumpLocked(conn);
         capCheckLocked(conn_id, conn);
         markDirtyLocked(conn_id);
@@ -663,7 +768,9 @@ Server::queueOobFrame(std::uint64_t conn_id, const Json &frame)
             return;
         }
         Connection &conn = it->second;
+        conn.queuedBytes += line.size();
         conn.out += line;
+        metrics.outboundAdd(line.size());
         capCheckLocked(conn_id, conn);
         markDirtyLocked(conn_id);
     }
@@ -680,8 +787,14 @@ Server::pumpLocked(Connection &conn)
         const auto it = conn.slots.find(conn.nextFlush);
         if (it == conn.slots.end())
             break;
-        conn.slotBytes -= it->second.size();
-        conn.out += it->second;
+        Slot &slot = it->second;
+        conn.slotBytes -= slot.line.size();
+        conn.queuedBytes += slot.line.size();
+        conn.out += slot.line;
+        // The response's last byte sits at queuedBytes; its trace
+        // finalizes once sentBytes crosses that watermark.
+        if (slot.trace.live)
+            conn.marks.push_back({conn.queuedBytes, slot.trace});
         conn.slots.erase(it);
         ++conn.nextFlush;
     }
@@ -723,18 +836,37 @@ Server::flushedLocked(const Connection &conn) const
 bool
 Server::flushOut(Connection &conn)
 {
+    bool alive = true;
     while (!conn.out.empty()) {
         const ssize_t w = ::send(conn.fd, conn.out.data(),
                                  conn.out.size(), MSG_NOSIGNAL);
         if (w > 0) {
+            conn.sentBytes += static_cast<std::uint64_t>(w);
+            metrics.outboundSub(static_cast<std::uint64_t>(w));
             conn.out.erase(0, static_cast<std::size_t>(w));
             continue;
         }
         if (w < 0 && errno == EINTR)
             continue;
-        return w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+        alive = w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+        break;
     }
-    return true;
+    // Every response whose watermark the kernel now holds is flushed:
+    // finalize its trace (histograms, slow log, Tracer spans).
+    if (!conn.marks.empty() &&
+        conn.marks.front().target <= conn.sentBytes) {
+        const Clock::time_point flushedAt = Clock::now();
+        do {
+            const ReqTrace &t = conn.marks.front().trace;
+            ShardMetrics *sm = t.shard != ReqTrace::kNoShard
+                                   ? &shards[t.shard]->metrics
+                                   : nullptr;
+            metrics.finalize(t, flushedAt, sm);
+            conn.marks.pop_front();
+        } while (!conn.marks.empty() &&
+                 conn.marks.front().target <= conn.sentBytes);
+    }
+    return alive;
 }
 
 void
@@ -761,6 +893,11 @@ Server::closeConn(std::uint64_t conn_id)
     const auto it = conns.find(conn_id);
     if (it == conns.end())
         return;
+    // Undelivered bytes (parked slots + unsent out) leave the
+    // outbound gauge with the connection; their traces never
+    // finalize (the responses were never flushed).
+    metrics.outboundSub(it->second.slotBytes +
+                        it->second.out.size());
     ::epoll_ctl(epollFd, EPOLL_CTL_DEL, it->second.fd, nullptr);
     ::close(it->second.fd);
     conns.erase(it);
@@ -773,6 +910,8 @@ Server::healthResult() const
     r["status"] = shuttingDown() ? "draining" : "ok";
     r["version"] = kProtocolVersion;
     r["uptime_ms"] = elapsedMs(started, Clock::now());
+    r["shards"] = std::uint64_t{shards.size()};
+    // Kept for pre-metrics clients that read the old member name.
     r["serve_shards"] = std::uint64_t{shards.size()};
     return r;
 }
@@ -811,6 +950,9 @@ Server::statsJson() const
     // Aggregate the per-shard service counters into one block (the
     // pre-sharding shape tools already parse); per-engine state like
     // jobs and the process-global arena count come from shard 0.
+    // profiles_built is process-global too (the shared ProfileStore):
+    // every shard reports the same store, so summing it would
+    // overcount by the shard count.
     Json agg = Json::object();
     bool first = true;
     for (const auto &shard : shards) {
@@ -822,7 +964,8 @@ Server::statsJson() const
         }
         for (const auto &[key, value] : one.members()) {
             if (key == "jobs" || key == "default_records" ||
-                key == "arena_materializations")
+                key == "arena_materializations" ||
+                key == "profiles_built")
                 continue;
             if (value.isNumber())
                 agg[key] = agg.at(key).asUint() + value.asUint();
@@ -830,6 +973,119 @@ Server::statsJson() const
     }
     s["service"] = std::move(agg);
     return s;
+}
+
+Json
+Server::metricsJson() const
+{
+    Json m = Json::object();
+    m["schema"] = "nucache-metrics/v1";
+
+    Json server = Json::object();
+    server["uptime_ms"] = elapsedMs(started, Clock::now());
+    {
+        std::lock_guard<std::mutex> lock(connsMtx);
+        server["connections"] = std::uint64_t{conns.size()};
+    }
+    server["accepted"] = accepted.load();
+    server["rejected_connections"] = rejectedConns.load();
+    server["requests"] = requests.load();
+    server["responses"] = responses.load();
+    server["bad_requests"] = badRequests.load();
+    server["too_large"] = tooLarge.load();
+    server["overloads"] = overloads.load();
+    server["deadline_expired"] = deadlineExpired.load();
+    server["rejected_shutting_down"] = rejectedShutdown.load();
+    server["dropped_responses"] = droppedResponses.load();
+    server["slow_clients"] = slowClients.load();
+    server["outbound_bytes"] =
+        metrics.outboundBytes.load(std::memory_order_relaxed);
+    server["outbound_hwm_bytes"] =
+        metrics.outboundHwmBytes.load(std::memory_order_relaxed);
+    server["metrics_scrapes"] =
+        metrics.scrapes.load(std::memory_order_relaxed);
+    server["serve_shards"] = std::uint64_t{shards.size()};
+    server["metrics_enabled"] = obs::serveMetricsEnabled();
+    m["server"] = std::move(server);
+
+    Json process = Json::object();
+    process["uptime_ms"] = elapsedMs(started, Clock::now());
+    process["rss_bytes"] = obs::processRssBytes();
+    process["threads"] = obs::processThreadCount();
+    m["process"] = std::move(process);
+
+    Json byClass = Json::object();
+    for (unsigned c = 0;
+         c < static_cast<unsigned>(RequestClass::Count); ++c) {
+        byClass[requestClassName(static_cast<RequestClass>(c))] =
+            metrics.classTotalUs[c].snapshot().json();
+    }
+    m["requests"] = std::move(byClass);
+
+    Json phases = Json::object();
+    phases["queue_wait"] = metrics.queueWaitUs.snapshot().json();
+    phases["execute"] = metrics.executeUs.snapshot().json();
+    phases["flush"] = metrics.flushUs.snapshot().json();
+    m["phases"] = std::move(phases);
+
+    Json shardRows = Json::array();
+    std::uint64_t resultHits = 0, resultMisses = 0, engineHits = 0,
+                  enginesBuilt = 0, estimates = 0, runMix = 0,
+                  runTrace = 0;
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        Shard &shard = *shards[i];
+        Json row = Json::object();
+        row["shard"] = std::uint64_t{i};
+        {
+            std::lock_guard<std::mutex> lock(shard.mtx);
+            row["queue_len"] = std::uint64_t{shard.queue.size()};
+            row["queue_depth_hwm"] = shard.metrics.queueDepthHwm;
+        }
+        row["dispatched"] =
+            shard.metrics.dispatched.load(std::memory_order_relaxed);
+        row["last_batch"] =
+            shard.metrics.lastBatch.load(std::memory_order_relaxed);
+        row["queue_wait"] =
+            shard.metrics.queueWaitUs.snapshot().json();
+        row["execute"] = shard.metrics.executeUs.snapshot().json();
+        Json svc = shard.service.statsJson();
+        resultHits += svcCount(svc, "cache_hits");
+        resultMisses += svcCount(svc, "cache_misses");
+        engineHits += svcCount(svc, "engine_hits");
+        enginesBuilt += svcCount(svc, "engines_built");
+        estimates += svcCount(svc, "estimates");
+        runMix += svcCount(svc, "run_mix");
+        runTrace += svcCount(svc, "run_trace");
+        row["service"] = std::move(svc);
+        shardRows.push(std::move(row));
+    }
+    m["shards"] = std::move(shardRows);
+
+    Json cache = Json::object();
+    cache["result_hits"] = resultHits;
+    cache["result_misses"] = resultMisses;
+    cache["result_hit_ratio"] =
+        resultHits + resultMisses != 0
+            ? static_cast<double>(resultHits) /
+                  static_cast<double>(resultHits + resultMisses)
+            : 0.0;
+    cache["engine_hits"] = engineHits;
+    cache["engines_built"] = enginesBuilt;
+    cache["engine_hit_ratio"] =
+        engineHits + enginesBuilt != 0
+            ? static_cast<double>(engineHits) /
+                  static_cast<double>(engineHits + enginesBuilt)
+            : 0.0;
+    cache["estimates"] = estimates;
+    cache["exact_runs"] = runMix - estimates + runTrace;
+    cache["estimate_fraction"] =
+        runMix != 0 ? static_cast<double>(estimates) /
+                          static_cast<double>(runMix)
+                    : 0.0;
+    m["cache"] = std::move(cache);
+
+    m["slow_requests"] = metrics.slowLog.json();
+    return m;
 }
 
 } // namespace nucache::serve

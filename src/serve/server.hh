@@ -49,6 +49,14 @@
  * `overload` line (best-effort, nonblocking) and a close.  Graceful
  * shutdown (SIGINT / SIGTERM / the shutdown op) stops admitting,
  * drains every shard, flushes every response, then exits.
+ *
+ * Observability (serve/server_metrics.hh): every request carries a
+ * ReqTrace from parse to flush — the last byte crossing the socket
+ * finalizes it into lock-light latency histograms (by request class
+ * and by phase), per-shard queue/dispatch metrics, the bounded
+ * slow-request sample log, and Chrome-trace spans when `--trace-out`
+ * is armed.  The `metrics` op (answered inline, like health) exposes
+ * it all as nucache-metrics/v1 JSON or Prometheus text.
  */
 
 #ifndef NUCACHE_SERVE_SERVER_HH
@@ -69,6 +77,7 @@
 #include "common/json.hh"
 #include "common/net.hh"
 #include "serve/protocol.hh"
+#include "serve/server_metrics.hh"
 #include "serve/service.hh"
 
 namespace nucache::serve
@@ -160,8 +169,30 @@ class Server
     /** @return server + aggregated service counters (op "stats"). */
     Json statsJson() const;
 
+    /** @return the nucache-metrics/v1 document (op "metrics"):
+     *  latency histograms by request class and phase, per-shard
+     *  queue/dispatch state, cache ratios, process gauges, and the
+     *  slow-request sample log. */
+    Json metricsJson() const;
+
   private:
     using Clock = std::chrono::steady_clock;
+
+    /** One parked response: the framed line plus the request's
+     *  phase trace, finalized when the line reaches the socket. */
+    struct Slot
+    {
+        std::string line;
+        ReqTrace trace;
+    };
+
+    /** A response's position in the outbound byte stream: its trace
+     *  is finalized once `target` cumulative bytes have been sent. */
+    struct FlushMark
+    {
+        std::uint64_t target = 0;
+        ReqTrace trace;
+    };
 
     /** One client connection (sockets owned by the loop thread). */
     struct Connection
@@ -176,9 +207,16 @@ class Server
          * request sequence number (guarded by connsMtx).  pump()
          * moves slots into `out` strictly in sequence order.
          */
-        std::map<std::uint64_t, std::string> slots;
+        std::map<std::uint64_t, Slot> slots;
         /** Bytes parked in `slots` (guarded by connsMtx). */
         std::size_t slotBytes = 0;
+        /** Cumulative bytes ever appended to `out` / ever sent;
+         *  out.size() == queuedBytes - sentBytes (connsMtx). */
+        std::uint64_t queuedBytes = 0;
+        std::uint64_t sentBytes = 0;
+        /** Flush watermarks of in-flight responses, in byte order
+         *  (guarded by connsMtx). */
+        std::deque<FlushMark> marks;
         /** Next sequence number to assign (loop thread only). */
         std::uint64_t nextSeq = 0;
         /** Next sequence number to flush (guarded by connsMtx). */
@@ -207,6 +245,8 @@ class Server
         bool stream = false;
         Clock::time_point enqueued;
         std::uint64_t deadlineMs = 0;
+        /** Phase stamps, carried through dispatch to the flush. */
+        ReqTrace trace;
     };
 
     /** One engine shard: dispatcher + service + admission queue. */
@@ -219,6 +259,9 @@ class Server
         std::condition_variable cv;
         std::deque<Pending> queue;
         std::atomic<bool> drained{false};
+        /** Queue depth high-water, dispatch counters, per-shard
+         *  phase histograms. */
+        ShardMetrics metrics;
     };
 
     void eventLoop();
@@ -237,15 +280,16 @@ class Server
 
     /**
      * Park @p response in @p seq's slot on @p conn_id and pump the
-     * in-order prefix into the outbound buffer.
+     * in-order prefix into the outbound buffer.  @p trace rides
+     * along and is finalized when the response reaches the socket.
      */
     void queueSlotResponse(std::uint64_t conn_id, std::uint64_t seq,
-                           const Json &response);
+                           const Json &response, ReqTrace trace);
 
     /** queueSlotResponse for an already-framed response @p line
      *  (newline included) — the result-cache fast path. */
     void queueSlotLine(std::uint64_t conn_id, std::uint64_t seq,
-                       std::string line);
+                       std::string line, ReqTrace trace);
 
     /** Append an out-of-band (streaming) @p frame to @p conn_id. */
     void queueOobFrame(std::uint64_t conn_id, const Json &frame);
@@ -267,7 +311,8 @@ class Server
      *  (connsMtx held). */
     bool flushedLocked(const Connection &conn) const;
 
-    /** Flush @p conn's outbound buffer (nonblocking).
+    /** Flush @p conn's outbound buffer (nonblocking) and finalize
+     *  the traces of responses fully on the wire.
      *  @return whether the connection survives. */
     bool flushOut(Connection &conn);
 
@@ -322,6 +367,9 @@ class Server
     std::atomic<std::uint64_t> rejectedShutdown{0};
     std::atomic<std::uint64_t> droppedResponses{0};
     std::atomic<std::uint64_t> slowClients{0};
+
+    /** Latency histograms, outbound gauges, slow-request log. */
+    mutable ServerMetrics metrics;
 };
 
 } // namespace nucache::serve

@@ -152,6 +152,7 @@ SimulationService::engineFor(std::uint64_t records)
     for (auto it = engines.begin(); it != engines.end(); ++it) {
         if (it->first == records) {
             engines.splice(engines.begin(), engines, it);
+            ++stats.engineHits;
             return *engines.front().second;
         }
     }
@@ -588,6 +589,7 @@ SimulationService::statsJson() const
     s["streamed_runs"] = stats.streamedRuns;
     s["stream_frames"] = stats.streamFrames;
     s["engines"] = std::uint64_t{engines.size()};
+    s["engine_hits"] = stats.engineHits;
     s["engines_built"] = stats.enginesBuilt;
     s["engines_evicted"] = stats.enginesEvicted;
     s["failures"] = stats.failures;

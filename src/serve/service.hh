@@ -197,6 +197,7 @@ class SimulationService
         std::uint64_t estimatesInline = 0;
         std::uint64_t streamedRuns = 0;
         std::uint64_t streamFrames = 0;
+        std::uint64_t engineHits = 0;
         std::uint64_t enginesBuilt = 0;
         std::uint64_t enginesEvicted = 0;
         std::uint64_t failures = 0;

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the continuous-metrics half of src/obs/ and the
+ * server metrics plane built on it: log2 latency histogram bucketing,
+ * quantiles, snapshot merging and JSON shape; the bounded
+ * slow-request log's admission order and floor; and the Prometheus
+ * text exposition of a nucache-metrics/v1 document.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "obs/metrics.hh"
+#include "serve/server_metrics.hh"
+
+namespace nucache
+{
+namespace
+{
+
+using obs::LatencyHistogram;
+
+TEST(LatencyHistogram, BucketBoundsArePowersOfTwo)
+{
+    // Bucket 0 is <= 1 us; bucket i covers (2^(i-1), 2^i].
+    EXPECT_EQ(LatencyHistogram::bucketOf(0), 0u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(1), 0u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(2), 1u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(3), 2u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(4), 2u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(5), 3u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(1024), 10u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(1025), 11u);
+    EXPECT_EQ(LatencyHistogram::bucketLeUs(0), 1u);
+    EXPECT_EQ(LatencyHistogram::bucketLeUs(10), 1024u);
+    // Samples past the covered range land in overflow.
+    EXPECT_EQ(LatencyHistogram::bucketOf(std::uint64_t{1} << 40),
+              LatencyHistogram::kBuckets);
+}
+
+TEST(LatencyHistogram, RecordsAndReportsQuantiles)
+{
+    LatencyHistogram h;
+    // 100 samples at ~8 us, 10 at ~1 ms, 1 at ~1 s.
+    for (int i = 0; i < 100; ++i)
+        h.recordNs(8'000);
+    for (int i = 0; i < 10; ++i)
+        h.recordNs(1'000'000);
+    h.recordNs(1'000'000'000);
+
+    const LatencyHistogram::Snapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 111u);
+    EXPECT_EQ(snap.sumUs, 100u * 8 + 10u * 1000 + 1'000'000u);
+    // p50 lands in the 8 us bucket, p99+ in the tail.
+    EXPECT_LE(snap.quantileUs(0.50), 8.0);
+    EXPECT_GT(snap.quantileUs(0.95), 8.0);
+    EXPECT_GE(snap.quantileUs(0.999), 1000.0);
+
+    const Json j = snap.json();
+    EXPECT_EQ(j.at("count").asUint(), 111u);
+    EXPECT_EQ(j.at("overflow").asUint(), 0u);
+    std::uint64_t total = 0;
+    for (const Json &row : j.at("buckets").elements()) {
+        EXPECT_TRUE(row.at("le_us").isNumber());
+        total += row.at("count").asUint();
+    }
+    EXPECT_EQ(total, 111u);
+}
+
+TEST(LatencyHistogram, MergeAccumulatesBucketwise)
+{
+    LatencyHistogram a, b;
+    for (int i = 0; i < 5; ++i)
+        a.recordNs(10'000);
+    for (int i = 0; i < 7; ++i)
+        b.recordNs(10'000);
+    b.recordNs(std::uint64_t{40'000'000'000'000}); // overflow
+
+    LatencyHistogram::Snapshot merged = a.snapshot();
+    merged.merge(b.snapshot());
+    EXPECT_EQ(merged.count, 13u);
+    EXPECT_EQ(merged.overflow, 1u);
+    EXPECT_EQ(merged.buckets[LatencyHistogram::bucketOf(10)], 12u);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordersLoseNothing)
+{
+    LatencyHistogram h;
+    constexpr int kThreads = 4, kPerThread = 20'000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&h] {
+            for (int i = 0; i < kPerThread; ++i)
+                h.recordNs(static_cast<std::uint64_t>(i) * 997);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(h.snapshot().count,
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(SlowRequestLog, KeepsTopKByTotalLatency)
+{
+    serve::SlowRequestLog log;
+    // Offer 3x capacity in ascending order; only the top K survive.
+    const std::size_t n = 3 * serve::SlowRequestLog::kCapacity;
+    for (std::size_t i = 1; i <= n; ++i) {
+        log.offer({serve::RequestClass::Exact, i * 1000, 0, i * 1000,
+                   0});
+    }
+    const Json rows = log.json();
+    ASSERT_EQ(rows.size(), serve::SlowRequestLog::kCapacity);
+    // Slowest first, and nothing below the admission floor survived.
+    std::uint64_t prev = ~std::uint64_t{0};
+    for (const Json &row : rows.elements()) {
+        const std::uint64_t total = row.at("total_us").asUint();
+        EXPECT_LE(total, prev);
+        prev = total;
+        EXPECT_GT(total, n - serve::SlowRequestLog::kCapacity);
+        EXPECT_EQ(row.at("class").asString(), "exact");
+    }
+}
+
+TEST(SlowRequestLog, RejectsBelowFloorWithoutGrowing)
+{
+    serve::SlowRequestLog log;
+    for (std::size_t i = 0; i < serve::SlowRequestLog::kCapacity; ++i)
+        log.offer({serve::RequestClass::Control, 1'000'000, 0, 0, 0});
+    log.offer({serve::RequestClass::Control, 10, 0, 0, 0});
+    const Json rows = log.json();
+    EXPECT_EQ(rows.size(), serve::SlowRequestLog::kCapacity);
+    for (const Json &row : rows.elements())
+        EXPECT_EQ(row.at("total_us").asUint(), 1000u);
+}
+
+TEST(RequestClassNames, AreStableWireLabels)
+{
+    using serve::RequestClass;
+    EXPECT_STREQ(serve::requestClassName(RequestClass::CacheHit),
+                 "cache_hit");
+    EXPECT_STREQ(serve::requestClassName(RequestClass::EstimateInline),
+                 "estimate_inline");
+    EXPECT_STREQ(serve::requestClassName(RequestClass::Exact),
+                 "exact");
+    EXPECT_STREQ(serve::requestClassName(RequestClass::Error),
+                 "error");
+}
+
+TEST(PrometheusText, RendersCountersGaugesAndHistograms)
+{
+    // A miniature nucache-metrics/v1 document with one class
+    // histogram and one shard row.
+    LatencyHistogram h;
+    h.recordNs(8'000);
+    h.recordNs(8'000);
+    h.recordNs(1'000'000);
+
+    Json m = Json::object();
+    m["schema"] = "nucache-metrics/v1";
+    Json server = Json::object();
+    server["requests"] = std::uint64_t{3};
+    server["connections"] = std::uint64_t{1};
+    server["slow_clients"] = std::uint64_t{0};
+    m["server"] = std::move(server);
+    Json requests = Json::object();
+    requests["exact"] = h.snapshot().json();
+    m["requests"] = std::move(requests);
+    Json shards = Json::array();
+    Json row = Json::object();
+    row["shard"] = std::uint64_t{0};
+    row["queue_len"] = std::uint64_t{2};
+    row["queue_depth_hwm"] = std::uint64_t{5};
+    row["dispatched"] = std::uint64_t{42};
+    shards.push(std::move(row));
+    m["shards"] = std::move(shards);
+
+    const std::string text = serve::prometheusText(m);
+    EXPECT_NE(text.find("# TYPE nucache_requests_total counter\n"
+                        "nucache_requests_total 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("nucache_connections 1"), std::string::npos);
+    EXPECT_NE(text.find("nucache_slow_clients_total 0"),
+              std::string::npos);
+    // The histogram renders cumulative buckets ending at +Inf, and
+    // the sum/count pair.
+    EXPECT_NE(
+        text.find("nucache_request_duration_us_bucket"
+                  "{class=\"exact\",le=\"8\"} 2"),
+        std::string::npos);
+    EXPECT_NE(
+        text.find("nucache_request_duration_us_bucket"
+                  "{class=\"exact\",le=\"+Inf\"} 3"),
+        std::string::npos);
+    EXPECT_NE(text.find("nucache_request_duration_us_count"
+                        "{class=\"exact\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("nucache_shard_dispatched_total"
+                        "{shard=\"0\"} 42"),
+              std::string::npos);
+    // Blocks absent from the document are simply not rendered.
+    EXPECT_EQ(text.find("nucache_process_rss_bytes"),
+              std::string::npos);
+}
+
+TEST(ServeMetricsToggle, DefaultsOnAndFlips)
+{
+    EXPECT_TRUE(obs::serveMetricsEnabled());
+    obs::setServeMetricsEnabled(false);
+    EXPECT_FALSE(obs::serveMetricsEnabled());
+    obs::setServeMetricsEnabled(true);
+    EXPECT_TRUE(obs::serveMetricsEnabled());
+}
+
+TEST(ProcessGauges, ReadProcSelf)
+{
+    EXPECT_GT(obs::processRssBytes(), 0u);
+    EXPECT_GE(obs::processThreadCount(), 1u);
+}
+
+} // anonymous namespace
+} // namespace nucache

@@ -85,6 +85,29 @@ TEST(Protocol, ControlOpsNeedNoParams)
               serve::Op::Shutdown);
 }
 
+TEST(Protocol, ParsesMetricsOp)
+{
+    const Request plain = mustParse(R"({"op":"metrics"})");
+    EXPECT_EQ(plain.op, serve::Op::Metrics);
+    EXPECT_FALSE(plain.promFormat);
+
+    const Request json = mustParse(
+        R"({"op":"metrics","params":{"format":"json"}})");
+    EXPECT_FALSE(json.promFormat);
+
+    const Request prom = mustParse(
+        R"({"op":"metrics","params":{"format":"prometheus"}})");
+    EXPECT_TRUE(prom.promFormat);
+}
+
+TEST(Protocol, RejectsBadMetricsParams)
+{
+    mustReject(R"({"op":"metrics","params":{"format":"xml"}})");
+    mustReject(R"({"op":"metrics","params":{"format":7}})");
+    // run_mix params are not metrics params.
+    mustReject(R"({"op":"metrics","params":{"mix":"mix2_01"}})");
+}
+
 TEST(Protocol, RejectsMalformedLines)
 {
     mustReject("");

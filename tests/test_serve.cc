@@ -108,12 +108,18 @@ const char *kMixLine =
 
 TEST_F(ServeTest, HealthRoundTrip)
 {
-    startServer(baseConfig());
+    serve::ServerConfig cfg = baseConfig();
+    cfg.shards = 2;
+    startServer(cfg);
     TestClient client(server->port());
     const Json doc = client.call(R"({"op":"health","id":3})");
     EXPECT_TRUE(doc.at("ok").asBool());
     EXPECT_EQ(doc.at("id").asUint(), 3u);
-    EXPECT_EQ(doc.at("result").at("status").asString(), "ok");
+    const Json &result = doc.at("result");
+    EXPECT_EQ(result.at("status").asString(), "ok");
+    EXPECT_EQ(result.at("version").asString(), "nucache-rpc/v1");
+    EXPECT_TRUE(result.at("uptime_ms").isNumber());
+    EXPECT_EQ(result.at("shards").asUint(), 2u);
 }
 
 TEST_F(ServeTest, RunMixResultsAndCacheReuse)
@@ -387,6 +393,17 @@ TEST_F(ServeTest, SlowReaderIsShedWhileOthersAreServed)
     }
     const Json stats = healthy.call(R"({"op":"stats"})");
     EXPECT_GE(stats.at("result").at("slow_clients").asUint(), 1u);
+
+    // The observability plane saw the same story: the shed counter
+    // ticked, and the outbound gauge's high-water mark records the
+    // backlog that crossed the 32 KiB cap before the kill.
+    const Json metrics = healthy.call(R"({"op":"metrics"})");
+    ASSERT_TRUE(metrics.at("ok").asBool()) << metrics.str(0);
+    const Json &srv = metrics.at("result").at("server");
+    EXPECT_GE(srv.at("slow_clients").asUint(), 1u);
+    EXPECT_GE(srv.at("outbound_hwm_bytes").asUint(), 32u * 1024u);
+    EXPECT_LT(srv.at("outbound_bytes").asUint(),
+              srv.at("outbound_hwm_bytes").asUint());
 }
 
 TEST_F(ServeTest, StreamedTelemetryRunDeliversOrderedFrames)
@@ -546,6 +563,119 @@ TEST_F(ServeTest, EstimateAndExactResultsAreCachedSeparately)
     EXPECT_EQ(again.at("result").find("estimated"), nullptr);
     EXPECT_EQ(again.at("result").at("weighted_speedup").str(0),
               sim.at("result").at("weighted_speedup").str(0));
+}
+
+TEST_F(ServeTest, MetricsOpReportsRequestClassesAndShards)
+{
+    model::ProfileStore::instance().clear();
+    serve::ServerConfig cfg = baseConfig();
+    cfg.shards = 2;
+    startServer(cfg);
+    TestClient client(server->port());
+
+    // One exact run (dispatched), its cached repeat (inline), and an
+    // estimate — three distinct request classes.
+    ASSERT_TRUE(client.call(kMixLine).at("ok").asBool());
+    ASSERT_TRUE(client.call(kMixLine).at("ok").asBool());
+    ASSERT_TRUE(client
+                    .call(R"({"op":"run_mix","params":{)"
+                          R"("mix":"mix2_01","mode":"estimate"}})")
+                    .at("ok")
+                    .asBool());
+
+    const Json doc = client.call(R"({"op":"metrics"})");
+    ASSERT_TRUE(doc.at("ok").asBool()) << doc.str(0);
+    const Json &m = doc.at("result");
+    EXPECT_EQ(m.at("schema").asString(), "nucache-metrics/v1");
+
+    const Json &srv = m.at("server");
+    EXPECT_GE(srv.at("requests").asUint(), 4u);
+    EXPECT_EQ(srv.at("serve_shards").asUint(), 2u);
+    EXPECT_GT(srv.at("outbound_hwm_bytes").asUint(), 0u);
+    EXPECT_GE(srv.at("metrics_scrapes").asUint(), 1u);
+    EXPECT_GT(m.at("process").at("rss_bytes").asUint(), 0u);
+
+    // Every class that ran has total-latency samples; the phase
+    // histograms cover the dispatched requests.
+    const Json &classes = m.at("requests");
+    EXPECT_GE(classes.at("exact").at("count").asUint(), 1u);
+    EXPECT_GE(classes.at("cache_hit").at("count").asUint(), 1u);
+    EXPECT_GE(classes.at("estimate").at("count").asUint(), 1u);
+    EXPECT_GT(classes.at("exact").at("p50_us").asDouble(), 0.0);
+    EXPECT_GE(m.at("phases").at("execute").at("count").asUint(), 2u);
+    EXPECT_GE(m.at("phases").at("flush").at("count").asUint(), 3u);
+
+    // Per-shard rows: both shards present, the dispatch counters sum
+    // to the dispatched (non-inline) requests.
+    const Json &shards = m.at("shards");
+    ASSERT_EQ(shards.size(), 2u);
+    std::uint64_t dispatched = 0;
+    for (const Json &s : shards.elements()) {
+        dispatched += s.at("dispatched").asUint();
+        EXPECT_TRUE(s.at("queue_len").isNumber());
+        EXPECT_TRUE(s.at("queue_depth_hwm").isNumber());
+        EXPECT_TRUE(s.at("service").isObject());
+    }
+    EXPECT_GE(dispatched, 2u);
+
+    const Json &cache = m.at("cache");
+    EXPECT_GE(cache.at("result_hits").asUint(), 1u);
+    EXPECT_GE(cache.at("engines_built").asUint(), 1u);
+    EXPECT_GE(cache.at("estimates").asUint(), 1u);
+    EXPECT_GE(m.at("slow_requests").size(), 1u);
+}
+
+TEST_F(ServeTest, MetricsPrometheusFormat)
+{
+    startServer(baseConfig());
+    TestClient client(server->port());
+    ASSERT_TRUE(client.call(R"({"op":"health"})").at("ok").asBool());
+
+    const Json doc = client.call(
+        R"({"op":"metrics","params":{"format":"prometheus"}})");
+    ASSERT_TRUE(doc.at("ok").asBool()) << doc.str(0);
+    const Json &result = doc.at("result");
+    EXPECT_EQ(result.at("content_type").asString(),
+              "text/plain; version=0.0.4");
+    const std::string &text = result.at("text").asString();
+    EXPECT_NE(text.find("# TYPE nucache_requests_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("nucache_requests_total "), std::string::npos);
+    EXPECT_NE(text.find("nucache_serve_shards 1"), std::string::npos);
+    EXPECT_NE(text.find("nucache_shard_queue_len{shard=\"0\"}"),
+              std::string::npos);
+    // Histograms carry the +Inf bucket and the _sum/_count pair.
+    EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+    EXPECT_NE(text.find("nucache_request_duration_us_count"),
+              std::string::npos);
+}
+
+TEST_F(ServeTest, TwoShardStatsCountProfilesOnce)
+{
+    // profiles_built comes from the process-global ProfileStore, so
+    // the per-shard aggregation must keep one copy instead of summing
+    // the same store once per shard.
+    model::ProfileStore::instance().clear();
+    serve::ServerConfig cfg = baseConfig();
+    cfg.shards = 2;
+    startServer(cfg);
+    TestClient client(server->port());
+
+    ASSERT_TRUE(client
+                    .call(R"({"op":"run_mix","params":{)"
+                          R"("mix":"mix2_01","mode":"estimate"}})")
+                    .at("ok")
+                    .asBool());
+    const std::uint64_t built =
+        model::ProfileStore::instance().built();
+    ASSERT_GT(built, 0u);
+
+    const Json stats = client.call(R"({"op":"stats"})");
+    EXPECT_EQ(stats.at("result")
+                  .at("service")
+                  .at("profiles_built")
+                  .asUint(),
+              built);
 }
 
 TEST_F(ServeTest, NewRunsRejectedWhileShuttingDown)

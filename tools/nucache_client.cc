@@ -12,6 +12,11 @@
  *   nucache_client --op=run_trace a.nutrace b.nutrace
  *   nucache_client --raw='{"op":"health"}'
  *
+ * --metrics scrapes the server's observability plane: it sends the
+ * `metrics` op and prints only the result document (pipe into
+ * `nucache_report --check -` or a file).  --format=prometheus prints
+ * the text exposition verbatim instead, ready for a scrape endpoint.
+ *
  * --repeat sends the same request K times on one connection and
  * prints each latency (cold first request vs warm repeats).
  * --stream (with --telemetry) requests chunked delivery: every
@@ -525,6 +530,51 @@ runMeasuredPhase(const std::string &line, const std::string &host,
     return out;
 }
 
+/** The --metrics scrape mode. @return the process exit code. */
+int
+runMetricsScrape(const CliArgs &args, const std::string &host,
+                 std::uint16_t port)
+{
+    const std::string format = args.get("format", "json");
+    if (format != "json" && format != "prometheus")
+        fatal("--format must be json or prometheus");
+
+    Json req = Json::object();
+    req["v"] = serve::kProtocolVersion;
+    req["id"] = std::uint64_t{1};
+    req["op"] = "metrics";
+    Json params = Json::object();
+    params["format"] = format;
+    req["params"] = std::move(params);
+
+    ClientConn conn;
+    std::string err, response;
+    if (!conn.open(host, port, err))
+        fatal("nucache_client: ", err);
+    if (!conn.roundTrip(req.str(0), response))
+        fatal("nucache_client: connection closed by server");
+
+    Json doc;
+    if (!Json::parse(response, doc, err))
+        fatal("nucache_client: malformed response: ", err);
+    if (!responseOk(response)) {
+        std::cout << doc.str(2) << "\n";
+        return 1;
+    }
+    const Json *result = doc.find("result");
+    if (result == nullptr)
+        fatal("nucache_client: metrics response has no result");
+    if (format == "prometheus") {
+        const Json *text = result->find("text");
+        if (text == nullptr || !text->isString())
+            fatal("nucache_client: prometheus response has no text");
+        std::cout << text->asString();
+        return 0;
+    }
+    std::cout << result->str(args.has("compact") ? 0 : 2) << "\n";
+    return 0;
+}
+
 /** The --bench load mode. @return the process exit code. */
 int
 runBench(const CliArgs &args, const std::string &host,
@@ -654,6 +704,16 @@ runBench(const CliArgs &args, const std::string &host,
         doc["pipeline"] = std::uint64_t{pipeline};
         if (interval_s > 0.0)
             doc["target_rps"] = rate;
+        // Full client configuration, so a report file alone is enough
+        // to reproduce the load shape that produced it.
+        Json client = Json::object();
+        client["connections"] = std::uint64_t{conns};
+        client["requests_per_connection"] = std::uint64_t{per_conn};
+        client["pipeline"] = std::uint64_t{pipeline};
+        client["loop"] = interval_s > 0.0 ? "open" : "closed";
+        client["target_rps"] = interval_s > 0.0 ? rate : 0.0;
+        client["run_mode"] = args.get("mode", "exact");
+        doc["client"] = std::move(client);
         doc["ok"] = ok;
         doc["errors"] = errors;
         doc["dropped_connections"] = dropped;
@@ -692,11 +752,14 @@ int
 main(int argc, char **argv)
 {
     const CliArgs args(argc, argv,
-                       {"no-cache", "telemetry", "compact", "stream"});
+                       {"no-cache", "telemetry", "compact", "stream",
+                        "metrics"});
     const std::string host = args.get("host", "127.0.0.1");
     const std::uint16_t port =
         static_cast<std::uint16_t>(args.getInt("port", 7411));
 
+    if (args.has("metrics"))
+        return runMetricsScrape(args, host, port);
     if (args.has("bench"))
         return runBench(args, host, port);
 

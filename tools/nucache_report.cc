@@ -3,7 +3,9 @@
  * nucache_report: offline viewer for the observability artifacts the
  * benches emit — bench results (nucache-bench/v1), telemetry
  * time-series (nucache-telemetry/v1), run_trace stat dumps
- * (nucache-run/v1) and Chrome trace_event timelines.
+ * (nucache-run/v1), server metrics scrapes (nucache-metrics/v1, as
+ * written by `nucache_client --metrics`) and Chrome trace_event
+ * timelines.
  *
  * Modes:
  *   nucache_report FILE...
@@ -51,7 +53,15 @@ readFile(const std::string &path)
     return ss.str();
 }
 
-enum class DocType { Bench, Telemetry, RunStats, Trace, Unknown };
+enum class DocType
+{
+    Bench,
+    Telemetry,
+    RunStats,
+    Metrics,
+    Trace,
+    Unknown
+};
 
 DocType
 docTypeOf(const Json &doc)
@@ -67,6 +77,8 @@ docTypeOf(const Json &doc)
             return DocType::Telemetry;
         if (s == "nucache-run/v1")
             return DocType::RunStats;
+        if (s == "nucache-metrics/v1")
+            return DocType::Metrics;
     }
     if (const Json *ev = doc.find("traceEvents");
         ev != nullptr && ev->isArray()) {
@@ -85,6 +97,8 @@ docTypeName(DocType t)
         return "telemetry";
       case DocType::RunStats:
         return "run stats";
+      case DocType::Metrics:
+        return "server metrics";
       case DocType::Trace:
         return "trace_event timeline";
       default:
@@ -241,6 +255,113 @@ checkRunStats(const Json &doc, std::vector<std::string> &errs)
             "missing stats object", errs);
 }
 
+/** Validate one nucache-metrics/v1 histogram block. */
+void
+checkHistogram(const Json &hist, const std::string &where,
+               std::vector<std::string> &errs)
+{
+    if (!require(hist.isObject(), where + " is not an object", errs))
+        return;
+    const Json *count = hist.find("count");
+    const Json *sum = hist.find("sum_us");
+    require(count != nullptr && count->isNumber(),
+            where + " lacks a numeric count", errs);
+    require(sum != nullptr && sum->isNumber(),
+            where + " lacks a numeric sum_us", errs);
+    if (const Json *buckets = hist.find("buckets")) {
+        if (!require(buckets->isArray(),
+                     where + " buckets is not an array", errs))
+            return;
+        std::uint64_t total = 0;
+        for (const Json &row : buckets->elements()) {
+            const Json *le = row.find("le_us");
+            const Json *c = row.find("count");
+            if (!require(le != nullptr && le->isNumber() &&
+                             c != nullptr && c->isNumber(),
+                         where + " has a malformed bucket row", errs))
+                return;
+            total += c->asUint();
+        }
+        if (const Json *overflow = hist.find("overflow");
+            overflow != nullptr && overflow->isNumber())
+            total += overflow->asUint();
+        require(count == nullptr || total == count->asUint(),
+                where + " bucket counts do not sum to count", errs);
+    }
+}
+
+void
+checkMetrics(const Json &doc, std::vector<std::string> &errs)
+{
+    const Json *server = doc.find("server");
+    if (require(server != nullptr && server->isObject(),
+                "missing server object", errs)) {
+        for (const char *key :
+             {"uptime_ms", "connections", "accepted", "requests",
+              "responses", "slow_clients", "outbound_bytes",
+              "outbound_hwm_bytes", "serve_shards"}) {
+            const Json *v = server->find(key);
+            require(v != nullptr && v->isNumber(),
+                    std::string("server lacks numeric '") + key + "'",
+                    errs);
+        }
+    }
+    const Json *process = doc.find("process");
+    require(process != nullptr && process->isObject() &&
+                process->find("rss_bytes") != nullptr,
+            "missing process block with rss_bytes", errs);
+    const Json *requests = doc.find("requests");
+    if (require(requests != nullptr && requests->isObject(),
+                "missing requests histogram object", errs)) {
+        for (const auto &[cls, hist] : requests->members())
+            checkHistogram(hist, "requests." + cls, errs);
+    }
+    const Json *phases = doc.find("phases");
+    if (require(phases != nullptr && phases->isObject(),
+                "missing phases histogram object", errs)) {
+        for (const char *key : {"queue_wait", "execute", "flush"}) {
+            const Json *h = phases->find(key);
+            if (require(h != nullptr,
+                        std::string("phases lacks '") + key + "'",
+                        errs))
+                checkHistogram(*h, std::string("phases.") + key, errs);
+        }
+    }
+    const Json *shards = doc.find("shards");
+    if (require(shards != nullptr && shards->isArray() &&
+                    shards->size() != 0,
+                "missing non-empty shards array", errs)) {
+        for (std::size_t i = 0; i < shards->size(); ++i) {
+            const Json &s = shards->at(i);
+            const std::string where = "shard " + std::to_string(i);
+            if (!require(s.isObject(), where + " is not an object",
+                         errs))
+                continue;
+            for (const char *key :
+                 {"shard", "queue_len", "queue_depth_hwm",
+                  "dispatched"}) {
+                const Json *v = s.find(key);
+                require(v != nullptr && v->isNumber(),
+                        where + " lacks numeric '" + key + "'", errs);
+            }
+        }
+    }
+    const Json *cache = doc.find("cache");
+    if (require(cache != nullptr && cache->isObject(),
+                "missing cache block", errs)) {
+        for (const char *key :
+             {"result_hits", "result_misses", "engines_built"}) {
+            const Json *v = cache->find(key);
+            require(v != nullptr && v->isNumber(),
+                    std::string("cache lacks numeric '") + key + "'",
+                    errs);
+        }
+    }
+    const Json *slow = doc.find("slow_requests");
+    require(slow != nullptr && slow->isArray(),
+            "missing slow_requests array", errs);
+}
+
 int
 checkFiles(const std::vector<std::string> &paths)
 {
@@ -267,6 +388,9 @@ checkFiles(const std::vector<std::string> &paths)
             break;
           case DocType::RunStats:
             checkRunStats(doc, errs);
+            break;
+          case DocType::Metrics:
+            checkMetrics(doc, errs);
             break;
           default:
             errs.push_back("unrecognized document schema");
@@ -448,6 +572,83 @@ summarizeRunStats(const Json &doc)
     t.print(std::cout);
 }
 
+void
+summarizeMetrics(const Json &doc)
+{
+    if (const Json *server = doc.find("server");
+        server != nullptr && server->isObject()) {
+        TextTable t;
+        t.header({"counter", "value"});
+        for (const auto &kv : server->members()) {
+            if (kv.second.isNumber())
+                t.row().cell(kv.first).cell(kv.second.asDouble());
+        }
+        t.print(std::cout);
+    }
+    if (const Json *requests = doc.find("requests");
+        requests != nullptr && requests->isObject()) {
+        std::cout << "\nrequest latency by class (us)\n";
+        TextTable t;
+        t.header({"class", "count", "p50", "p90", "p99"});
+        for (const auto &[cls, hist] : requests->members()) {
+            const Json *count = hist.find("count");
+            if (count == nullptr || count->asUint() == 0)
+                continue;
+            auto q = [&](const char *key) {
+                const Json *v = hist.find(key);
+                return v != nullptr ? v->asDouble() : 0.0;
+            };
+            t.row()
+                .cell(cls)
+                .cell(count->asUint())
+                .cell(q("p50_us"))
+                .cell(q("p90_us"))
+                .cell(q("p99_us"));
+        }
+        t.print(std::cout);
+    }
+    if (const Json *shards = doc.find("shards");
+        shards != nullptr && shards->isArray()) {
+        std::cout << "\nper-shard dispatch\n";
+        TextTable t;
+        t.header({"shard", "queue", "hwm", "dispatched",
+                  "last_batch"});
+        for (const Json &s : shards->elements()) {
+            auto n = [&](const char *key) {
+                const Json *v = s.find(key);
+                return v != nullptr ? v->asUint() : std::uint64_t{0};
+            };
+            t.row()
+                .cell(n("shard"))
+                .cell(n("queue_len"))
+                .cell(n("queue_depth_hwm"))
+                .cell(n("dispatched"))
+                .cell(n("last_batch"));
+        }
+        t.print(std::cout);
+    }
+    if (const Json *slow = doc.find("slow_requests");
+        slow != nullptr && slow->isArray() && slow->size() != 0) {
+        std::cout << "\nslowest requests (us)\n";
+        TextTable t;
+        t.header({"class", "total", "queue", "execute", "flush"});
+        for (const Json &e : slow->elements()) {
+            auto n = [&](const char *key) {
+                const Json *v = e.find(key);
+                return v != nullptr ? v->asUint() : std::uint64_t{0};
+            };
+            const Json *cls = e.find("class");
+            t.row()
+                .cell(cls != nullptr ? cls->asString() : "?")
+                .cell(n("total_us"))
+                .cell(n("queue_us"))
+                .cell(n("execute_us"))
+                .cell(n("flush_us"));
+        }
+        t.print(std::cout);
+    }
+}
+
 int
 summarizeFiles(const std::vector<std::string> &paths,
                const std::string &series_filter)
@@ -469,6 +670,9 @@ summarizeFiles(const std::vector<std::string> &paths,
             break;
           case DocType::RunStats:
             summarizeRunStats(doc);
+            break;
+          case DocType::Metrics:
+            summarizeMetrics(doc);
             break;
           default:
             std::cout << "unrecognized document; nothing to report\n";

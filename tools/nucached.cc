@@ -12,7 +12,8 @@
  *            [--deadline-ms=30000] [--max-conns=1024] [--cache=256]
  *            [--max-outbound-kib=8192] [--slices=S]
  *            [--slice-hash=mod|xor] [--shard-jobs=J]
- *            [--check] [--port-file=FILE] [--quiet]
+ *            [--check] [--port-file=FILE] [--trace-out=FILE]
+ *            [--quiet]
  *
  * --serve-shards runs N independent engine shards, each with its own
  * dispatcher thread, memoized engines, result cache and admission
@@ -27,6 +28,9 @@
  *
  * --port=0 binds an ephemeral port; --port-file writes the bound
  * port to FILE once the server is listening (for scripts and CI).
+ * --trace-out arms the process tracer for the server's lifetime and
+ * writes a Chrome trace of the served traffic (one span per request
+ * plus per-phase spans) to FILE at shutdown.
  * SIGINT/SIGTERM and the `shutdown` op drain admitted work, flush
  * every response, and exit 0.
  */
@@ -42,6 +46,7 @@
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "mem/shard_mode.hh"
+#include "obs/tracer.hh"
 #include "serve/server.hh"
 
 using namespace nucache;
@@ -106,6 +111,10 @@ main(int argc, char **argv)
         fatal("--records must be in [", serve::kMinRecords, ", ",
               serve::kMaxRecords, "]");
 
+    const std::string trace_out = args.get("trace-out", "");
+    if (!trace_out.empty())
+        obs::Tracer::instance().start(trace_out);
+
     serve::Server server(cfg);
     std::string err;
     if (!server.start(err))
@@ -139,6 +148,11 @@ main(int argc, char **argv)
 
     server.join();
     g_server.store(nullptr, std::memory_order_release);
+
+    if (!trace_out.empty()) {
+        obs::Tracer::instance().stop();
+        inform("nucached: wrote trace to ", trace_out);
+    }
 
     const Json stats = server.statsJson();
     std::fprintf(stderr,
