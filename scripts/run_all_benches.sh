@@ -2,6 +2,9 @@
 # Regenerate every table/figure of the evaluation into results/.
 # Each engine-driven bench runs its (mix x policy) grid on --jobs
 # worker threads and mirrors its tables into results/<name>.json.
+# The bench list is the build/bench/bench_* glob, so new benches
+# (bench_attack, the adversarial suite, among them) join the sweep
+# the moment they build — no list to keep in sync here.
 # A failing bench no longer aborts the sweep: the remaining benches
 # still run, the failure is reported, and the script exits non-zero.
 # Usage: scripts/run_all_benches.sh [--quick] [--jobs N] [results_dir]

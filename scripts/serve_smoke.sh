@@ -12,6 +12,9 @@
 #                floor (leave unset on noisy or sanitizer-built
 #                runners).
 #   SHARDS=<n>   engine shards to boot with (default 1).
+#   ATTACK=1     also drive hostile attack:* traces and malformed
+#                attack/defense specs through run_mix (all must be
+#                answered, never fatal).
 set -euo pipefail
 
 build="${1-build}"
@@ -115,6 +118,37 @@ if [ -n "${ESTIMATE-}" ]; then
             exit 1
         }
     }' "$est_out"
+fi
+
+if [ -n "${ATTACK-}" ]; then
+    echo "== adversarial traffic is an ordinary workload"
+    # A hostile trace (eviction-set attacker next to a benign victim)
+    # through run_mix with the randomized-index defense raised on the
+    # shared LLC: must answer ok like any other workload.
+    "$client" --port="$port" --raw='{"op":"run_mix","params":{"workloads":["attack:evset","zipf_hot"],"records":10000,"llc_defense":"rand-dynamic:key=7,period=5000"}}' \
+        --compact >/dev/null
+    # A storm without the defense, plain flags.
+    "$client" --port="$port" --op=run_mix \
+        --workloads=attack:storm,zipf_hot --records=10000 \
+        --compact >/dev/null
+    # Malformed attack names and defense specs must answer
+    # bad_request — never take the server down.
+    if "$client" --port="$port" \
+        --raw='{"op":"run_mix","params":{"workloads":["attack:rowhammer"],"records":10000}}' \
+        --compact; then
+        echo "serve smoke: malformed attack name should answer an" \
+            "error" >&2
+        exit 1
+    fi
+    if "$client" --port="$port" \
+        --raw='{"op":"run_mix","params":{"workloads":["zipf_hot"],"records":10000,"llc_defense":"rand:period=1"}}' \
+        --compact; then
+        echo "serve smoke: malformed defense spec should answer an" \
+            "error" >&2
+        exit 1
+    fi
+    # The server must still be healthy after the hostile batch.
+    "$client" --port="$port" --op=health --compact
 fi
 
 echo "== metrics scrape (JSON + Prometheus + nucache_top)"

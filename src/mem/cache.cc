@@ -1,5 +1,6 @@
 #include "mem/cache.hh"
 
+#include <algorithm>
 #include <bit>
 #include <typeinfo>
 
@@ -58,6 +59,13 @@ Cache::Cache(const CacheConfig &config,
               " slices exceed its ", sets, " sets");
     sliceMap = SliceMap(sets, cfg.slices, parseSliceHash(cfg.sliceHash));
 
+    // The randomized-index defense scrambles the *global* set index,
+    // upstream of the SliceMap decomposition — slicing stays a pure
+    // layout transform underneath it.
+    defenseCfg = parseIndexDefense(cfg.defense);
+    defenseOn = defenseCfg.enabled();
+    defenseEpochKey = epochKeyOf(defenseCfg.key, 0);
+
     const std::size_t rows = sliceMap.rowsPerSlice();
     const std::size_t entries = rows * cfg.ways;
     slicesStore.resize(cfg.slices);
@@ -85,7 +93,10 @@ Cache::Cache(const CacheConfig &config,
 std::uint32_t
 Cache::setIndexOf(Addr addr) const
 {
-    return static_cast<std::uint32_t>((addr >> blockBits) & (sets - 1));
+    const Addr tag = addr >> blockBits;
+    if (defenseOn)
+        return scrambleIndex(tag, defenseEpochKey, sets);
+    return static_cast<std::uint32_t>(tag & (sets - 1));
 }
 
 Addr
@@ -128,6 +139,15 @@ Cache::access(AccessInfo info)
               " but only ", stats.size(), " cores registered");
 
     info.tick = ++tickCounter;
+    // Dynamic remap: the epoch clock is this cache's own access tick,
+    // which the sharded engine drives serially in the exact serial
+    // interleave — so re-key points are identical at every --slices /
+    // --shard-jobs width.
+    if (defenseCfg.kind == IndexDefenseKind::RandDynamic) {
+        const std::uint64_t epoch = (tickCounter - 1) / defenseCfg.period;
+        if (epoch != defenseEpoch)
+            remapFlush(epoch);
+    }
     const std::uint32_t set = setIndexOf(info.addr);
     TagSlice &sl = sliceFor(set);
     const std::uint32_t row = sliceMap.rowOf(set);
@@ -223,6 +243,28 @@ Cache::access(AccessInfo info)
     if (hasObserver)
         observer(set, info, res);
     return res;
+}
+
+void
+Cache::remapFlush(std::uint64_t epoch)
+{
+    defenseEpoch = epoch;
+    defenseEpochKey = epochKeyOf(defenseCfg.key, epoch);
+    ++defenseRemapCount;
+    for (TagSlice &sl : slicesStore) {
+        // Dirty lines leave as write-backs; everything else is simply
+        // dropped.  popcount per row keeps this O(rows), not O(ways).
+        for (const std::uint64_t dirty : sl.dirtyBits)
+            sl.writebacks +=
+                static_cast<std::uint64_t>(std::popcount(dirty));
+        std::fill(sl.tags.begin(), sl.tags.end(), Addr{0});
+        std::fill(sl.origins.begin(), sl.origins.end(), LineOrigin{});
+        std::fill(sl.validBits.begin(), sl.validBits.end(),
+                  std::uint64_t{0});
+        std::fill(sl.dirtyBits.begin(), sl.dirtyBits.end(),
+                  std::uint64_t{0});
+    }
+    repl->onFlushAll();
 }
 
 bool

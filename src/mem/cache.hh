@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "mem/cache_line.hh"
+#include "mem/rand_index.hh"
 #include "mem/replacement.hh"
 #include "mem/slice.hh"
 
@@ -42,6 +43,12 @@ struct CacheConfig
     std::uint32_t slices = 0;
     /** Slice hash ("mod"/"xor"); empty resolves to the process default. */
     std::string sliceHash;
+    /**
+     * Randomized-index defense spec ("none", "rand[:key=N]",
+     * "rand-dynamic[:key=N][,period=N]"; see mem/rand_index.hh).
+     * Empty means no scrambling — plain low-bits indexing.
+     */
+    std::string defense;
 
     /** @return number of sets implied by the geometry. */
     std::uint32_t numSets() const;
@@ -198,6 +205,12 @@ class Cache
     /** @return the set <-> (slice, row) bijection in use. */
     const SliceMap &slicing() const { return sliceMap; }
 
+    /** @return the parsed randomized-index defense configuration. */
+    const IndexDefenseConfig &defense() const { return defenseCfg; }
+
+    /** @return dynamic-remap flushes performed (0 unless rand-dynamic). */
+    std::uint64_t defenseRemaps() const { return defenseRemapCount; }
+
     /** @return the replacement policy (for tests / introspection). */
     ReplacementPolicy &policy() { return *repl; }
     const ReplacementPolicy &policy() const { return *repl; }
@@ -217,6 +230,14 @@ class Cache
   private:
     /** @return way holding @p tag in @p set, or ways if absent. */
     std::uint32_t findWay(std::uint32_t set, Addr tag) const;
+
+    /**
+     * Enter remap epoch @p epoch: derive its scramble key, invalidate
+     * every line (dirty lines count as write-backs — re-keying does
+     * not lose data, it flushes it) and tell the policy its per-line
+     * metadata is gone.
+     */
+    void remapFlush(std::uint64_t epoch);
 
     CacheConfig cfg;
     std::uint32_t sets;
@@ -276,6 +297,16 @@ class Cache
     /** Mirrors the heat shards' presence (hot-path test). */
     bool heatOn = false;
     Tick tickCounter = 0;
+
+    /** Parsed from cfg.defense at construction. */
+    IndexDefenseConfig defenseCfg;
+    /** Mirrors defenseCfg.enabled() (hot-path test in setIndexOf). */
+    bool defenseOn = false;
+    /** Scramble key of the current remap epoch. */
+    std::uint64_t defenseEpochKey = 0;
+    /** Current remap epoch ordinal (accesses / period). */
+    std::uint64_t defenseEpoch = 0;
+    std::uint64_t defenseRemapCount = 0;
 };
 
 } // namespace nucache

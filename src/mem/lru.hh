@@ -34,6 +34,13 @@ class LruPolicy : public ReplacementPolicy
     void onFill(const SetView &set, std::uint32_t way,
                 const AccessInfo &info) override;
 
+    /** A full flush drops every stamp (no valid line may keep one). */
+    void
+    onFlushAll() override
+    {
+        lastTouch.assign(lastTouch.size(), 0);
+    }
+
     std::string name() const override { return "lru"; }
 
     /**

@@ -156,6 +156,17 @@ class ReplacementPolicy
     virtual void onFill(const SetView &set, std::uint32_t way,
                         const AccessInfo &info) = 0;
 
+    /**
+     * Every line of every set was invalidated at once (the
+     * randomized-index defense's dynamic remap flushes the cache when
+     * it re-keys; see mem/rand_index.hh).  Policies holding per-line
+     * metadata must drop it so flushed lines read as untracked —
+     * PIPP's rank permutation in particular demands invalid lines be
+     * unranked.  The default assumes no per-line state survives a
+     * normal fill cycle and does nothing.
+     */
+    virtual void onFlushAll() {}
+
     /** @return a short policy name for reports. */
     virtual std::string name() const = 0;
 

@@ -52,6 +52,17 @@ class PippPolicy : public ReplacementPolicy
     void onFill(const SetView &set, std::uint32_t way,
                 const AccessInfo &info) override;
 
+    /**
+     * A full flush unranks every line: checkInvariants demands invalid
+     * lines carry noRank, and stale ranks would corrupt the permutation
+     * when the flushed set refills.
+     */
+    void
+    onFlushAll() override
+    {
+        rank.assign(rank.size(), noRank);
+    }
+
     std::string name() const override { return "pipp"; }
 
     /**

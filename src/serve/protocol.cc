@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/bitutil.hh"
+#include "mem/rand_index.hh"
 #include "mem/shard_mode.hh"
 #include "model/predictor.hh"
 #include "obs/obs_mode.hh"
@@ -125,6 +126,24 @@ parseRunParams(const Json &params, Request &out, std::string &err)
         out.llcWays = static_cast<std::uint32_t>(ways);
     }
 
+    const Json *defense = params.find("llc_defense");
+    if (defense != nullptr) {
+        if (!defense->isString()) {
+            err = "'llc_defense' must be a string";
+            return false;
+        }
+        IndexDefenseConfig cfg;
+        std::string defense_err;
+        if (!tryParseIndexDefense(defense->asString(), cfg,
+                                  defense_err)) {
+            err = "'llc_defense': " + defense_err;
+            return false;
+        }
+        // Canonical spec, so "rand" and "rand:key=..." with the
+        // default key share one cache entry.
+        out.llcDefense = cfg.enabled() ? cfg.spec() : "";
+    }
+
     const Json *telemetry = params.find("telemetry");
     if (telemetry != nullptr) {
         if (telemetry->isBool()) {
@@ -210,6 +229,11 @@ parseRunParams(const Json &params, Request &out, std::string &err)
                   "stream (the model does not simulate)";
             return false;
         }
+        if (!out.llcDefense.empty()) {
+            err = "'mode': 'estimate' cannot apply 'llc_defense' "
+                  "(the model does not simulate index randomization)";
+            return false;
+        }
         if (!model::estimateSupported(out.policy, err))
             return false;
     }
@@ -286,8 +310,9 @@ bool
 knownParamKeys(Op op, const Json &params, std::string &err)
 {
     static const std::vector<std::string> shared = {
-        "policy", "records", "llc_kib", "llc_ways", "telemetry",
-        "stream", "no_cache", "slices", "shard_jobs", "mode"};
+        "policy", "records", "llc_kib", "llc_ways", "llc_defense",
+        "telemetry", "stream", "no_cache", "slices", "shard_jobs",
+        "mode"};
     for (const auto &[key, value] : params.members()) {
         (void)value;
         bool known =
@@ -463,6 +488,10 @@ requestHierarchy(const Request &req)
                 << 10,
             req.llcWays != 0 ? req.llcWays : hier.llc.ways, 64};
     }
+    // After the geometry override, which re-constructs hier.llc
+    // wholesale and would reset the defense field.
+    if (!req.llcDefense.empty())
+        hier.llc.defense = req.llcDefense;
     if (req.slices != 0)
         hier.llc.slices = req.slices;
     if (req.shardJobs != 0)
@@ -496,8 +525,10 @@ cacheKey(const Request &req, std::uint64_t default_records)
     // Key audit — every field that can change the response bytes is
     // rendered here:
     //   mix identity, policy spec, measurement window, resolved LLC
-    //   geometry (llc_kib/llc_ways fold into sizeBytes/ways), and
-    //   the execution tier (an estimate must never be served for an
+    //   geometry (llc_kib/llc_ways fold into sizeBytes/ways), the
+    //   randomized-index defense (scrambling changes every set index,
+    //   so hit rates differ from the plain-indexed run), and the
+    //   execution tier (an estimate must never be served for an
     //   exact request or vice versa).
     // Deliberately absent: `slices` and `shard_jobs`.  Both are
     // execution-shape knobs with bit-identical results at every
@@ -512,6 +543,8 @@ cacheKey(const Request &req, std::uint64_t default_records)
     key << "|" << req.policy << "|"
         << (req.records != 0 ? req.records : default_records) << "|"
         << hier.llc.sizeBytes << "/" << hier.llc.ways;
+    if (!req.llcDefense.empty())
+        key << "|defense=" << req.llcDefense;
     if (req.mode == Mode::Estimate)
         key << "|estimate";
     return key.str();

@@ -31,10 +31,18 @@
  *                  stride; attaches the nucache-telemetry/v1 doc),
  *                  "stream" (with telemetry: deliver the run as
  *                  incremental frames, see below), "no_cache" (skip
- *                  the server's result cache), "slices" (LLC slice
- *                  count, a power of two) and "shard_jobs" (intra-run
- *                  worker threads) — both execution knobs with
- *                  bit-identical results.
+ *                  the server's result cache), "llc_defense" (the
+ *                  randomized-index defense spec of mem/rand_index.hh:
+ *                  "none", "rand[:key=N]" or
+ *                  "rand-dynamic[:key=N][,period=N]"), "slices" (LLC
+ *                  slice count, a power of two) and "shard_jobs"
+ *                  (intra-run worker threads) — the last two are
+ *                  execution knobs with bit-identical results.
+ *
+ * run_mix workload names include the adversarial-traffic family
+ * "attack:<scenario>[:key=value,...]" (scenarios evset / storm; see
+ * src/attack/attack.hh) next to the synthetic catalog — hostile
+ * traces are ordinary workloads to the server.
  * run_trace params: {"traces": ["/path/a.nutrace", ...]} plus the
  *                  same "policy"/"records"/"llc_kib"/"llc_ways".
  *
@@ -151,6 +159,8 @@ struct Request
     /** LLC geometry overrides; 0 = canonical for the core count. */
     std::uint64_t llcKib = 0;
     std::uint32_t llcWays = 0;
+    /** Randomized-index defense spec; empty = plain indexing. */
+    std::string llcDefense;
     /** Telemetry sampling stride; 0 = no telemetry attachment. */
     std::uint64_t telemetry = 0;
     /** Deliver the run as incremental frames (telemetry runs only). */

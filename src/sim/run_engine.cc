@@ -32,6 +32,10 @@ RunEngine::aloneIpc(const std::string &workload,
     key << workload << "/" << hier.llc.sizeBytes << "/" << hier.llc.ways
         << "/" << records << "/" << hier.enableL2 << hier.inclusive
         << hier.prefetch.enabled << "/" << hier.l2.sizeBytes;
+    // Index scrambling changes the alone run's hit rates, so defended
+    // and plain hierarchies must not share a baseline.
+    if (!hier.llc.defense.empty())
+        key << "/" << hier.llc.defense;
 
     std::promise<double> promise;
     std::shared_future<double> future;

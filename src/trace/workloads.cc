@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "attack/attack.hh"
 #include "common/logging.hh"
 
 namespace nucache
@@ -299,12 +300,34 @@ workloadNames()
 bool
 isWorkloadName(const std::string &name)
 {
+    // The attack:* family is synthesized on demand, not cataloged;
+    // a malformed attack name is simply not a workload (the server's
+    // never-fatal validation relies on this answering false, not
+    // dying).
+    if (isAttackName(name)) {
+        AttackSpec spec;
+        std::string err;
+        return tryParseAttackSpec(name, spec, err);
+    }
     return catalog().count(name) != 0;
 }
 
 WorkloadSpec
 workloadSpec(const std::string &name, std::uint64_t length_override)
 {
+    if (isAttackName(name)) {
+        // Synthesize a minimal spec: consumers of attack names use it
+        // only for the name/seed/length envelope (the arena's reserve
+        // in particular) — the records come from makeAttackTrace.
+        const AttackSpec attack = parseAttackSpec(name);
+        WorkloadSpec spec;
+        spec.name = attack.name;
+        spec.seed = attack.seed;
+        spec.length = attack.length;
+        if (length_override != 0)
+            spec.length = length_override;
+        return spec;
+    }
     const auto it = catalog().find(name);
     if (it == catalog().end())
         fatal("unknown workload '", name, "'");
@@ -317,6 +340,8 @@ workloadSpec(const std::string &name, std::uint64_t length_override)
 TraceSourcePtr
 makeWorkload(const std::string &name, std::uint64_t length_override)
 {
+    if (isAttackName(name))
+        return makeAttackTrace(name, length_override);
     return std::make_unique<SyntheticWorkload>(
         workloadSpec(name, length_override));
 }

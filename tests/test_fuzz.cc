@@ -13,11 +13,14 @@
 
 #include <sstream>
 
+#include "attack/attack.hh"
 #include "common/cli.hh"
 #include "common/rng.hh"
 #include "mem/cache.hh"
+#include "mem/rand_index.hh"
 #include "sim/policies.hh"
 #include "trace/trace_io.hh"
+#include "trace/workloads.hh"
 
 namespace nucache
 {
@@ -221,6 +224,72 @@ TEST(TraceFuzz, TextMutationsParseOrFailCleanly)
             ASSERT_FALSE(out.error.empty());
         } else {
             ASSERT_LE(out.records.size(), base.size());
+        }
+    }
+}
+
+/**
+ * Attack-name fuzzer: random parameter strings after the attack:
+ * prefix must parse or be rejected with a reason — never crash or
+ * fatal().  The server's workload validation funnels untrusted names
+ * through tryParseAttackSpec, so this is a hostile-input surface.
+ */
+TEST(AttackFuzz, RandomNamesParseOrFailCleanly)
+{
+    Rng rng(0xa77ac5eed);
+    const char charset[] =
+        "abcdefghijklmnopqrstuvwxyz0123456789-=_,:. ";
+    for (int iter = 0; iter < 8000; ++iter) {
+        std::string name = "attack:";
+        if (rng.chance(0.5))
+            name += rng.chance(0.5) ? "evset" : "storm";
+        const std::size_t len = rng.below(24);
+        for (std::size_t c = 0; c < len; ++c)
+            name += charset[rng.below(sizeof(charset) - 1)];
+        AttackSpec spec;
+        std::string err;
+        if (tryParseAttackSpec(name, spec, err)) {
+            // Accepted specs must satisfy the documented ranges and
+            // be consistent with the workload-layer dispatch.
+            ASSERT_GE(spec.sets, 2u);
+            ASSERT_EQ(spec.sets & (spec.sets - 1), 0u);
+            ASSERT_GE(spec.ways, 1u);
+            ASSERT_LE(spec.ways, 64u);
+            ASSERT_TRUE(isWorkloadName(name));
+        } else {
+            ASSERT_FALSE(err.empty());
+            ASSERT_FALSE(isWorkloadName(name));
+        }
+    }
+}
+
+/** Defense-spec fuzzer: same contract for the rand_index grammar. */
+TEST(AttackFuzz, RandomDefenseSpecsParseOrFailCleanly)
+{
+    Rng rng(0xdef5eed);
+    const char charset[] =
+        "abcdefghijklmnopqrstuvwxyz0123456789-=_,:. ";
+    for (int iter = 0; iter < 8000; ++iter) {
+        std::string spec;
+        if (rng.chance(0.6))
+            spec = rng.chance(0.5) ? "rand" : "rand-dynamic";
+        if (rng.chance(0.7)) {
+            spec += ":";
+            const std::size_t len = rng.below(20);
+            for (std::size_t c = 0; c < len; ++c)
+                spec += charset[rng.below(sizeof(charset) - 1)];
+        }
+        IndexDefenseConfig cfg;
+        std::string err;
+        if (tryParseIndexDefense(spec, cfg, err)) {
+            if (cfg.kind == IndexDefenseKind::RandDynamic)
+                ASSERT_GT(cfg.period, 0u);
+            // The canonical rendering must round-trip.
+            IndexDefenseConfig again;
+            ASSERT_TRUE(tryParseIndexDefense(cfg.spec(), again, err));
+            ASSERT_EQ(again.spec(), cfg.spec());
+        } else {
+            ASSERT_FALSE(err.empty());
         }
     }
 }

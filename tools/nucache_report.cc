@@ -161,6 +161,60 @@ checkEstimateTier(const Json &s, const std::string &where,
             where + " lacks a latency block with p50_us", errs);
 }
 
+/**
+ * Validate an attack_suite section: every replay cell must carry the
+ * attack-rate metrics, and the committed gate must have passed — a
+ * defended rate at or above the plain one fails --check even when
+ * the producing bench was not re-run.
+ */
+void
+checkAttackSuite(const Json &s, const std::string &where,
+                 std::vector<std::string> &errs)
+{
+    const Json *cells = s.find("cells");
+    if (!require(cells != nullptr && cells->isArray() &&
+                     cells->size() > 0,
+                 where + " lacks a non-empty cells array", errs))
+        return;
+    for (std::size_t i = 0; i < cells->size(); ++i) {
+        const Json &c = cells->at(i);
+        const std::string cwhere =
+            where + " cell " + std::to_string(i);
+        if (!require(c.isObject(), cwhere + " is not an object", errs))
+            continue;
+        for (const char *key : {"scenario", "defense", "policy"}) {
+            require(c.find(key) != nullptr && c.at(key).isString(),
+                    cwhere + " lacks string '" + key + "'", errs);
+        }
+        for (const char *key :
+             {"accesses", "rounds", "evictions",
+              "evictions_per_1k_accesses"}) {
+            require(c.find(key) != nullptr && c.at(key).isNumber(),
+                    cwhere + " lacks numeric '" + key + "'", errs);
+        }
+    }
+    const Json *gate = s.find("gate");
+    if (!require(gate != nullptr && gate->isObject(),
+                 where + " lacks a gate object", errs))
+        return;
+    const Json *plain = gate->find("plain");
+    const Json *defended = gate->find("rand_dynamic");
+    const Json *pass = gate->find("pass");
+    if (!require(plain != nullptr && plain->isNumber() &&
+                     defended != nullptr && defended->isNumber() &&
+                     pass != nullptr && pass->isBool(),
+                 where + " gate lacks plain/rand_dynamic/pass", errs))
+        return;
+    require(pass->asBool(),
+            where + " gate did not pass when produced", errs);
+    require(defended->asDouble() < plain->asDouble(),
+            where + " defended attack rate " +
+                std::to_string(defended->asDouble()) +
+                " is not below the plain rate " +
+                std::to_string(plain->asDouble()),
+            errs);
+}
+
 void
 checkBench(const Json &doc, std::vector<std::string> &errs)
 {
@@ -183,6 +237,10 @@ checkBench(const Json &doc, std::vector<std::string> &errs)
         if (kind != nullptr && kind->isString() &&
             kind->asString() == "estimate_tier") {
             checkEstimateTier(s, where, errs);
+        }
+        if (kind != nullptr && kind->isString() &&
+            kind->asString() == "attack_suite") {
+            checkAttackSuite(s, where, errs);
         }
     }
 }
@@ -468,6 +526,30 @@ summarizeBench(const Json &doc)
                           << lat->at("p90_us").asDouble() << ", max "
                           << lat->at("max_us").asDouble() << " over "
                           << lat->at("evals").asUint() << " evals\n";
+            }
+        } else if (kind == "attack_suite" &&
+                   s.find("cells") != nullptr) {
+            TextTable t;
+            t.header({"scenario", "defense", "policy",
+                      "evic/1k_acc", "round_rate"});
+            for (const Json &c : s.at("cells").elements()) {
+                t.row()
+                    .cell(c.at("scenario").asString())
+                    .cell(c.at("defense").asString())
+                    .cell(c.at("policy").asString())
+                    .cell(
+                        c.at("evictions_per_1k_accesses").asDouble())
+                    .cell(c.at("round_rate").asDouble());
+            }
+            t.print(std::cout);
+            if (const Json *gate = s.find("gate")) {
+                std::cout << "gate (" << gate->at("metric").asString()
+                          << "): plain "
+                          << gate->at("plain").asDouble()
+                          << ", rand-dynamic "
+                          << gate->at("rand_dynamic").asDouble()
+                          << (gate->at("pass").asBool() ? " — pass\n"
+                                                        : " — FAIL\n");
             }
         } else if (kind == "lookups_per_sec") {
             std::cout << "lookups/sec: "
